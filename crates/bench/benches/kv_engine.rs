@@ -1,0 +1,155 @@
+//! Criterion microbenches of the real (host-time) data structures: the
+//! slab allocator's memcpy path, the store engine, the lock-striped facade
+//! under threads, and the consistent-hash ring.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rkv::hash::{fnv1a, HashRing};
+use rkv::slab::{SlabAllocator, SlabConfig};
+use rkv::store::KvStore;
+use rkv::ShardedKv;
+
+fn bench_slab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab");
+    for &size in &[128usize, 4096, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("alloc_write_free", size), &size, |b, &size| {
+            let mut slab = SlabAllocator::new(SlabConfig {
+                mem_limit: 64 << 20,
+                ..SlabConfig::default()
+            });
+            let payload = vec![0xa5u8; size];
+            b.iter(|| {
+                let chunk = slab.alloc(size).expect("capacity");
+                slab.write(chunk, &payload);
+                std::hint::black_box(slab.read(chunk, size)[0]);
+                slab.free(chunk);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv_store");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("set_overwrite_4k", |b| {
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 64 << 20,
+            ..SlabConfig::default()
+        });
+        let v = Bytes::from(vec![1u8; 4096]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = [(i % 251) as u8, (i / 251 % 251) as u8, 7, 9];
+            s.set(&key, v.clone(), 0, 0, 0).expect("set");
+            i += 1;
+        });
+    });
+    g.bench_function("get_hit_4k", |b| {
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 64 << 20,
+            ..SlabConfig::default()
+        });
+        let v = Bytes::from(vec![1u8; 4096]);
+        for i in 0..1000u64 {
+            s.set(format!("key-{i}").as_bytes(), v.clone(), 0, 0, 0).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{}", i % 1000);
+            std::hint::black_box(s.get(key.as_bytes(), 0).expect("hit"));
+            i += 1;
+        });
+    });
+    g.bench_function("set_under_eviction_pressure", |b| {
+        // store sized far below the working set: every set evicts
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 2 << 20,
+            ..SlabConfig::default()
+        });
+        let v = Bytes::from(vec![2u8; 16 << 10]);
+        let mut i = 0u64;
+        b.iter(|| {
+            s.set(format!("key-{i}").as_bytes(), v.clone(), 0, 0, 0).expect("set");
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_sharded_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_kv");
+    for &threads in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("mixed_ops_threads", threads),
+            &threads,
+            |b, &threads| {
+                let kv = Arc::new(ShardedKv::new(
+                    8,
+                    SlabConfig {
+                        mem_limit: 64 << 20,
+                        ..SlabConfig::default()
+                    },
+                ));
+                let v = Bytes::from(vec![3u8; 1024]);
+                // preload
+                for i in 0..4096u64 {
+                    kv.set(format!("k{i}").as_bytes(), v.clone(), 0, 0, 0).unwrap();
+                }
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..threads {
+                            let kv = Arc::clone(&kv);
+                            let v = v.clone();
+                            scope.spawn(move || {
+                                for i in 0..512u64 {
+                                    let k = format!("k{}", (i * 7 + t as u64 * 131) % 4096);
+                                    if i % 4 == 0 {
+                                        kv.set(k.as_bytes(), v.clone(), 0, 0, 0).unwrap();
+                                    } else {
+                                        std::hint::black_box(kv.get(k.as_bytes(), 0));
+                                    }
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    g.bench_function("fnv1a_32B", |b| {
+        let key = b"blk_1234567890_chunk_00042_extra";
+        b.iter(|| std::hint::black_box(fnv1a(key)));
+    });
+    let members: Vec<usize> = (0..16).collect();
+    let labels: Vec<String> = (0..16).map(|i| format!("kv-server-{i}")).collect();
+    let ring = HashRing::new(members, &labels, 160);
+    g.bench_function("ketama_route_16x160", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("f{}:{}", i % 977, i % 61);
+            i += 1;
+            std::hint::black_box(*ring.route(key.as_bytes()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_slab, bench_store, bench_sharded_threads, bench_hashing
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion microbenches of the wire protocol codec and the simulation
+//! core itself (events/second the host can push — the "meta-benchmark"
+//! bounding how big an experiment the harness can run).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rkv::proto::{Carrier, Request, Response, WireBuf};
+use simkit::{dur, Sim};
+
+fn bench_proto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proto");
+    let set_inline = Request::Set {
+        key: Bytes::from_static(b"blk_123456_42"),
+        flags: 7,
+        expire_at: 0,
+        value: Carrier::Inline(Bytes::from(vec![9u8; 4096])),
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_set_inline_4k", |b| {
+        b.iter(|| std::hint::black_box(set_inline.encode()));
+    });
+    let frame = set_inline.encode();
+    g.bench_function("decode_set_inline_4k", |b| {
+        b.iter(|| std::hint::black_box(Request::decode(frame.clone()).expect("decode")));
+    });
+    let set_remote = Request::Set {
+        key: Bytes::from_static(b"blk_123456_42"),
+        flags: 7,
+        expire_at: 0,
+        value: Carrier::Remote {
+            src: WireBuf {
+                node: 3,
+                rkey: 17,
+                len: 1 << 20,
+            },
+            len: 512 << 10,
+        },
+    };
+    g.bench_function("encode_set_remote", |b| {
+        b.iter(|| std::hint::black_box(set_remote.encode()));
+    });
+    let resp = Response::ValueWritten {
+        len: 512 << 10,
+        flags: 0,
+        cas: 99,
+    };
+    g.bench_function("roundtrip_response", |b| {
+        b.iter(|| {
+            let f = resp.encode();
+            std::hint::black_box(Response::decode(f).expect("decode"))
+        });
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkit");
+    for &tasks in &[100usize, 1000] {
+        g.throughput(Throughput::Elements(tasks as u64));
+        g.bench_with_input(
+            BenchmarkId::new("spawn_sleep_run", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let sim = Sim::new();
+                    for i in 0..tasks {
+                        let s = sim.clone();
+                        sim.spawn(async move {
+                            s.sleep(dur::us(i as u64 % 97)).await;
+                        });
+                    }
+                    sim.run();
+                    std::hint::black_box(sim.events_processed())
+                });
+            },
+        );
+    }
+    g.bench_function("timer_churn_10k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for i in 0..10_000u64 {
+                    s.sleep(dur::ns(i % 1013)).await;
+                }
+            });
+            sim.run();
+            std::hint::black_box(sim.now())
+        });
+    });
+    g.bench_function("channel_pingpong_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let (tx_a, mut rx_a) = simkit::sync::mpsc::unbounded::<u64>();
+            let (tx_b, mut rx_b) = simkit::sync::mpsc::unbounded::<u64>();
+            sim.spawn(async move {
+                for i in 0..1000u64 {
+                    tx_a.try_send(i).expect("open");
+                    rx_b.recv().await.expect("open");
+                }
+            });
+            sim.spawn(async move {
+                while let Ok(v) = rx_a.recv().await {
+                    if tx_b.try_send(v).is_err() {
+                        break;
+                    }
+                }
+            });
+            sim.run();
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_proto, bench_executor
+}
+criterion_main!(benches);

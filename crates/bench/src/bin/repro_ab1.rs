@@ -1,0 +1,17 @@
+//! AB1: transport/protocol ablation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab1 [--quick]
+//! ```
+
+use bench::experiments::ablations;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = ablations::ab1_transport(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

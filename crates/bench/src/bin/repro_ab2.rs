@@ -1,0 +1,17 @@
+//! AB2: chunk-size ablation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab2 [--quick]
+//! ```
+
+use bench::experiments::ablations;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = ablations::ab2_chunk_size(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,17 @@
+//! AB3: flusher-parallelism ablation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab3 [--quick]
+//! ```
+
+use bench::experiments::ablations;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = ablations::ab3_flushers(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,16 @@
+//! AB4: placement-strategy ablation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab4 [--quick]
+//! ```
+
+use bench::experiments::ablations;
+
+fn main() {
+    let report = ablations::ab4_placement();
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,16 @@
+//! E1: KV latency microbenchmark (RDMA vs IPoIB vs Ethernet).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e1 [--quick]
+//! ```
+
+use bench::experiments::micro;
+
+fn main() {
+    let report = micro::e1_kv_latency();
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,17 @@
+//! E10: I/O-intensive workloads (WordCount, Grep, SWIM).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e10 [--quick]
+//! ```
+
+use bench::experiments::jobs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = jobs::e10_io_intensive(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

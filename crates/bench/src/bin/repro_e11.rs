@@ -1,0 +1,17 @@
+//! E11: throughput vs number of KV servers.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e11 [--quick]
+//! ```
+
+use bench::experiments::dfsio;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = dfsio::e11_kv_scaling(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

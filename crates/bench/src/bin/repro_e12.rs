@@ -1,0 +1,16 @@
+//! E12: fault injection and recovery.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e12 [--quick]
+//! ```
+
+use bench::experiments::faults;
+
+fn main() {
+    let report = faults::e12_fault_tolerance();
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,17 @@
+//! E2: KV throughput vs concurrent clients.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e2 [--quick]
+//! ```
+
+use bench::experiments::micro;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = micro::e2_kv_throughput(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,17 @@
+//! E4: TestDFSIO read throughput vs data size.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e4 [--quick]
+//! ```
+
+use bench::experiments::dfsio;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = dfsio::e4_read(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

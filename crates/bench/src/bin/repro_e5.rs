@@ -1,0 +1,17 @@
+//! E5: throughput vs cluster size.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e5 [--quick]
+//! ```
+
+use bench::experiments::dfsio;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = dfsio::e5_cluster_scaling(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,17 @@
+//! E6: RandomWriter execution time.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e6 [--quick]
+//! ```
+
+use bench::experiments::jobs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = jobs::e6_randomwriter(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

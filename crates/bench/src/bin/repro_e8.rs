@@ -1,0 +1,17 @@
+//! E8: the three integration schemes compared.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e8 [--quick]
+//! ```
+
+use bench::experiments::jobs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = jobs::e8_schemes(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

@@ -1,0 +1,16 @@
+//! E9: local storage requirement per system.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_e9 [--quick]
+//! ```
+
+use bench::experiments::faults;
+
+fn main() {
+    let report = faults::e9_local_storage();
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+    );
+}

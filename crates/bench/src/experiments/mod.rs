@@ -1,0 +1,61 @@
+//! Experiment implementations (DESIGN.md §4). Every function is
+//! deterministic: same binary, same table.
+//!
+//! `quick = true` shrinks sweeps for CI-speed runs; `quick = false` runs
+//! the full published sweep (minutes of host time).
+
+pub mod ablations;
+pub mod dfsio;
+pub mod faults;
+pub mod jobs;
+pub mod micro;
+
+use crate::table::Table;
+
+/// An experiment's rendered output plus its paper-shape verdict.
+pub struct ExpReport {
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB4`).
+    pub id: &'static str,
+    /// The result table.
+    pub table: Table,
+    /// Whether the paper-reported shape held in this run.
+    pub shape_holds: bool,
+}
+
+/// Run every experiment in order.
+pub fn run_all(quick: bool) -> Vec<ExpReport> {
+    let mut out = Vec::new();
+    println!(">>> E1: KV latency microbenchmark");
+    out.push(micro::e1_kv_latency());
+    println!(">>> E2: KV throughput scaling");
+    out.push(micro::e2_kv_throughput(quick));
+    println!(">>> E3: TestDFSIO write");
+    out.push(dfsio::e3_write(quick));
+    println!(">>> E4: TestDFSIO read");
+    out.push(dfsio::e4_read(quick));
+    println!(">>> E5: cluster-size scaling");
+    out.push(dfsio::e5_cluster_scaling(quick));
+    println!(">>> E6: RandomWriter");
+    out.push(jobs::e6_randomwriter(quick));
+    println!(">>> E7: Sort");
+    out.push(jobs::e7_sort(quick));
+    println!(">>> E8: scheme comparison");
+    out.push(jobs::e8_schemes(quick));
+    println!(">>> E9: local storage requirement");
+    out.push(faults::e9_local_storage());
+    println!(">>> E10: I/O-intensive workloads");
+    out.push(jobs::e10_io_intensive(quick));
+    println!(">>> E11: buffer-layer scaling");
+    out.push(dfsio::e11_kv_scaling(quick));
+    println!(">>> E12: fault tolerance");
+    out.push(faults::e12_fault_tolerance());
+    println!(">>> AB1: transport ablation");
+    out.push(ablations::ab1_transport(quick));
+    println!(">>> AB2: chunk-size ablation");
+    out.push(ablations::ab2_chunk_size(quick));
+    println!(">>> AB3: flusher-parallelism ablation");
+    out.push(ablations::ab3_flushers(quick));
+    println!(">>> AB4: placement ablation");
+    out.push(ablations::ab4_placement());
+    out
+}

@@ -1,0 +1,15 @@
+//! # bench — the experiment harness
+//!
+//! One function per experiment in DESIGN.md §4 (E1–E12 plus the four
+//! ablations), each returning a printable [`table::Table`]. The
+//! `repro_*` binaries are thin wrappers; `repro_all` runs the full suite
+//! and regenerates `EXPERIMENTS.md`.
+//!
+//! Parameter sweeps fan out with rayon — every cell builds its own
+//! deterministic simulation, so cells are embarrassingly parallel across
+//! host cores.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

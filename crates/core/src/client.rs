@@ -1,0 +1,520 @@
+//! The burst-buffer client: chunked writes through the KV layer with
+//! scheme-specific persistence, and buffer-first reads with Lustre (and
+//! scheme-C local-replica) fallback.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use netsim::NodeId;
+use rkv::{KvClient, KvClientConfig};
+use simkit::sync::semaphore::Semaphore;
+use simkit::JoinHandle;
+
+use hdfs::{HdfsClient, HdfsReader, HdfsWriter};
+use lustre::{LustreClient, LustreError, LustreFile};
+
+use crate::manager::{chunk_key, lustre_path, BbFileMeta, FileState, MgrMsg, MGR_SERVICE};
+pub use crate::manager::BbError;
+use crate::{BbConfig, BbDeployment, Scheme};
+
+/// KV client settings derived from the burst-buffer configuration.
+pub(crate) fn kv_client_config(cfg: &BbConfig) -> KvClientConfig {
+    if cfg.one_sided {
+        KvClientConfig {
+            buf_size: cfg.chunk_size.max(1 << 20),
+            ..KvClientConfig::default()
+        }
+    } else {
+        // ablation: SEND-only protocol, everything inline
+        KvClientConfig {
+            pool_bufs: 0,
+            inline_max: 4 << 20,
+            ..KvClientConfig::default()
+        }
+    }
+}
+
+/// A burst-buffer client bound to one compute node.
+pub struct BbClient {
+    dep: Rc<BbDeployment>,
+    node: NodeId,
+    kv: Rc<KvClient>,
+    lustre: LustreClient,
+    hdfs: Option<HdfsClient>,
+}
+
+impl BbClient {
+    /// Create a client on `node`.
+    pub fn new(dep: Rc<BbDeployment>, node: NodeId) -> Rc<BbClient> {
+        let kv = KvClient::new(
+            Rc::clone(&dep.stack),
+            node,
+            dep.kv_servers.clone(),
+            kv_client_config(&dep.config),
+        );
+        let lustre = dep.lustre.client(node);
+        let hdfs = dep.hdfs_local.as_ref().map(|h| h.client(node));
+        Rc::new(BbClient {
+            dep,
+            node,
+            kv,
+            lustre,
+            hdfs,
+        })
+    }
+
+    /// The client's compute node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The deployment this client talks to.
+    pub fn deployment(&self) -> &Rc<BbDeployment> {
+        &self.dep
+    }
+
+    /// Direct handle to the KV layer (diagnostics).
+    pub fn kv(&self) -> &Rc<KvClient> {
+        &self.kv
+    }
+
+    async fn mgr_call<R: 'static>(
+        &self,
+        bytes: u64,
+        make: impl FnOnce(netsim::ReplyHandle<R>) -> MgrMsg,
+    ) -> Result<R, BbError> {
+        Ok(self
+            .dep
+            .manager
+            .net()
+            .call(self.node, self.dep.manager.node(), MGR_SERVICE, bytes, make)
+            .await?)
+    }
+
+    /// Create a file for writing through the buffer.
+    pub async fn create(self: &Rc<Self>, path: &str) -> Result<BbWriter, BbError> {
+        let p = path.to_owned();
+        let file_id = self
+            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Create { path: p, reply })
+            .await??;
+        let lustre_file = match self.dep.config.scheme {
+            Scheme::SyncLustre => Some(Rc::new(self.lustre.create(&lustre_path(path)).await?)),
+            _ => None,
+        };
+        let hdfs_writer = match &self.hdfs {
+            Some(h) => Some(h.create_with_replication(path, 1).await?),
+            None => None,
+        };
+        Ok(BbWriter {
+            client: Rc::clone(self),
+            path: path.to_owned(),
+            file_id,
+            lustre_file,
+            hdfs_writer,
+            staged: RefCell::new(BytesMut::new()),
+            seq: Cell::new(0),
+            size: Cell::new(0),
+            window: Rc::new(Semaphore::new(self.dep.config.write_window.max(1))),
+            pending: RefCell::new(Vec::new()),
+            closed: Cell::new(false),
+        })
+    }
+
+    /// Open a file for reading.
+    pub async fn open(self: &Rc<Self>, path: &str) -> Result<BbReader, BbError> {
+        let meta = self.fetch_meta(path).await?;
+        let hdfs_reader = match &self.hdfs {
+            Some(h) => h.open(path).await.ok(),
+            None => None,
+        };
+        Ok(BbReader {
+            client: Rc::clone(self),
+            path: path.to_owned(),
+            meta: RefCell::new(meta),
+            hdfs_reader,
+            lustre_file: RefCell::new(None),
+        })
+    }
+
+    async fn fetch_meta(&self, path: &str) -> Result<BbFileMeta, BbError> {
+        let p = path.to_owned();
+        self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::Open { path: p, reply })
+            .await?
+    }
+
+    /// Whether `path` exists.
+    pub async fn exists(&self, path: &str) -> Result<bool, BbError> {
+        match self.fetch_meta(path).await {
+            Ok(_) => Ok(true),
+            Err(BbError::NotFound(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Delete a file everywhere: namespace, buffered chunks, Lustre
+    /// backing file, and the scheme-C local replica.
+    pub async fn delete(&self, path: &str) -> Result<(), BbError> {
+        let p = path.to_owned();
+        let meta = self
+            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Delete { path: p, reply })
+            .await??;
+        let chunks = meta.size.div_ceil(meta.chunk_size.max(1));
+        for seq in 0..chunks {
+            let _ = self.kv.delete(&chunk_key(meta.file_id, seq)).await;
+        }
+        match self.lustre.unlink(&meta.lustre_path).await {
+            Ok(()) | Err(LustreError::Mds(lustre::MdsError::NotFound(_))) => {}
+            Err(e) => return Err(e.into()),
+        }
+        if let Some(h) = &self.hdfs {
+            match h.delete(path).await {
+                Ok(()) | Err(hdfs::HdfsError::Nn(hdfs::NnError::NotFound(_))) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// List paths under `prefix`.
+    pub async fn list(&self, prefix: &str) -> Result<Vec<String>, BbError> {
+        let p = prefix.to_owned();
+        self.mgr_call(128 + prefix.len() as u64, |reply| MgrMsg::List {
+            prefix: p,
+            reply,
+        })
+        .await
+        .map_err(Into::into)
+    }
+
+    /// Block until `path` is durable in Lustre (or reported lost).
+    pub async fn wait_flushed(&self, path: &str) -> Result<FileState, BbError> {
+        let p = path.to_owned();
+        self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::WaitFlushed {
+            path: p,
+            reply,
+        })
+        .await?
+    }
+}
+
+type ChunkResult = Result<(), BbError>;
+
+/// Streaming writer through the burst buffer.
+pub struct BbWriter {
+    client: Rc<BbClient>,
+    path: String,
+    file_id: u64,
+    lustre_file: Option<Rc<LustreFile>>,
+    hdfs_writer: Option<HdfsWriter>,
+    staged: RefCell<BytesMut>,
+    seq: Cell<u64>,
+    size: Cell<u64>,
+    window: Rc<Semaphore>,
+    pending: RefCell<Vec<JoinHandle<ChunkResult>>>,
+    closed: Cell<bool>,
+}
+
+impl BbWriter {
+    /// The file path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Bytes accepted so far.
+    pub fn len(&self) -> u64 {
+        self.size.get()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append data; completed chunks are pushed to the buffer (and, per
+    /// scheme, to Lustre/the local replica) with bounded concurrency.
+    pub async fn append(&self, mut data: Bytes) -> Result<(), BbError> {
+        assert!(!self.closed.get(), "append after close");
+        self.size.set(self.size.get() + data.len() as u64);
+        // scheme C: the local replica takes the stream as-is (the HDFS
+        // writer stages internally and pipelines per block)
+        if let Some(w) = &self.hdfs_writer {
+            w.append(data.clone()).await?;
+        }
+        let chunk_size = self.client.dep.config.chunk_size as usize;
+        loop {
+            let staged_len = self.staged.borrow().len();
+            if staged_len + data.len() < chunk_size {
+                if !data.is_empty() {
+                    self.staged.borrow_mut().extend_from_slice(&data);
+                }
+                return Ok(());
+            }
+            let take = chunk_size - staged_len;
+            let chunk = if staged_len == 0 {
+                // fast path: a whole chunk straight from the input
+                data.split_to(take)
+            } else {
+                let mut st = self.staged.borrow_mut();
+                st.extend_from_slice(&data.split_to(take));
+                std::mem::take(&mut *st).freeze()
+            };
+            self.submit_chunk(chunk).await;
+        }
+    }
+
+    /// Launch one chunk's writes under the window limit.
+    async fn submit_chunk(&self, chunk: Bytes) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        // client-side serialization cost (serial per writer)
+        let sim = self.client.dep.stack.sim().clone();
+        sim.sleep(simkit::dur::transfer(
+            chunk.len() as u64,
+            self.client.dep.config.client_write_rate,
+        ))
+        .await;
+        let permit = self.window.acquire().await;
+        let client = Rc::clone(&self.client);
+        let file_id = self.file_id;
+        let lustre_file = self.lustre_file.clone();
+        let chunk_size = self.client.dep.config.chunk_size;
+        let sim = self.client.dep.stack.sim().clone();
+        let handle = sim.clone().spawn(async move {
+            let _permit = permit;
+            let key = chunk_key(file_id, seq);
+            match client.dep.config.scheme {
+                Scheme::SyncLustre => {
+                    // write-through: buffer PUT and Lustre write in
+                    // parallel; the ack needs both (buffer loss is
+                    // tolerable, Lustre loss is not)
+                    let lf = lustre_file.expect("sync scheme has a lustre handle");
+                    let kv = Rc::clone(&client.kv);
+                    let kv_chunk = chunk.clone();
+                    let kv_task = sim.spawn(async move {
+                        kv.set(&key, kv_chunk, 0, 0).await.map(|_| ())
+                    });
+                    lf.write_at(seq * chunk_size, chunk).await?;
+                    let _ = kv_task.await; // buffer errors are non-fatal here
+                    Ok(())
+                }
+                Scheme::AsyncLustre | Scheme::HybridLocality => {
+                    let len = chunk.len() as u64;
+                    match client.kv.set(&key, chunk.clone(), 0, 0).await {
+                        Ok(_) => {
+                            // notify the persistence manager; the ack is the
+                            // flow-control credit
+                            client
+                                .mgr_call(48, |reply| MgrMsg::ChunkReady {
+                                    file_id,
+                                    seq,
+                                    len,
+                                    reply,
+                                })
+                                .await??;
+                            Ok(())
+                        }
+                        Err(_) => {
+                            // degraded path: buffer unavailable, persist
+                            // through the manager directly
+                            client
+                                .mgr_call(len + 64, |reply| MgrMsg::ChunkDirect {
+                                    file_id,
+                                    seq,
+                                    data: chunk,
+                                    reply,
+                                })
+                                .await??;
+                            Ok(())
+                        }
+                    }
+                }
+            }
+        });
+        self.pending.borrow_mut().push(handle);
+    }
+
+    /// Flush the partial tail chunk, wait for all chunk writes, persist
+    /// per scheme, and seal the file at the manager.
+    pub async fn close(&self) -> Result<(), BbError> {
+        assert!(!self.closed.get(), "double close");
+        let tail = std::mem::take(&mut *self.staged.borrow_mut());
+        if !tail.is_empty() {
+            self.submit_chunk(tail.freeze()).await;
+        }
+        let handles: Vec<_> = self.pending.borrow_mut().drain(..).collect();
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.await {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.closed.set(true);
+        if let Some(w) = &self.hdfs_writer {
+            w.close().await?;
+        }
+        if let Some(lf) = &self.lustre_file {
+            lf.close().await?;
+        }
+        let file_id = self.file_id;
+        let size = self.size.get();
+        self.client
+            .mgr_call(48, |reply| MgrMsg::Close {
+                file_id,
+                size,
+                reply,
+            })
+            .await??;
+        Ok(())
+    }
+}
+
+/// Reader with buffer-first chunk fetches.
+pub struct BbReader {
+    client: Rc<BbClient>,
+    path: String,
+    meta: RefCell<BbFileMeta>,
+    hdfs_reader: Option<HdfsReader>,
+    lustre_file: RefCell<Option<Rc<LustreFile>>>,
+}
+
+impl BbReader {
+    /// The file path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// File size.
+    pub fn size(&self) -> u64 {
+        self.meta.borrow().size
+    }
+
+    /// Durability state at last metadata refresh.
+    pub fn state(&self) -> FileState {
+        self.meta.borrow().state
+    }
+
+    /// Whether this node holds a scheme-C local replica covering `offset`.
+    fn has_local_replica(&self, offset: u64) -> bool {
+        match &self.hdfs_reader {
+            None => false,
+            Some(r) => {
+                let bs = r.info().block_size;
+                let bi = (offset / bs) as usize;
+                r.info()
+                    .blocks
+                    .get(bi)
+                    .map(|b| b.replicas.contains(&self.client.node))
+                    .unwrap_or(false)
+            }
+        }
+    }
+
+    async fn lustre_handle(&self) -> Result<Rc<LustreFile>, BbError> {
+        if let Some(f) = self.lustre_file.borrow().as_ref() {
+            return Ok(Rc::clone(f));
+        }
+        let lpath = self.meta.borrow().lustre_path.clone();
+        let f = Rc::new(self.client.lustre.open(&lpath).await?);
+        *self.lustre_file.borrow_mut() = Some(Rc::clone(&f));
+        Ok(f)
+    }
+
+    /// Fetch one whole chunk via the tiered read path.
+    async fn fetch_chunk(&self, seq: u64) -> Result<Bytes, BbError> {
+        let (file_id, chunk_size, size) = {
+            let m = self.meta.borrow();
+            (m.file_id, m.chunk_size, m.size)
+        };
+        let chunk_len = chunk_size.min(size - seq * chunk_size);
+        let sim = self.client.dep.stack.sim().clone();
+        let read_cpu = simkit::dur::transfer(chunk_len, self.client.dep.config.client_read_rate);
+        // tier 0 (scheme C): node-local replica
+        if self.has_local_replica(seq * chunk_size) {
+            if let Some(r) = &self.hdfs_reader {
+                if let Ok(b) = r.read_at(seq * chunk_size, chunk_len).await {
+                    sim.sleep(read_cpu).await;
+                    return Ok(b);
+                }
+            }
+        }
+        // tier 1: the buffer (RDMA GET from server DRAM)
+        if let Ok(Some(v)) = self.client.kv.get(&chunk_key(file_id, seq)).await {
+            sim.sleep(read_cpu).await;
+            return Ok(v.data);
+        }
+        // tier 2: Lustre — only sound once the file is flushed
+        let mut state = self.meta.borrow().state;
+        if state != FileState::Flushed {
+            // refresh: the flusher may have finished since open
+            if let Ok(m) = self.client.fetch_meta(&self.path).await {
+                state = m.state;
+                *self.meta.borrow_mut() = m;
+            }
+        }
+        if state != FileState::Flushed {
+            return Err(BbError::DataUnavailable {
+                path: self.path.clone(),
+                seq,
+            });
+        }
+        let lf = self.lustre_handle().await?;
+        let data = lf.read_at(seq * chunk_size, chunk_len).await?;
+        if self.client.dep.config.populate_on_read {
+            // read-through cache fill (fire-and-forget)
+            let kv = Rc::clone(&self.client.kv);
+            let key = chunk_key(file_id, seq);
+            let fill = data.clone();
+            self.client.dep.stack.sim().spawn(async move {
+                let _ = kv.set(&key, fill, 0, 0).await;
+            });
+        }
+        Ok(data)
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub async fn read_at(&self, offset: u64, len: u64) -> Result<Bytes, BbError> {
+        let size = self.size();
+        assert!(offset + len <= size, "read past EOF");
+        let chunk_size = self.meta.borrow().chunk_size;
+        let mut out = BytesMut::with_capacity(len as usize);
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let seq = pos / chunk_size;
+            let within = pos % chunk_size;
+            let chunk = self.fetch_chunk(seq).await?;
+            let take = ((chunk.len() as u64) - within).min(end - pos);
+            out.extend_from_slice(&chunk[within as usize..(within + take) as usize]);
+            pos += take;
+        }
+        Ok(out.freeze())
+    }
+
+    /// Read the whole file.
+    pub async fn read_all(&self) -> Result<Bytes, BbError> {
+        let size = self.size();
+        if size == 0 {
+            return Ok(Bytes::new());
+        }
+        self.read_at(0, size).await
+    }
+
+    /// Block size of the scheme-C local overlay, if present.
+    pub fn local_block_size(&self) -> Option<u64> {
+        self.hdfs_reader.as_ref().map(|r| r.info().block_size)
+    }
+
+    /// Replica locations per chunk-region, for locality-aware scheduling
+    /// (scheme C exposes the local overlay's placement; A/B have no
+    /// node-local data).
+    pub fn locations(&self) -> Vec<Vec<NodeId>> {
+        match &self.hdfs_reader {
+            Some(r) => r.info().blocks.iter().map(|b| b.replicas.clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+}

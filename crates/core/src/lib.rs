@@ -1,0 +1,257 @@
+//! # bb-core — the RDMA key-value-store burst buffer
+//!
+//! The paper's contribution: Big-Data (HDFS-style) I/O on an HPC cluster is
+//! routed through a burst buffer built from RDMA-Memcached servers, with
+//! Lustre as the persistent backing store. Three integration schemes trade
+//! I/O performance, data locality, and fault tolerance (DESIGN.md §3):
+//!
+//! * [`Scheme::AsyncLustre`] — writes land in the buffer over RDMA and are
+//!   acknowledged immediately; a persistence manager flushes to Lustre in
+//!   the background. Fastest writes, zero local storage, small fault
+//!   window (unflushed data lives only in buffer memory).
+//! * [`Scheme::SyncLustre`] — write-through: a chunk is acknowledged only
+//!   after both the buffer PUT and the Lustre write complete. No fault
+//!   window; writes pay max(buffer, Lustre).
+//! * [`Scheme::HybridLocality`] — one extra replica goes to node-local
+//!   storage (a RAM-disk-backed single-replica HDFS overlay) so map tasks
+//!   keep data locality; buffer + async Lustre flush as in AsyncLustre.
+//!
+//! Reads always prefer the buffer (RDMA GET from server DRAM), then the
+//! node-local replica (scheme C), then Lustre.
+//!
+//! [`fs::AnyFs`] wraps plain HDFS, plain Lustre, and the burst buffer
+//! behind one interface so the MapReduce engine and the benchmark
+//! workloads drive all five systems identically.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod fs;
+pub mod manager;
+
+use std::rc::Rc;
+
+use netsim::{Fabric, NodeId};
+use rdmasim::RdmaStack;
+use rkv::server::KvServerConfig;
+use rkv::slab::SlabConfig;
+use rkv::KvServer;
+
+use lustre::LustreCluster;
+
+use hdfs::{HdfsCluster, HdfsConfig};
+use storesim::DiskKind;
+
+pub use client::{BbClient, BbError, BbReader, BbWriter};
+pub use manager::{BbManager, FileState};
+
+/// Which of the paper's three HDFS⇄Lustre integration schemes is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Buffer write + asynchronous Lustre flush (I/O-oriented).
+    AsyncLustre,
+    /// Buffer write + synchronous Lustre write-through (fault-tolerance-
+    /// oriented).
+    SyncLustre,
+    /// Buffer write + node-local replica + asynchronous Lustre flush
+    /// (data-locality-oriented).
+    HybridLocality,
+}
+
+impl Scheme {
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::AsyncLustre => "BB-Async",
+            Scheme::SyncLustre => "BB-Sync",
+            Scheme::HybridLocality => "BB-Hybrid",
+        }
+    }
+
+    /// All three schemes, for sweeps.
+    pub fn all() -> [Scheme; 3] {
+        [Scheme::AsyncLustre, Scheme::SyncLustre, Scheme::HybridLocality]
+    }
+}
+
+/// Burst-buffer deployment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BbConfig {
+    /// Active integration scheme.
+    pub scheme: Scheme,
+    /// Chunk size for the block→KV key schema (default 512 KiB, inside
+    /// memcached's 1 MiB item limit).
+    pub chunk_size: u64,
+    /// Number of dedicated KV (burst buffer) server nodes.
+    pub kv_servers: usize,
+    /// Memory budget per KV server.
+    pub kv_mem_per_server: u64,
+    /// Concurrent file flush streams in the persistence manager.
+    pub flusher_threads: usize,
+    /// Writers stall when unflushed buffered bytes exceed this fraction of
+    /// the aggregate KV memory (protects unflushed data from LRU pressure).
+    pub flush_watermark: f64,
+    /// Chunks a writer pushes concurrently.
+    pub write_window: usize,
+    /// RAM-disk capacity per node for the locality replica (scheme C).
+    pub local_ramdisk: u64,
+    /// Populate the buffer on Lustre-fallback reads (read-through cache).
+    pub populate_on_read: bool,
+    /// Client-side serialization rate on the write path (bytes/s): the
+    /// Hadoop-client → KV-client boundary (framing, copies into registered
+    /// buffers). Calibrated so per-task write throughput lands in the
+    /// regime the paper reports (DESIGN.md §5).
+    pub client_write_rate: f64,
+    /// Client-side rate on the read path (bytes/s): one-sided RDMA lands
+    /// payloads directly in client buffers, so reads are much cheaper than
+    /// writes per byte.
+    pub client_read_rate: f64,
+    /// Transport the KV layer runs on (native verbs by default; the
+    /// `repro_ab1` ablation swaps in IPoIB/Ethernet to isolate the RDMA
+    /// contribution).
+    pub transport: netsim::TransportProfile,
+    /// Use the hybrid one-sided protocol (RDMA READ/WRITE for payloads).
+    /// `false` forces every payload inline through SEND/RECV (ablation).
+    pub one_sided: bool,
+}
+
+impl Default for BbConfig {
+    fn default() -> Self {
+        BbConfig {
+            scheme: Scheme::AsyncLustre,
+            chunk_size: 512 << 10,
+            kv_servers: 4,
+            kv_mem_per_server: 512 << 20,
+            flusher_threads: 4,
+            flush_watermark: 0.6,
+            write_window: 4,
+            local_ramdisk: 8 << 30,
+            populate_on_read: false,
+            client_write_rate: 55e6,
+            client_read_rate: 1.0e9,
+            transport: netsim::TransportProfile::verbs_qdr(),
+            one_sided: true,
+        }
+    }
+}
+
+/// A deployed burst buffer: KV servers + persistence manager wired between
+/// compute nodes and a Lustre filesystem (plus a single-replica RAM-disk
+/// HDFS overlay for scheme C).
+pub struct BbDeployment {
+    /// Deployment configuration.
+    pub config: BbConfig,
+    /// The verbs stack shared by clients and servers.
+    pub stack: Rc<RdmaStack>,
+    /// Burst-buffer KV servers (dedicated nodes).
+    pub kv_servers: Vec<Rc<KvServer>>,
+    /// The persistent backing filesystem.
+    pub lustre: Rc<LustreCluster>,
+    /// Locality overlay (scheme C only).
+    pub hdfs_local: Option<Rc<HdfsCluster>>,
+    /// The namespace + persistence manager.
+    pub manager: Rc<BbManager>,
+}
+
+impl BbDeployment {
+    /// Deploy a burst buffer on `fabric`, backed by `lustre`. KV servers
+    /// and the manager get fresh fabric nodes; `compute_nodes` are the
+    /// nodes that will run clients (they host the scheme-C local overlay).
+    pub fn deploy(
+        fabric: &Rc<Fabric>,
+        lustre: Rc<LustreCluster>,
+        compute_nodes: &[NodeId],
+        config: BbConfig,
+    ) -> Rc<BbDeployment> {
+        assert!(config.kv_servers > 0, "need at least one KV server");
+        assert!(config.chunk_size > 0);
+        assert!(config.flush_watermark > 0.0 && config.flush_watermark <= 1.0);
+        let stack = RdmaStack::with_profile(Rc::clone(fabric), config.transport);
+        let kv_servers: Vec<Rc<KvServer>> = (0..config.kv_servers)
+            .map(|_| {
+                let node = fabric.add_node();
+                KvServer::new(
+                    Rc::clone(&stack),
+                    node,
+                    KvServerConfig {
+                        slab: SlabConfig {
+                            mem_limit: config.kv_mem_per_server,
+                            ..SlabConfig::default()
+                        },
+                        ..KvServerConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let hdfs_local = match config.scheme {
+            Scheme::HybridLocality => {
+                assert!(
+                    !compute_nodes.is_empty(),
+                    "HybridLocality needs compute nodes for the local overlay"
+                );
+                Some(HdfsCluster::deploy(
+                    fabric,
+                    compute_nodes,
+                    HdfsConfig {
+                        replication: 1,
+                        dn_disk: DiskKind::RamDisk,
+                        dn_capacity: config.local_ramdisk,
+                        ..HdfsConfig::default()
+                    },
+                ))
+            }
+            _ => None,
+        };
+        let manager_node = fabric.add_node();
+        let manager = BbManager::spawn(
+            Rc::clone(&stack),
+            manager_node,
+            kv_servers.clone(),
+            Rc::clone(&lustre),
+            config,
+        );
+        Rc::new(BbDeployment {
+            config,
+            stack,
+            kv_servers,
+            lustre,
+            hdfs_local,
+            manager,
+        })
+    }
+
+    /// Make a client on a compute node.
+    pub fn client(self: &Rc<Self>, node: NodeId) -> Rc<BbClient> {
+        BbClient::new(Rc::clone(self), node)
+    }
+
+    /// Aggregate KV memory budget.
+    pub fn total_kv_memory(&self) -> u64 {
+        self.config.kv_mem_per_server * self.kv_servers.len() as u64
+    }
+
+    /// Bytes currently held in the buffer layer (live KV items).
+    pub fn buffered_bytes(&self) -> u64 {
+        self.kv_servers.iter().map(|s| s.store().stats().bytes).sum()
+    }
+
+    /// Node-local storage in use (scheme C overlay; 0 for A/B) — the E9
+    /// metric.
+    pub fn local_storage_used(&self) -> u64 {
+        self.hdfs_local
+            .as_ref()
+            .map(|h| h.local_storage_used())
+            .unwrap_or(0)
+    }
+
+    /// Stop background loops (scheme-C overlay heartbeats) so simulations
+    /// can quiesce.
+    pub fn shutdown(&self) {
+        if let Some(h) = &self.hdfs_local {
+            h.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

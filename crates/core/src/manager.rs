@@ -1,0 +1,653 @@
+//! The burst-buffer manager: namespace owner and persistence manager.
+//!
+//! One manager process tracks every file written through the buffer and —
+//! for the asynchronous schemes — runs per-file flusher tasks that drain
+//! buffered chunks to Lustre with bounded parallelism and a watermark that
+//! back-pressures writers before unflushed data could face LRU pressure.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use netsim::{NodeId, ReplyHandle, RpcError, Switchboard};
+use rdmasim::RdmaStack;
+use rkv::client::ClientError;
+use rkv::{KvClient, KvServer};
+use simkit::sync::mpsc;
+use simkit::sync::semaphore::Semaphore;
+use simkit::dur;
+
+use lustre::{LustreCluster, LustreError};
+
+use crate::{BbConfig, Scheme};
+
+/// KV key for chunk `seq` of file `file_id`.
+pub fn chunk_key(file_id: u64, seq: u64) -> Vec<u8> {
+    format!("f{file_id}:{seq}").into_bytes()
+}
+
+/// Lustre backing path for a buffered file.
+pub fn lustre_path(path: &str) -> String {
+    format!("/bb{path}")
+}
+
+/// Burst-buffer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BbError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists.
+    Exists(String),
+    /// File is still being written (delete/read race).
+    Busy(String),
+    /// KV layer failure.
+    Kv(ClientError),
+    /// Lustre layer failure.
+    Lustre(LustreError),
+    /// HDFS overlay failure (scheme C).
+    Hdfs(hdfs::HdfsError),
+    /// RPC failure talking to the manager.
+    Rpc(RpcError),
+    /// A chunk is in neither the buffer nor Lustre (buffer node lost
+    /// before flush — the AsyncLustre fault window).
+    DataUnavailable {
+        /// File path.
+        path: String,
+        /// Missing chunk.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for BbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BbError::NotFound(p) => write!(f, "no such file: {p}"),
+            BbError::Exists(p) => write!(f, "file exists: {p}"),
+            BbError::Busy(p) => write!(f, "file busy: {p}"),
+            BbError::Kv(e) => write!(f, "buffer layer: {e}"),
+            BbError::Lustre(e) => write!(f, "backing store: {e}"),
+            BbError::Hdfs(e) => write!(f, "local overlay: {e}"),
+            BbError::Rpc(e) => write!(f, "manager rpc: {e}"),
+            BbError::DataUnavailable { path, seq } => {
+                write!(f, "chunk {seq} of {path} lost (unflushed buffer data)")
+            }
+        }
+    }
+}
+impl std::error::Error for BbError {}
+
+impl From<ClientError> for BbError {
+    fn from(e: ClientError) -> Self {
+        BbError::Kv(e)
+    }
+}
+impl From<LustreError> for BbError {
+    fn from(e: LustreError) -> Self {
+        BbError::Lustre(e)
+    }
+}
+impl From<hdfs::HdfsError> for BbError {
+    fn from(e: hdfs::HdfsError) -> Self {
+        BbError::Hdfs(e)
+    }
+}
+impl From<RpcError> for BbError {
+    fn from(e: RpcError) -> Self {
+        BbError::Rpc(e)
+    }
+}
+
+/// Durability state of a buffered file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileState {
+    /// Open for writing.
+    Writing,
+    /// Closed; flush to Lustre in progress.
+    Closed,
+    /// Every byte is safe in Lustre.
+    Flushed,
+    /// At least one unflushed chunk was lost from the buffer.
+    Lost,
+}
+
+/// File metadata returned by `Open`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BbFileMeta {
+    /// Stable file id (used in chunk keys).
+    pub file_id: u64,
+    /// File size (valid once closed).
+    pub size: u64,
+    /// Durability state.
+    pub state: FileState,
+    /// Chunk size the file was written with.
+    pub chunk_size: u64,
+    /// Lustre backing path.
+    pub lustre_path: String,
+}
+
+/// Manager RPCs.
+pub enum MgrMsg {
+    /// Register a new file; returns its id.
+    Create {
+        /// File path.
+        path: String,
+        /// Reply channel.
+        reply: ReplyHandle<Result<u64, BbError>>,
+    },
+    /// A chunk landed in the buffer. The ack doubles as a flow-control
+    /// credit: it is withheld while unflushed bytes exceed the watermark.
+    ChunkReady {
+        /// File id.
+        file_id: u64,
+        /// Chunk sequence number.
+        seq: u64,
+        /// Chunk length.
+        len: u64,
+        /// Reply channel (credit).
+        reply: ReplyHandle<Result<(), BbError>>,
+    },
+    /// Degraded path: the buffer rejected the chunk, so the raw data comes
+    /// to the manager, which persists it to Lustre directly.
+    ChunkDirect {
+        /// File id.
+        file_id: u64,
+        /// Chunk sequence number.
+        seq: u64,
+        /// Chunk payload.
+        data: Bytes,
+        /// Reply channel.
+        reply: ReplyHandle<Result<(), BbError>>,
+    },
+    /// Seal a file. For async schemes the ack does not wait for the flush.
+    Close {
+        /// File id.
+        file_id: u64,
+        /// Final size.
+        size: u64,
+        /// Reply channel.
+        reply: ReplyHandle<Result<(), BbError>>,
+    },
+    /// Block until the file is fully flushed (or lost).
+    WaitFlushed {
+        /// File path.
+        path: String,
+        /// Resolves with the final state.
+        reply: ReplyHandle<Result<FileState, BbError>>,
+    },
+    /// Fetch metadata.
+    Open {
+        /// File path.
+        path: String,
+        /// Reply channel.
+        reply: ReplyHandle<Result<BbFileMeta, BbError>>,
+    },
+    /// Drop a file from the namespace; the caller reaps chunk/Lustre data.
+    Delete {
+        /// File path.
+        path: String,
+        /// Reply carries the dropped file's metadata.
+        reply: ReplyHandle<Result<BbFileMeta, BbError>>,
+    },
+    /// List paths under a prefix.
+    List {
+        /// Path prefix.
+        prefix: String,
+        /// Reply channel.
+        reply: ReplyHandle<Vec<String>>,
+    },
+}
+
+enum FlushItem {
+    Chunk { seq: u64, len: u64 },
+    Direct { seq: u64, data: Bytes },
+    Close { size: u64 },
+}
+
+struct FileEntry {
+    path: String,
+    file_id: u64,
+    size: u64,
+    state: FileState,
+    flush_tx: Option<mpsc::Sender<FlushItem>>,
+}
+
+/// Mailbox service name for the manager.
+pub const MGR_SERVICE: &str = "bb-mgr";
+
+/// Cumulative manager/flusher counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MgrStats {
+    /// Chunks flushed buffer→Lustre.
+    pub chunks_flushed: u64,
+    /// Bytes flushed buffer→Lustre.
+    pub bytes_flushed: u64,
+    /// Chunks persisted via the degraded direct path.
+    pub chunks_direct: u64,
+    /// Chunks that were lost (missing from the buffer at flush time).
+    pub chunks_lost: u64,
+    /// Times a writer was stalled by the flush watermark.
+    pub watermark_stalls: u64,
+}
+
+/// The manager process.
+pub struct BbManager {
+    node: NodeId,
+    config: BbConfig,
+    net: Rc<Switchboard<MgrMsg>>,
+    kv: Rc<KvClient>,
+    lustre_client: lustre::LustreClient,
+    files: RefCell<HashMap<String, Rc<RefCell<FileEntry>>>>,
+    by_id: RefCell<HashMap<u64, Rc<RefCell<FileEntry>>>>,
+    next_id: Cell<u64>,
+    unflushed: Cell<u64>,
+    watermark: u64,
+    credit_waiters: RefCell<VecDeque<ReplyHandle<Result<(), BbError>>>>,
+    flush_waiters: RefCell<HashMap<u64, Vec<ReplyHandle<Result<FileState, BbError>>>>>,
+    flush_gate: Semaphore,
+    stats: RefCell<MgrStats>,
+}
+
+impl BbManager {
+    /// Spawn the manager on `node`.
+    pub fn spawn(
+        stack: Rc<RdmaStack>,
+        node: NodeId,
+        kv_servers: Vec<Rc<KvServer>>,
+        lustre: Rc<LustreCluster>,
+        config: BbConfig,
+    ) -> Rc<BbManager> {
+        let fabric = Rc::clone(stack.fabric());
+        // manager control traffic rides the verbs fabric too
+        let net = Switchboard::new(Rc::clone(&fabric), *stack.profile());
+        let kv = KvClient::new(
+            Rc::clone(&stack),
+            node,
+            kv_servers,
+            crate::client::kv_client_config(&config),
+        );
+        // budget against the *physical* slab footprint of a chunk item
+        // (key + length header + payload), not its logical size — a chunk
+        // just over a class boundary can occupy a whole page
+        let slab = rkv::slab::SlabConfig::default();
+        let item = config.chunk_size as usize + 32;
+        let footprint = slab
+            .item_footprint(item)
+            .expect("chunk_size exceeds the KV item limit") as f64;
+        let density = (config.chunk_size as f64 / footprint).min(1.0);
+        let watermark = ((config.kv_mem_per_server * config.kv_servers as u64) as f64
+            * config.flush_watermark
+            * density) as u64;
+        let mgr = Rc::new(BbManager {
+            node,
+            config,
+            net: Rc::clone(&net),
+            kv,
+            lustre_client: lustre.client(node),
+            files: RefCell::new(HashMap::new()),
+            by_id: RefCell::new(HashMap::new()),
+            next_id: Cell::new(1),
+            unflushed: Cell::new(0),
+            watermark,
+            credit_waiters: RefCell::new(VecDeque::new()),
+            flush_waiters: RefCell::new(HashMap::new()),
+            flush_gate: Semaphore::new(config.flusher_threads.max(1)),
+            stats: RefCell::new(MgrStats::default()),
+        });
+        let mut rx = net.register(node, MGR_SERVICE);
+        let sim = net.fabric().sim().clone();
+        let this = Rc::clone(&mgr);
+        sim.clone().spawn(async move {
+            while let Ok(env) = rx.recv().await {
+                sim.sleep(dur::us(2)).await;
+                this.handle(env.msg);
+            }
+        });
+        mgr
+    }
+
+    /// Fabric node of the manager.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The manager's control switchboard (clients call through this).
+    pub fn net(&self) -> &Rc<Switchboard<MgrMsg>> {
+        &self.net
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MgrStats {
+        *self.stats.borrow()
+    }
+
+    /// Unflushed buffered bytes (flow-control pressure).
+    pub fn unflushed_bytes(&self) -> u64 {
+        self.unflushed.get()
+    }
+
+    fn handle(self: &Rc<Self>, msg: MgrMsg) {
+        match msg {
+            MgrMsg::Create { path, reply } => {
+                let r = self.create(&path);
+                reply.send(r, 64);
+            }
+            MgrMsg::ChunkReady {
+                file_id,
+                seq,
+                len,
+                reply,
+            } => {
+                let entry = self.by_id.borrow().get(&file_id).cloned();
+                let Some(entry) = entry else {
+                    reply.send(Err(BbError::NotFound(format!("file_id {file_id}"))), 16);
+                    return;
+                };
+                self.unflushed.set(self.unflushed.get() + len);
+                if let Some(tx) = &entry.borrow().flush_tx {
+                    let _ = tx.try_send(FlushItem::Chunk { seq, len });
+                }
+                if self.unflushed.get() <= self.watermark {
+                    reply.send(Ok(()), 16);
+                } else {
+                    self.stats.borrow_mut().watermark_stalls += 1;
+                    self.credit_waiters.borrow_mut().push_back(reply);
+                }
+            }
+            MgrMsg::ChunkDirect {
+                file_id,
+                seq,
+                data,
+                reply,
+            } => {
+                let entry = self.by_id.borrow().get(&file_id).cloned();
+                let Some(entry) = entry else {
+                    reply.send(Err(BbError::NotFound(format!("file_id {file_id}"))), 16);
+                    return;
+                };
+                let tx = entry.borrow().flush_tx.clone();
+                match tx {
+                    Some(tx) => {
+                        let _ = tx.try_send(FlushItem::Direct { seq, data });
+                        reply.send(Ok(()), 16);
+                    }
+                    None => {
+                        reply.send(
+                            Err(BbError::Busy("no flusher for this scheme".into())),
+                            16,
+                        );
+                    }
+                }
+            }
+            MgrMsg::Close {
+                file_id,
+                size,
+                reply,
+            } => {
+                let entry = self.by_id.borrow().get(&file_id).cloned();
+                let Some(entry) = entry else {
+                    reply.send(Err(BbError::NotFound(format!("file_id {file_id}"))), 16);
+                    return;
+                };
+                {
+                    let mut e = entry.borrow_mut();
+                    e.size = size;
+                    match e.flush_tx.take() {
+                        Some(tx) => {
+                            e.state = FileState::Closed;
+                            let _ = tx.try_send(FlushItem::Close { size });
+                            // dropping tx closes the flusher's queue
+                        }
+                        None => {
+                            // sync scheme: the client already persisted
+                            e.state = FileState::Flushed;
+                        }
+                    }
+                }
+                let e = entry.borrow();
+                if e.state == FileState::Flushed {
+                    self.notify_flushed(e.file_id, FileState::Flushed);
+                }
+                reply.send(Ok(()), 16);
+            }
+            MgrMsg::WaitFlushed { path, reply } => {
+                let entry = self.files.borrow().get(&path).cloned();
+                match entry {
+                    None => reply.send(Err(BbError::NotFound(path)), 16),
+                    Some(e) => {
+                        let st = e.borrow().state;
+                        match st {
+                            FileState::Flushed | FileState::Lost => {
+                                reply.send(Ok(st), 16);
+                            }
+                            _ => {
+                                let id = e.borrow().file_id;
+                                self.flush_waiters
+                                    .borrow_mut()
+                                    .entry(id)
+                                    .or_default()
+                                    .push(reply);
+                            }
+                        }
+                    }
+                }
+            }
+            MgrMsg::Open { path, reply } => {
+                let r = match self.files.borrow().get(&path) {
+                    None => Err(BbError::NotFound(path)),
+                    Some(e) => {
+                        let e = e.borrow();
+                        Ok(BbFileMeta {
+                            file_id: e.file_id,
+                            size: e.size,
+                            state: e.state,
+                            chunk_size: self.config.chunk_size,
+                            lustre_path: lustre_path(&e.path),
+                        })
+                    }
+                };
+                reply.send(r, 128);
+            }
+            MgrMsg::Delete { path, reply } => {
+                let busy = self
+                    .files
+                    .borrow()
+                    .get(&path)
+                    .map(|e| e.borrow().state == FileState::Writing)
+                    .unwrap_or(false);
+                if busy {
+                    reply.send(Err(BbError::Busy(path)), 16);
+                    return;
+                }
+                let removed = self.files.borrow_mut().remove(&path);
+                let r = match removed {
+                    None => Err(BbError::NotFound(path)),
+                    Some(e) => {
+                        let e = e.borrow();
+                        self.by_id.borrow_mut().remove(&e.file_id);
+                        Ok(BbFileMeta {
+                            file_id: e.file_id,
+                            size: e.size,
+                            state: e.state,
+                            chunk_size: self.config.chunk_size,
+                            lustre_path: lustre_path(&e.path),
+                        })
+                    }
+                };
+                reply.send(r, 128);
+            }
+            MgrMsg::List { prefix, reply } => {
+                let mut v: Vec<String> = self
+                    .files
+                    .borrow()
+                    .keys()
+                    .filter(|p| p.starts_with(&prefix))
+                    .cloned()
+                    .collect();
+                v.sort();
+                let bytes = v.iter().map(|p| p.len() as u64 + 8).sum::<u64>().max(64);
+                reply.send(v, bytes);
+            }
+        }
+    }
+
+    fn create(self: &Rc<Self>, path: &str) -> Result<u64, BbError> {
+        if self.files.borrow().contains_key(path) {
+            return Err(BbError::Exists(path.to_owned()));
+        }
+        let file_id = self.next_id.get();
+        self.next_id.set(file_id + 1);
+        let needs_flusher = matches!(
+            self.config.scheme,
+            Scheme::AsyncLustre | Scheme::HybridLocality
+        );
+        let flush_tx = if needs_flusher {
+            let (tx, rx) = mpsc::unbounded();
+            let this = Rc::clone(self);
+            let lpath = lustre_path(path);
+            let fpath = path.to_owned();
+            self.net
+                .fabric()
+                .sim()
+                .clone()
+                .spawn(async move { this.run_flusher(file_id, fpath, lpath, rx).await });
+            Some(tx)
+        } else {
+            None
+        };
+        let entry = Rc::new(RefCell::new(FileEntry {
+            path: path.to_owned(),
+            file_id,
+            size: 0,
+            state: FileState::Writing,
+            flush_tx,
+        }));
+        self.files
+            .borrow_mut()
+            .insert(path.to_owned(), Rc::clone(&entry));
+        self.by_id.borrow_mut().insert(file_id, entry);
+        Ok(file_id)
+    }
+
+    fn release_credit(&self, len: u64) {
+        self.unflushed.set(self.unflushed.get().saturating_sub(len));
+        let mut waiters = self.credit_waiters.borrow_mut();
+        while self.unflushed.get() <= self.watermark {
+            match waiters.pop_front() {
+                Some(reply) => reply.send(Ok(()), 16),
+                None => break,
+            }
+        }
+    }
+
+    fn notify_flushed(&self, file_id: u64, state: FileState) {
+        if let Some(waiters) = self.flush_waiters.borrow_mut().remove(&file_id) {
+            for w in waiters {
+                w.send(Ok(state), 16);
+            }
+        }
+    }
+
+    /// Per-file persistence task: drain chunk notifications, pull payloads
+    /// from the buffer, and lay them out in the Lustre backing file.
+    async fn run_flusher(
+        self: Rc<Self>,
+        file_id: u64,
+        path: String,
+        lpath: String,
+        mut rx: mpsc::Receiver<FlushItem>,
+    ) {
+        let sim = self.net.fabric().sim().clone();
+        let lfile = match self.lustre_client.create(&lpath).await {
+            Ok(f) => Rc::new(f),
+            Err(_) => {
+                // backing store unavailable: everything becomes Lost
+                self.mark_lost(file_id);
+                return;
+            }
+        };
+        let chunk_size = self.config.chunk_size;
+        let mut lost = false;
+        let mut inflight: Vec<simkit::JoinHandle<bool>> = Vec::new();
+        let mut final_size = None;
+        loop {
+            let item = match rx.recv().await {
+                Ok(i) => i,
+                Err(_) => break,
+            };
+            match item {
+                FlushItem::Chunk { seq, len } => {
+                    let this = Rc::clone(&self);
+                    let lfile = Rc::clone(&lfile);
+                    inflight.push(sim.spawn(async move {
+                        let _gate = this.flush_gate.acquire().await;
+                        let key = chunk_key(file_id, seq);
+                        let got = this.kv.get(&key).await;
+                        let ok = match got {
+                            Ok(Some(v)) => {
+                                let r = lfile.write_at(seq * chunk_size, v.data).await.is_ok();
+                                if r {
+                                    let mut st = this.stats.borrow_mut();
+                                    st.chunks_flushed += 1;
+                                    st.bytes_flushed += len;
+                                }
+                                r
+                            }
+                            _ => {
+                                this.stats.borrow_mut().chunks_lost += 1;
+                                false
+                            }
+                        };
+                        this.release_credit(len);
+                        ok
+                    }));
+                }
+                FlushItem::Direct { seq, data } => {
+                    let this = Rc::clone(&self);
+                    let lfile = Rc::clone(&lfile);
+                    inflight.push(sim.spawn(async move {
+                        let _gate = this.flush_gate.acquire().await;
+                        let ok = lfile.write_at(seq * chunk_size, data).await.is_ok();
+                        if ok {
+                            this.stats.borrow_mut().chunks_direct += 1;
+                        }
+                        ok
+                    }));
+                }
+                FlushItem::Close { size } => {
+                    final_size = Some(size);
+                    break;
+                }
+            }
+        }
+        for h in inflight {
+            if !h.await {
+                lost = true;
+            }
+        }
+        if let Some(size) = final_size {
+            // pad the logical size: write_pos may be short of `size` only
+            // when the final chunk was lost, which is covered by `lost`
+            let _ = size;
+        }
+        let close_ok = lfile.close().await.is_ok();
+        let state = if lost || !close_ok {
+            FileState::Lost
+        } else {
+            FileState::Flushed
+        };
+        if let Some(entry) = self.by_id.borrow().get(&file_id) {
+            entry.borrow_mut().state = state;
+        }
+        self.notify_flushed(file_id, state);
+        let _ = path;
+    }
+
+    fn mark_lost(&self, file_id: u64) {
+        if let Some(entry) = self.by_id.borrow().get(&file_id) {
+            entry.borrow_mut().state = FileState::Lost;
+        }
+        self.notify_flushed(file_id, FileState::Lost);
+    }
+}

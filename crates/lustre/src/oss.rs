@@ -1,0 +1,154 @@
+//! Object storage servers: each OSS fronts several OSTs (RAID-backed
+//! object stores). Requests are handled concurrently — per-OST queueing
+//! happens at the device, which is what actually bounds throughput.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use netsim::{NodeId, ReplyHandle, Switchboard};
+use storesim::{Disk, DiskParams, ObjectStore, StoreError};
+
+use crate::LustreConfig;
+
+/// OSS data-path RPCs. `ost_slot` addresses an OST local to the receiving
+/// OSS.
+pub enum OssMsg {
+    /// Write `data` into object `obj` at `offset`.
+    Write {
+        /// OST slot on this OSS.
+        ost_slot: usize,
+        /// Object id (the file id).
+        obj: u64,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Payload.
+        data: Bytes,
+        /// Reply channel.
+        reply: ReplyHandle<Result<(), StoreError>>,
+    },
+    /// Read `len` bytes from object `obj` at `offset`.
+    Read {
+        /// OST slot on this OSS.
+        ost_slot: usize,
+        /// Object id (the file id).
+        obj: u64,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+        /// Reply channel.
+        reply: ReplyHandle<Result<Bytes, StoreError>>,
+    },
+    /// Delete object `obj` on every local OST (unlink reaping).
+    Delete {
+        /// Object id (the file id).
+        obj: u64,
+        /// Reply channel.
+        reply: ReplyHandle<u64>,
+    },
+}
+
+/// Mailbox service name for OSS data traffic.
+pub const OSS_SERVICE: &str = "lustre-oss";
+
+/// One object storage server process with its OSTs.
+pub struct Oss {
+    node: NodeId,
+    index: usize,
+    osts: Vec<Rc<ObjectStore>>,
+}
+
+impl Oss {
+    /// Spawn OSS `index` on `node` with `config.osts_per_oss` OSTs.
+    pub fn spawn(
+        net: Rc<Switchboard<OssMsg>>,
+        node: NodeId,
+        index: usize,
+        config: LustreConfig,
+    ) -> Rc<Oss> {
+        let sim = net.fabric().sim().clone();
+        let osts = (0..config.osts_per_oss)
+            .map(|_| {
+                let disk = Disk::new(
+                    sim.clone(),
+                    DiskParams {
+                        write_rate: config.ost_rate,
+                        read_rate: config.ost_rate * 1.1,
+                        access_latency: config.ost_access,
+                        capacity: config.ost_capacity,
+                    },
+                );
+                ObjectStore::new(disk)
+            })
+            .collect();
+        let oss = Rc::new(Oss { node, index, osts });
+        let mut rx = net.register(node, OSS_SERVICE);
+        let this = Rc::clone(&oss);
+        sim.clone().spawn(async move {
+            while let Ok(env) = rx.recv().await {
+                // concurrent handling: the OST device serializes
+                let this = Rc::clone(&this);
+                sim.spawn(async move { this.handle(env.msg).await });
+            }
+        });
+        oss
+    }
+
+    /// Fabric node of this OSS.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// OSS index within the cluster.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Direct access to a local OST (tests/diagnostics).
+    pub fn ost(&self, slot: usize) -> &Rc<ObjectStore> {
+        &self.osts[slot]
+    }
+
+    /// Total payload bytes on this OSS's OSTs.
+    pub fn stored_bytes(&self) -> u64 {
+        self.osts.iter().map(|o| o.stored_bytes()).sum()
+    }
+
+    async fn handle(&self, msg: OssMsg) {
+        match msg {
+            OssMsg::Write {
+                ost_slot,
+                obj,
+                offset,
+                data,
+                reply,
+            } => {
+                let r = self.osts[ost_slot].write_at(obj, offset, data).await;
+                reply.send(r, 64);
+            }
+            OssMsg::Read {
+                ost_slot,
+                obj,
+                offset,
+                len,
+                reply,
+            } => {
+                let r = self.osts[ost_slot].read_at(obj, offset, len).await;
+                let wire = match &r {
+                    Ok(b) => b.len() as u64 + 64,
+                    Err(_) => 64,
+                };
+                reply.send(r, wire);
+            }
+            OssMsg::Delete { obj, reply } => {
+                let mut freed = 0;
+                for ost in &self.osts {
+                    if let Ok(n) = ost.delete(obj) {
+                        freed += n;
+                    }
+                }
+                reply.send(freed, 64);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # mapred — a mini MapReduce engine
+//!
+//! Runs Hadoop-shaped jobs over any [`bb_core::fs::AnyFs`] backend, which is
+//! how the paper's Sort / WordCount / Grep experiments compare HDFS, Lustre,
+//! and the burst buffer: identical job, different storage engine.
+//!
+//! Modeled faithfully at flow level:
+//! * **splits** follow the input's block/location geometry;
+//! * **scheduling** is locality-first: a node prefers splits whose replicas
+//!   it holds (this is where scheme C's local replica pays off);
+//! * **map** reads real split bytes through the DFS, charges CPU at the
+//!   job's rate, and spills partition outputs to a node-local spill device;
+//! * **shuffle** moves real bytes between nodes over the cluster fabric;
+//! * **reduce** absorbs shuffled pieces (CPU-charged) and writes real
+//!   output bytes back through the DFS.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod logic;
+
+pub use engine::{JobReport, JobSpec, MrConfig, MrEngine};
+pub use logic::{GrepLogic, IdentityLogic, JobLogic, SyntheticShuffleLogic, WordCountLogic};
+
+#[cfg(test)]
+mod tests;

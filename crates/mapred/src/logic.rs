@@ -1,0 +1,354 @@
+//! Job logics: how map turns split bytes into per-partition outputs and
+//! how reduce folds shuffled pieces into final output.
+//!
+//! Two families:
+//! * **real** logics (word count, grep, record sort) process actual byte
+//!   content — used for correctness tests and small runs;
+//! * **synthetic** logics move real bytes with zero-copy slicing but skip
+//!   content inspection — used for multi-gigabyte benchmark runs where CPU
+//!   cost is charged to the virtual clock, not the host.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+/// A MapReduce job's data transformation.
+pub trait JobLogic {
+    /// Turn one split's bytes into per-partition map outputs.
+    fn map(&self, split_index: usize, data: Bytes, partitions: u32) -> Vec<(u32, Bytes)>;
+
+    /// Fold one partition's shuffled pieces (in map order) into output
+    /// chunks, written to the partition's output file in order.
+    fn reduce(&self, partition: u32, pieces: Vec<Bytes>) -> Vec<Bytes>;
+
+    /// Map CPU throughput (bytes/s of input processed).
+    fn map_cpu_rate(&self) -> f64 {
+        250e6
+    }
+
+    /// Reduce CPU throughput (bytes/s of shuffled data processed).
+    fn reduce_cpu_rate(&self) -> f64 {
+        250e6
+    }
+}
+
+/// Pass input through unchanged to a single partition (a distributed copy).
+pub struct IdentityLogic;
+
+impl JobLogic for IdentityLogic {
+    fn map(&self, _split: usize, data: Bytes, _partitions: u32) -> Vec<(u32, Bytes)> {
+        vec![(0, data)]
+    }
+    fn reduce(&self, _partition: u32, pieces: Vec<Bytes>) -> Vec<Bytes> {
+        pieces
+    }
+}
+
+/// Sort/shuffle-shaped synthetic logic: every split is sliced (zero-copy)
+/// into `partitions` pieces scaled by `output_ratio`, and reduce passes the
+/// gathered pieces through. Models the data volumes of a sort (`ratio =
+/// 1.0`) or an aggregation (`ratio < 1`) without touching content.
+pub struct SyntheticShuffleLogic {
+    /// Map output bytes per input byte.
+    pub output_ratio: f64,
+    /// Map CPU rate override.
+    pub map_rate: f64,
+    /// Reduce CPU rate override.
+    pub reduce_rate: f64,
+}
+
+impl SyntheticShuffleLogic {
+    /// Sort-shaped: all bytes shuffle (ratio 1.0) at typical sort CPU rates.
+    pub fn sort() -> Self {
+        SyntheticShuffleLogic {
+            output_ratio: 1.0,
+            map_rate: 400e6,
+            reduce_rate: 300e6,
+        }
+    }
+
+    /// Aggregation-shaped: `ratio` of the input survives the map.
+    pub fn aggregation(ratio: f64) -> Self {
+        SyntheticShuffleLogic {
+            output_ratio: ratio,
+            map_rate: 200e6,
+            reduce_rate: 250e6,
+        }
+    }
+}
+
+impl JobLogic for SyntheticShuffleLogic {
+    fn map(&self, _split: usize, data: Bytes, partitions: u32) -> Vec<(u32, Bytes)> {
+        let out_len = (data.len() as f64 * self.output_ratio) as usize;
+        let out = data.slice(..out_len.min(data.len()));
+        let n = partitions.max(1) as usize;
+        let per = out.len() / n;
+        let mut pieces = Vec::with_capacity(n);
+        for p in 0..n {
+            let start = p * per;
+            let end = if p == n - 1 { out.len() } else { (p + 1) * per };
+            if end > start {
+                pieces.push((p as u32, out.slice(start..end)));
+            }
+        }
+        pieces
+    }
+    fn reduce(&self, _partition: u32, pieces: Vec<Bytes>) -> Vec<Bytes> {
+        pieces
+    }
+    fn map_cpu_rate(&self) -> f64 {
+        self.map_rate
+    }
+    fn reduce_cpu_rate(&self) -> f64 {
+        self.reduce_rate
+    }
+}
+
+/// Key width of a [`RecordSortLogic`] record.
+pub const SORT_KEY_LEN: usize = 10;
+/// Record width of a [`RecordSortLogic`] record (TeraSort-style).
+pub const SORT_RECORD_LEN: usize = 100;
+
+/// Real record sort over TeraSort-style 100-byte records with 10-byte keys:
+/// map range-partitions by first key byte, reduce merge-sorts.
+pub struct RecordSortLogic;
+
+impl JobLogic for RecordSortLogic {
+    fn map(&self, _split: usize, data: Bytes, partitions: u32) -> Vec<(u32, Bytes)> {
+        let n = partitions.max(1);
+        let mut buckets: Vec<BytesMut> = (0..n).map(|_| BytesMut::new()).collect();
+        for rec in data.chunks(SORT_RECORD_LEN) {
+            if rec.len() < SORT_RECORD_LEN {
+                continue; // trailing fragment (split-aligned inputs avoid this)
+            }
+            let p = (rec[0] as u32 * n) / 256;
+            buckets[p as usize].put_slice(rec);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(p, b)| (p as u32, b.freeze()))
+            .collect()
+    }
+
+    fn reduce(&self, _partition: u32, pieces: Vec<Bytes>) -> Vec<Bytes> {
+        let mut records: Vec<&[u8]> = Vec::new();
+        for piece in &pieces {
+            for rec in piece.chunks(SORT_RECORD_LEN) {
+                if rec.len() == SORT_RECORD_LEN {
+                    records.push(rec);
+                }
+            }
+        }
+        records.sort_unstable_by_key(|r| &r[..SORT_KEY_LEN]);
+        let mut out = BytesMut::with_capacity(records.len() * SORT_RECORD_LEN);
+        for r in records {
+            out.put_slice(r);
+        }
+        vec![out.freeze()]
+    }
+
+    fn map_cpu_rate(&self) -> f64 {
+        350e6
+    }
+    fn reduce_cpu_rate(&self) -> f64 {
+        200e6
+    }
+}
+
+/// Real word counting over whitespace-separated text.
+pub struct WordCountLogic;
+
+fn wc_partition(word: &str, partitions: u32) -> u32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in word.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % partitions.max(1) as u64) as u32
+}
+
+impl JobLogic for WordCountLogic {
+    fn map(&self, _split: usize, data: Bytes, partitions: u32) -> Vec<(u32, Bytes)> {
+        let text = String::from_utf8_lossy(&data);
+        let mut counts: Vec<BTreeMap<&str, u64>> =
+            (0..partitions.max(1)).map(|_| BTreeMap::new()).collect();
+        for word in text.split_whitespace() {
+            let p = wc_partition(word, partitions);
+            *counts[p as usize].entry(word).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(p, m)| {
+                let mut buf = BytesMut::new();
+                for (w, c) in m {
+                    buf.put_slice(format!("{w}\t{c}\n").as_bytes());
+                }
+                (p as u32, buf.freeze())
+            })
+            .collect()
+    }
+
+    fn reduce(&self, _partition: u32, pieces: Vec<Bytes>) -> Vec<Bytes> {
+        let mut total: BTreeMap<String, u64> = BTreeMap::new();
+        for piece in &pieces {
+            let text = String::from_utf8_lossy(piece);
+            for line in text.lines() {
+                if let Some((w, c)) = line.split_once('\t') {
+                    if let Ok(c) = c.parse::<u64>() {
+                        *total.entry(w.to_owned()).or_default() += c;
+                    }
+                }
+            }
+        }
+        let mut buf = BytesMut::new();
+        for (w, c) in total {
+            buf.put_slice(format!("{w}\t{c}\n").as_bytes());
+        }
+        vec![buf.freeze()]
+    }
+
+    fn map_cpu_rate(&self) -> f64 {
+        150e6
+    }
+}
+
+/// Real grep: emit lines containing the needle.
+pub struct GrepLogic {
+    /// Substring to search for.
+    pub needle: String,
+}
+
+impl JobLogic for GrepLogic {
+    fn map(&self, _split: usize, data: Bytes, _partitions: u32) -> Vec<(u32, Bytes)> {
+        let text = String::from_utf8_lossy(&data);
+        let mut buf = BytesMut::new();
+        for line in text.lines() {
+            if line.contains(&self.needle) {
+                buf.put_slice(line.as_bytes());
+                buf.put_u8(b'\n');
+            }
+        }
+        if buf.is_empty() {
+            Vec::new()
+        } else {
+            vec![(0, buf.freeze())]
+        }
+    }
+
+    fn reduce(&self, _partition: u32, pieces: Vec<Bytes>) -> Vec<Bytes> {
+        pieces
+    }
+
+    fn map_cpu_rate(&self) -> f64 {
+        400e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_passthrough() {
+        let l = IdentityLogic;
+        let out = l.map(0, Bytes::from_static(b"abc"), 4);
+        assert_eq!(out, vec![(0u32, Bytes::from_static(b"abc"))]);
+        let red = l.reduce(0, vec![Bytes::from_static(b"x"), Bytes::from_static(b"y")]);
+        assert_eq!(red.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_partitions_cover_scaled_output() {
+        let l = SyntheticShuffleLogic::sort();
+        let data = Bytes::from(vec![7u8; 1000]);
+        let out = l.map(0, data, 4);
+        let total: usize = out.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(out.len(), 4);
+        let agg = SyntheticShuffleLogic::aggregation(0.1);
+        let out = agg.map(0, Bytes::from(vec![1u8; 1000]), 2);
+        let total: usize = out.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn record_sort_end_to_end_sorted() {
+        let logic = RecordSortLogic;
+        // build 50 records with descending keys
+        let mut input = BytesMut::new();
+        for i in (0..50u8).rev() {
+            let mut rec = vec![0u8; SORT_RECORD_LEN];
+            rec[0] = i;
+            rec[1] = b'k';
+            input.put_slice(&rec);
+        }
+        let pieces = logic.map(0, input.freeze(), 4);
+        // run each partition's reduce and check global order
+        let mut all = Vec::new();
+        let mut by_p: Vec<Vec<Bytes>> = vec![Vec::new(); 4];
+        for (p, b) in pieces {
+            by_p[p as usize].push(b);
+        }
+        for (p, pieces) in by_p.into_iter().enumerate() {
+            if pieces.is_empty() {
+                continue;
+            }
+            for out in logic.reduce(p as u32, pieces) {
+                all.push(out);
+            }
+        }
+        let merged: Vec<u8> = all.iter().flat_map(|b| b.to_vec()).collect();
+        assert_eq!(merged.len(), 50 * SORT_RECORD_LEN);
+        let keys: Vec<u8> = merged.chunks(SORT_RECORD_LEN).map(|r| r[0]).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "partitioned sort is not globally ordered");
+    }
+
+    #[test]
+    fn word_count_counts() {
+        let l = WordCountLogic;
+        let out = l.map(0, Bytes::from_static(b"the cat and the hat and the bat"), 1);
+        assert_eq!(out.len(), 1);
+        let red = l.reduce(0, out.into_iter().map(|(_, b)| b).collect());
+        let text = String::from_utf8(red[0].to_vec()).unwrap();
+        assert!(text.contains("the\t3"));
+        assert!(text.contains("and\t2"));
+        assert!(text.contains("cat\t1"));
+    }
+
+    #[test]
+    fn word_count_merges_across_maps() {
+        let l = WordCountLogic;
+        let m1 = l.map(0, Bytes::from_static(b"x x y"), 1);
+        let m2 = l.map(1, Bytes::from_static(b"x y z"), 1);
+        let pieces: Vec<Bytes> = m1.into_iter().chain(m2).map(|(_, b)| b).collect();
+        let red = l.reduce(0, pieces);
+        let text = String::from_utf8(red[0].to_vec()).unwrap();
+        assert!(text.contains("x\t3"));
+        assert!(text.contains("y\t2"));
+        assert!(text.contains("z\t1"));
+    }
+
+    #[test]
+    fn grep_finds_matching_lines_only() {
+        let l = GrepLogic {
+            needle: "error".into(),
+        };
+        let out = l.map(
+            0,
+            Bytes::from_static(b"ok line\nerror: bad\nfine\nanother error here\n"),
+            3,
+        );
+        assert_eq!(out.len(), 1);
+        let text = String::from_utf8(out[0].1.to_vec()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.contains("error")));
+        // no matches → no output pieces
+        let none = l.map(0, Bytes::from_static(b"clean\n"), 3);
+        assert!(none.is_empty());
+    }
+}

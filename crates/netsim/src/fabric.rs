@@ -1,0 +1,405 @@
+//! The fabric: a set of nodes with full-duplex NICs connected by a
+//! non-blocking core (the common shape of an HPC InfiniBand install).
+//!
+//! A transfer charges: per-message software overhead and serialization on
+//! the sender's TX queue, propagation latency, and serialization on the
+//! receiver's RX queue — with TX and RX windows overlapping (cut-through),
+//! so an uncontended transfer takes `overhead + latency + bytes/bw` while
+//! incast still queues on the receiver.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use simkit::resource::FifoServer;
+use simkit::{dur, Sim};
+
+use crate::params::{NetConfig, TransportProfile};
+
+/// Logical node identifier within one fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Rack identifier (derived from node id and `nodes_per_rack`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RackId(pub u32);
+
+/// Errors surfaced by the network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The source node is marked down.
+    SrcDown(NodeId),
+    /// The destination node is marked down.
+    DstDown(NodeId),
+    /// The node id does not exist in this fabric.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::SrcDown(n) => write!(f, "source node {n} is down"),
+            NetError::DstDown(n) => write!(f, "destination node {n} is down"),
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+impl std::error::Error for NetError {}
+
+struct NodeState {
+    up: bool,
+    tx: Rc<FifoServer>,
+    rx: Rc<FifoServer>,
+}
+
+/// Per-fabric transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Completed transfers.
+    pub transfers: u64,
+    /// Payload bytes moved (excluding loopback).
+    pub bytes: u64,
+    /// Loopback (same-node) bytes.
+    pub loopback_bytes: u64,
+    /// Transfers rejected because an endpoint was down.
+    pub failed: u64,
+}
+
+/// A simulated cluster interconnect. Construct via [`Fabric::new`], then
+/// address nodes by the [`NodeId`]s handed out at construction.
+pub struct Fabric {
+    sim: Sim,
+    config: NetConfig,
+    nodes: RefCell<Vec<NodeState>>,
+    stats: RefCell<FabricStats>,
+}
+
+impl Fabric {
+    /// Build a fabric of `n` nodes. Node ids are `0..n`.
+    pub fn new(sim: Sim, n: usize, config: NetConfig) -> Rc<Fabric> {
+        let fabric = Rc::new(Fabric {
+            sim: sim.clone(),
+            config,
+            nodes: RefCell::new(Vec::new()),
+            stats: RefCell::new(FabricStats::default()),
+        });
+        for _ in 0..n {
+            fabric.add_node();
+        }
+        fabric
+    }
+
+    /// The simulation driving this fabric.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Fabric configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Add a node (e.g. grow the cluster mid-experiment); returns its id.
+    pub fn add_node(&self) -> NodeId {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(NodeState {
+            up: true,
+            tx: Rc::new(FifoServer::new(
+                self.sim.clone(),
+                self.config.nic_bandwidth,
+                std::time::Duration::ZERO,
+            )),
+            rx: Rc::new(FifoServer::new(
+                self.sim.clone(),
+                self.config.nic_bandwidth,
+                std::time::Duration::ZERO,
+            )),
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the fabric has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.len() as u32).map(NodeId).collect()
+    }
+
+    /// Rack containing `node`.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        RackId(node.0 / self.config.nodes_per_rack as u32)
+    }
+
+    /// Mark a node up/down. Transfers touching a down node fail.
+    pub fn set_up(&self, node: NodeId, up: bool) {
+        let mut nodes = self.nodes.borrow_mut();
+        let idx = node.0 as usize;
+        assert!(idx < nodes.len(), "unknown node {node}");
+        nodes[idx].up = up;
+    }
+
+    /// Whether `node` is up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        let nodes = self.nodes.borrow();
+        nodes
+            .get(node.0 as usize)
+            .map(|n| n.up)
+            .unwrap_or(false)
+    }
+
+    fn endpoints(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<(Rc<FifoServer>, Rc<FifoServer>), NetError> {
+        let nodes = self.nodes.borrow();
+        let s = nodes
+            .get(src.0 as usize)
+            .ok_or(NetError::UnknownNode(src))?;
+        let d = nodes
+            .get(dst.0 as usize)
+            .ok_or(NetError::UnknownNode(dst))?;
+        if !s.up {
+            return Err(NetError::SrcDown(src));
+        }
+        if !d.up {
+            return Err(NetError::DstDown(dst));
+        }
+        Ok((Rc::clone(&s.tx), Rc::clone(&d.rx)))
+    }
+
+    /// Move `bytes` from `src` to `dst` using `profile`, waiting out the
+    /// modeled transfer time (including any queueing on either NIC).
+    pub async fn transfer(
+        self: &Rc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        profile: &TransportProfile,
+    ) -> Result<(), NetError> {
+        if src == dst {
+            // loopback: kernel memcpy, no NIC involvement
+            let p = TransportProfile::loopback();
+            if !self.is_up(src) {
+                self.stats.borrow_mut().failed += 1;
+                return Err(NetError::SrcDown(src));
+            }
+            self.sim.sleep(p.uncontended_time(bytes)).await;
+            let mut st = self.stats.borrow_mut();
+            st.transfers += 1;
+            st.loopback_bytes += bytes;
+            return Ok(());
+        }
+        let (tx, rx) = match self.endpoints(src, dst) {
+            Ok(v) => v,
+            Err(e) => {
+                self.stats.borrow_mut().failed += 1;
+                return Err(e);
+            }
+        };
+        // effective serialization rate: the slower of the transport's
+        // payload bandwidth and the physical NIC
+        let rate = profile.bandwidth.min(self.config.nic_bandwidth);
+        let ser = dur::transfer(bytes, rate);
+        let overhead = profile.per_msg_overhead;
+        let latency = profile.latency;
+        // TX and RX occupancy overlap (cut-through): run both concurrently.
+        let sim = self.sim.clone();
+        let rx_task = {
+            let sim = sim.clone();
+            self.sim.spawn(async move {
+                sim.sleep(latency).await;
+                rx.serve_for(ser).await;
+            })
+        };
+        tx.serve_for(overhead + ser).await;
+        rx_task.await;
+        // endpoint may have died mid-transfer
+        if !self.is_up(dst) {
+            self.stats.borrow_mut().failed += 1;
+            return Err(NetError::DstDown(dst));
+        }
+        if !self.is_up(src) {
+            self.stats.borrow_mut().failed += 1;
+            return Err(NetError::SrcDown(src));
+        }
+        let mut st = self.stats.borrow_mut();
+        st.transfers += 1;
+        st.bytes += bytes;
+        Ok(())
+    }
+
+    /// Snapshot of transfer statistics.
+    pub fn stats(&self) -> FabricStats {
+        *self.stats.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Time;
+
+    fn setup(n: usize) -> (Sim, Rc<Fabric>) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), n, NetConfig::default());
+        (sim, fabric)
+    }
+
+    #[test]
+    fn uncontended_transfer_time_matches_model() {
+        let (sim, fabric) = setup(2);
+        let p = TransportProfile::verbs_qdr();
+        let s = sim.clone();
+        let f = Rc::clone(&fabric);
+        let t = sim.block_on(async move {
+            f.transfer(NodeId(0), NodeId(1), 1 << 20, &p).await.unwrap();
+            s.now()
+        });
+        let expect = p.uncontended_time(1 << 20);
+        let got = t - Time::ZERO;
+        let diff = (got.as_secs_f64() - expect.as_secs_f64()).abs();
+        assert!(diff < 1e-6, "got {got:?}, expected {expect:?}");
+    }
+
+    #[test]
+    fn two_senders_share_receiver_rx() {
+        let (sim, fabric) = setup(3);
+        let p = TransportProfile::verbs_qdr();
+        let bytes = 100 << 20; // ~29 ms serialization each
+        for src in [0u32, 1] {
+            let f = Rc::clone(&fabric);
+            sim.spawn(async move {
+                f.transfer(NodeId(src), NodeId(2), bytes, &p).await.unwrap();
+            });
+        }
+        let end = sim.run();
+        let one = dur::transfer(bytes, p.bandwidth).as_secs_f64();
+        // incast: receiver RX serializes the two flows → ~2× one transfer
+        let got = end.as_secs_f64();
+        assert!(got > 1.9 * one && got < 2.2 * one, "got {got}, one {one}");
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let (sim, fabric) = setup(4);
+        let p = TransportProfile::verbs_qdr();
+        let bytes = 100 << 20;
+        for (s, d) in [(0u32, 1u32), (2, 3)] {
+            let f = Rc::clone(&fabric);
+            sim.spawn(async move {
+                f.transfer(NodeId(s), NodeId(d), bytes, &p).await.unwrap();
+            });
+        }
+        let end = sim.run();
+        let one = p.uncontended_time(bytes).as_secs_f64();
+        assert!((end.as_secs_f64() - one).abs() / one < 0.05);
+    }
+
+    #[test]
+    fn down_node_rejects_transfers() {
+        let (sim, fabric) = setup(2);
+        fabric.set_up(NodeId(1), false);
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        let r = sim.block_on(async move { f.transfer(NodeId(0), NodeId(1), 100, &p).await });
+        assert_eq!(r, Err(NetError::DstDown(NodeId(1))));
+        assert_eq!(fabric.stats().failed, 1);
+        assert_eq!(fabric.stats().transfers, 0);
+    }
+
+    #[test]
+    fn node_recovers_after_set_up() {
+        let (sim, fabric) = setup(2);
+        fabric.set_up(NodeId(0), false);
+        assert!(!fabric.is_up(NodeId(0)));
+        fabric.set_up(NodeId(0), true);
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        let r = sim.block_on(async move { f.transfer(NodeId(0), NodeId(1), 100, &p).await });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn loopback_is_cheap_and_skips_nic() {
+        let (sim, fabric) = setup(1);
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        sim.block_on(async move {
+            f.transfer(NodeId(0), NodeId(0), 1 << 20, &p).await.unwrap();
+        });
+        let st = fabric.stats();
+        assert_eq!(st.loopback_bytes, 1 << 20);
+        assert_eq!(st.bytes, 0);
+    }
+
+    #[test]
+    fn rack_assignment() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(
+            sim,
+            40,
+            NetConfig {
+                nodes_per_rack: 16,
+                ..NetConfig::default()
+            },
+        );
+        assert_eq!(fabric.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(fabric.rack_of(NodeId(15)), RackId(0));
+        assert_eq!(fabric.rack_of(NodeId(16)), RackId(1));
+        assert_eq!(fabric.rack_of(NodeId(39)), RackId(2));
+    }
+
+    #[test]
+    fn ipoib_slower_than_verbs_on_same_fabric() {
+        let (sim, fabric) = setup(2);
+        let bytes = 8 << 20;
+        let f1 = Rc::clone(&fabric);
+        let t_verbs = {
+            let s = sim.clone();
+            sim.block_on(async move {
+                let t0 = s.now();
+                f1.transfer(NodeId(0), NodeId(1), bytes, &TransportProfile::verbs_qdr())
+                    .await
+                    .unwrap();
+                s.now() - t0
+            })
+        };
+        let f2 = Rc::clone(&fabric);
+        let t_ipoib = {
+            let s = sim.clone();
+            sim.block_on(async move {
+                let t0 = s.now();
+                f2.transfer(NodeId(0), NodeId(1), bytes, &TransportProfile::ipoib_qdr())
+                    .await
+                    .unwrap();
+                s.now() - t0
+            })
+        };
+        assert!(t_ipoib.as_secs_f64() / t_verbs.as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let (sim, fabric) = setup(1);
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        let r = sim.block_on(async move { f.transfer(NodeId(0), NodeId(9), 1, &p).await });
+        assert_eq!(r, Err(NetError::UnknownNode(NodeId(9))));
+    }
+}

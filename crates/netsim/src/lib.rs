@@ -1,0 +1,22 @@
+//! # netsim — flow-level cluster interconnect model
+//!
+//! Models the HPC fabric the paper's systems run on: a set of nodes with
+//! full-duplex NICs behind a non-blocking core, carrying several transports
+//! with distinct cost profiles (native RDMA verbs, IPoIB, Ethernet tiers).
+//!
+//! Three layers:
+//! * [`params`] — calibrated [`params::TransportProfile`]s (DESIGN.md §5);
+//! * [`fabric`] — [`fabric::Fabric`]: timed byte movement with NIC
+//!   queueing, incast contention, and node up/down state;
+//! * [`rpc`] — [`rpc::Switchboard`]: typed mailboxes and request/response
+//!   on top of the fabric, used by every simulated server in the workspace.
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod params;
+pub mod rpc;
+
+pub use fabric::{Fabric, FabricStats, NetError, NodeId, RackId};
+pub use params::{NetConfig, TransportProfile};
+pub use rpc::{Envelope, ReplyHandle, RpcError, Switchboard};

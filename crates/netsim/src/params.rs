@@ -1,0 +1,144 @@
+//! Calibrated transport profiles.
+//!
+//! One physical fabric carries several *transports* with very different
+//! software costs: native RDMA verbs, IPoIB (TCP/IP emulated over the IB
+//! link), and plain Ethernet tiers. A profile bundles the three knobs that
+//! matter at flow level: propagation+NIC latency, per-message software
+//! overhead, and effective payload bandwidth.
+//!
+//! Values follow DESIGN.md §5 and are representative of the paper's
+//! IB-QDR-era testbeds (OSU RI / SDSC Gordon / TACC Stampede).
+
+use std::time::Duration;
+
+use simkit::dur;
+
+/// Flow-level cost model for one transport running over the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportProfile {
+    /// Human-readable name, used in experiment tables.
+    pub name: &'static str,
+    /// One-way propagation + NIC hardware latency.
+    pub latency: Duration,
+    /// Per-message software overhead charged on the sending NIC (kernel /
+    /// protocol stack time). This is what separates verbs from IPoIB.
+    pub per_msg_overhead: Duration,
+    /// Effective payload bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl TransportProfile {
+    /// Native RDMA verbs on IB QDR (4×): ~1.6 µs one-way, negligible
+    /// software overhead, ~3.4 GB/s effective payload bandwidth.
+    pub const fn verbs_qdr() -> Self {
+        TransportProfile {
+            name: "verbs-qdr",
+            latency: dur::ns(1_600),
+            per_msg_overhead: dur::ns(300),
+            bandwidth: 3.4e9,
+        }
+    }
+
+    /// IPoIB on the same QDR link: TCP stack traversal adds ~18 µs per
+    /// message and caps effective bandwidth near 12 Gb/s.
+    pub const fn ipoib_qdr() -> Self {
+        TransportProfile {
+            name: "ipoib-qdr",
+            latency: dur::ns(8_000),
+            per_msg_overhead: dur::ns(18_000),
+            bandwidth: 1.5e9,
+        }
+    }
+
+    /// 10 GigE with a standard kernel TCP stack.
+    pub const fn ten_gige() -> Self {
+        TransportProfile {
+            name: "10gige",
+            latency: dur::ns(25_000),
+            per_msg_overhead: dur::ns(10_000),
+            bandwidth: 1.15e9,
+        }
+    }
+
+    /// 1 GigE (the classic commodity-Hadoop fabric).
+    pub const fn one_gige() -> Self {
+        TransportProfile {
+            name: "1gige",
+            latency: dur::ns(50_000),
+            per_msg_overhead: dur::ns(15_000),
+            bandwidth: 1.17e8,
+        }
+    }
+
+    /// Same-node loopback (memory copy through the kernel).
+    pub const fn loopback() -> Self {
+        TransportProfile {
+            name: "loopback",
+            latency: dur::ns(500),
+            per_msg_overhead: dur::ns(200),
+            bandwidth: 6.0e9,
+        }
+    }
+
+    /// Wire time for `bytes` excluding queueing: overhead + latency +
+    /// serialization.
+    pub fn uncontended_time(&self, bytes: u64) -> Duration {
+        self.per_msg_overhead + self.latency + dur::transfer(bytes, self.bandwidth)
+    }
+}
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Physical per-NIC full-duplex rate in bytes/second; every transport's
+    /// traffic on a node shares this (each direction independently).
+    pub nic_bandwidth: f64,
+    /// Nodes per rack, for rack-aware placement policies. HPC IB fabrics
+    /// are close to non-blocking, so racks matter for placement, not for
+    /// bandwidth, in this model.
+    pub nodes_per_rack: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // QDR 4×: 32 Gb/s signalling ≈ 3.6 GB/s payload ceiling per NIC.
+        NetConfig {
+            nic_bandwidth: 3.6e9,
+            nodes_per_rack: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_beats_ipoib_beats_ethernet_for_small_messages() {
+        let small = 64;
+        let v = TransportProfile::verbs_qdr().uncontended_time(small);
+        let i = TransportProfile::ipoib_qdr().uncontended_time(small);
+        let e = TransportProfile::ten_gige().uncontended_time(small);
+        assert!(v < i && i < e, "{v:?} {i:?} {e:?}");
+        // verbs small-message RTT-half is single-digit microseconds
+        assert!(v < Duration::from_micros(5));
+        assert!(i > Duration::from_micros(20));
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let big = 4 << 20;
+        let v = TransportProfile::verbs_qdr().uncontended_time(big);
+        let i = TransportProfile::ipoib_qdr().uncontended_time(big);
+        // 4 MiB at 3.4 GB/s ≈ 1.23 ms; at 1.5 GB/s ≈ 2.8 ms
+        assert!(v.as_secs_f64() > 0.001 && v.as_secs_f64() < 0.0015);
+        assert!(i.as_secs_f64() / v.as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = NetConfig::default();
+        assert!(c.nic_bandwidth > 1e9);
+        assert!(c.nodes_per_rack > 0);
+    }
+}

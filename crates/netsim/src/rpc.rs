@@ -1,0 +1,344 @@
+//! Message delivery and RPC on top of the fabric.
+//!
+//! A [`Switchboard`] is a registry of typed mailboxes keyed by
+//! `(node, service)`. Posting a message models the wire transfer on the
+//! fabric and then delivers the typed value into the destination mailbox —
+//! data moves through Rust channels, time moves through the fabric model.
+//!
+//! Request/response is built from a oneshot carried inside the request;
+//! [`ReplyHandle`] models the response's wire time on the way back.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use simkit::sync::{mpsc, oneshot};
+
+use crate::fabric::{Fabric, NetError, NodeId};
+use crate::params::TransportProfile;
+
+/// A delivered message with its origin.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// RPC failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The wire transfer failed (node down / unknown).
+    Net(NetError),
+    /// No mailbox is registered at the destination.
+    ServiceUnavailable,
+    /// The server dropped the reply handle without responding.
+    NoReply,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Net(e) => write!(f, "rpc transport error: {e}"),
+            RpcError::ServiceUnavailable => f.write_str("rpc service unavailable"),
+            RpcError::NoReply => f.write_str("rpc server dropped the request"),
+        }
+    }
+}
+impl std::error::Error for RpcError {}
+
+impl From<NetError> for RpcError {
+    fn from(e: NetError) -> Self {
+        RpcError::Net(e)
+    }
+}
+
+type BoxKey = (NodeId, &'static str);
+
+/// Typed mailbox registry + delivery over one transport profile.
+pub struct Switchboard<M> {
+    fabric: Rc<Fabric>,
+    profile: TransportProfile,
+    boxes: RefCell<HashMap<BoxKey, mpsc::Sender<Envelope<M>>>>,
+}
+
+impl<M: 'static> Switchboard<M> {
+    /// Create a switchboard carrying messages of type `M` over `profile`.
+    pub fn new(fabric: Rc<Fabric>, profile: TransportProfile) -> Rc<Self> {
+        Rc::new(Switchboard {
+            fabric,
+            profile,
+            boxes: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Rc<Fabric> {
+        &self.fabric
+    }
+
+    /// The transport profile used for every message on this switchboard.
+    pub fn profile(&self) -> &TransportProfile {
+        &self.profile
+    }
+
+    /// Register a mailbox for `service` on `node`, replacing any previous
+    /// registration. Returns the receiving end.
+    pub fn register(&self, node: NodeId, service: &'static str) -> mpsc::Receiver<Envelope<M>> {
+        let (tx, rx) = mpsc::unbounded();
+        self.boxes.borrow_mut().insert((node, service), tx);
+        rx
+    }
+
+    /// Remove the mailbox for `service` on `node` (e.g. on process death).
+    pub fn deregister(&self, node: NodeId, service: &'static str) {
+        self.boxes.borrow_mut().remove(&(node, service));
+    }
+
+    /// Whether a mailbox exists.
+    pub fn is_registered(&self, node: NodeId, service: &'static str) -> bool {
+        self.boxes.borrow().contains_key(&(node, service))
+    }
+
+    /// Model the wire transfer of `wire_bytes` and deliver `msg` to the
+    /// destination mailbox, waiting until delivery completes.
+    pub async fn send(
+        self: &Rc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        service: &'static str,
+        wire_bytes: u64,
+        msg: M,
+    ) -> Result<(), RpcError> {
+        self.fabric
+            .transfer(src, dst, wire_bytes, &self.profile)
+            .await?;
+        let tx = {
+            let boxes = self.boxes.borrow();
+            boxes.get(&(dst, service)).cloned()
+        };
+        let tx = tx.ok_or(RpcError::ServiceUnavailable)?;
+        tx.try_send(Envelope { from: src, msg })
+            .map_err(|_| RpcError::ServiceUnavailable)
+    }
+
+    /// Fire-and-forget [`Switchboard::send`]: spawns the delivery and
+    /// returns immediately. Failures are silently dropped, like a datagram.
+    pub fn post(
+        self: &Rc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        service: &'static str,
+        wire_bytes: u64,
+        msg: M,
+    ) {
+        let sb = Rc::clone(self);
+        self.fabric.sim().spawn(async move {
+            let _ = sb.send(src, dst, service, wire_bytes, msg).await;
+        });
+    }
+
+    /// Request/response: sends the request built by `make` (which receives
+    /// the reply handle to embed in the message) and awaits the response.
+    pub async fn call<R: 'static>(
+        self: &Rc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        service: &'static str,
+        req_bytes: u64,
+        make: impl FnOnce(ReplyHandle<R>) -> M,
+    ) -> Result<R, RpcError> {
+        let (tx, rx) = oneshot::channel();
+        let handle = ReplyHandle {
+            fabric: Rc::clone(&self.fabric),
+            profile: self.profile,
+            server: dst,
+            client: src,
+            tx,
+        };
+        self.send(src, dst, service, req_bytes, make(handle)).await?;
+        rx.await.map_err(|_| RpcError::NoReply)
+    }
+}
+
+/// Server-side handle used to answer one [`Switchboard::call`]. Models the
+/// response's wire time back to the caller. Dropping it without replying
+/// surfaces [`RpcError::NoReply`] at the caller.
+pub struct ReplyHandle<R> {
+    fabric: Rc<Fabric>,
+    profile: TransportProfile,
+    server: NodeId,
+    client: NodeId,
+    tx: oneshot::Sender<R>,
+}
+
+impl<R: 'static> ReplyHandle<R> {
+    /// Node that issued the request.
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    /// Send `resp` of `wire_bytes` back to the caller. The transfer is
+    /// spawned so the server loop is not blocked by the response wire time.
+    pub fn send(self, resp: R, wire_bytes: u64) {
+        let ReplyHandle {
+            fabric,
+            profile,
+            server,
+            client,
+            tx,
+        } = self;
+        let sim = fabric.sim().clone();
+        sim.spawn(async move {
+            if fabric
+                .transfer(server, client, wire_bytes, &profile)
+                .await
+                .is_ok()
+            {
+                let _ = tx.send(resp);
+            }
+            // on failure the oneshot drops → caller sees NoReply
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NetConfig;
+    use simkit::{dur, Sim};
+
+    enum Msg {
+        Ping(ReplyHandle<u64>),
+        Datagram(u32),
+    }
+
+    fn setup(n: usize) -> (Sim, Rc<Fabric>, Rc<Switchboard<Msg>>) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), n, NetConfig::default());
+        let sb = Switchboard::new(Rc::clone(&fabric), TransportProfile::verbs_qdr());
+        (sim, fabric, sb)
+    }
+
+    #[test]
+    fn datagram_delivery() {
+        let (sim, _fabric, sb) = setup(2);
+        let mut rx = sb.register(NodeId(1), "svc");
+        let sb2 = Rc::clone(&sb);
+        sim.spawn(async move {
+            sb2.send(NodeId(0), NodeId(1), "svc", 128, Msg::Datagram(7))
+                .await
+                .unwrap();
+        });
+        let env = sim.block_on(async move { rx.recv().await.unwrap() });
+        assert_eq!(env.from, NodeId(0));
+        assert!(matches!(env.msg, Msg::Datagram(7)));
+    }
+
+    #[test]
+    fn call_round_trip_with_server_processing() {
+        let (sim, _fabric, sb) = setup(2);
+        let mut rx = sb.register(NodeId(1), "svc");
+        // server loop
+        let s = sim.clone();
+        sim.spawn(async move {
+            while let Ok(env) = rx.recv().await {
+                if let Msg::Ping(reply) = env.msg {
+                    s.sleep(dur::us(5)).await; // processing time
+                    reply.send(s.now().as_nanos(), 64);
+                }
+            }
+        });
+        let sb2 = Rc::clone(&sb);
+        let s2 = sim.clone();
+        let (resp, elapsed) = sim.block_on(async move {
+            let t0 = s2.now();
+            let r = sb2
+                .call(NodeId(0), NodeId(1), "svc", 128, Msg::Ping)
+                .await
+                .unwrap();
+            (r, s2.now() - t0)
+        });
+        assert!(resp > 0);
+        // round trip > 2 one-way latencies + processing
+        let min = 2 * TransportProfile::verbs_qdr().latency + dur::us(5);
+        assert!(elapsed >= min, "elapsed {elapsed:?} < {min:?}");
+        assert!(elapsed < dur::us(50));
+    }
+
+    #[test]
+    fn unregistered_service_errors() {
+        let (sim, _fabric, sb) = setup(2);
+        let sb2 = Rc::clone(&sb);
+        let r = sim.block_on(async move {
+            sb2.send(NodeId(0), NodeId(1), "nope", 8, Msg::Datagram(0)).await
+        });
+        assert_eq!(r.unwrap_err(), RpcError::ServiceUnavailable);
+    }
+
+    #[test]
+    fn dropped_reply_surfaces_no_reply() {
+        let (sim, _fabric, sb) = setup(2);
+        let mut rx = sb.register(NodeId(1), "svc");
+        sim.spawn(async move {
+            let env = rx.recv().await.unwrap();
+            drop(env); // server discards the request
+        });
+        let sb2 = Rc::clone(&sb);
+        let r =
+            sim.block_on(async move { sb2.call(NodeId(0), NodeId(1), "svc", 8, Msg::Ping).await });
+        assert_eq!(r.unwrap_err(), RpcError::NoReply);
+    }
+
+    #[test]
+    fn send_to_down_node_is_net_error() {
+        let (sim, fabric, sb) = setup(2);
+        sb.register(NodeId(1), "svc");
+        fabric.set_up(NodeId(1), false);
+        let sb2 = Rc::clone(&sb);
+        let r = sim.block_on(async move {
+            sb2.send(NodeId(0), NodeId(1), "svc", 8, Msg::Datagram(1)).await
+        });
+        assert_eq!(r.unwrap_err(), RpcError::Net(NetError::DstDown(NodeId(1))));
+    }
+
+    #[test]
+    fn deregister_stops_delivery() {
+        let (sim, _fabric, sb) = setup(2);
+        let _rx = sb.register(NodeId(1), "svc");
+        assert!(sb.is_registered(NodeId(1), "svc"));
+        sb.deregister(NodeId(1), "svc");
+        assert!(!sb.is_registered(NodeId(1), "svc"));
+        let sb2 = Rc::clone(&sb);
+        let r = sim.block_on(async move {
+            sb2.send(NodeId(0), NodeId(1), "svc", 8, Msg::Datagram(1)).await
+        });
+        assert_eq!(r.unwrap_err(), RpcError::ServiceUnavailable);
+    }
+
+    #[test]
+    fn many_concurrent_calls_all_answered() {
+        let (sim, _fabric, sb) = setup(3);
+        let mut rx = sb.register(NodeId(2), "svc");
+        sim.spawn(async move {
+            while let Ok(env) = rx.recv().await {
+                if let Msg::Ping(reply) = env.msg {
+                    reply.send(1, 16);
+                }
+            }
+        });
+        let mut handles = Vec::new();
+        for i in 0..20u32 {
+            let sb = Rc::clone(&sb);
+            handles.push(sim.spawn(async move {
+                sb.call(NodeId(i % 2), NodeId(2), "svc", 64, Msg::Ping).await
+            }));
+        }
+        sim.run();
+        for h in handles {
+            assert_eq!(h.try_take().unwrap().unwrap(), 1);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Registered memory regions.
+//!
+//! An [`Mr`] owns a pinned buffer on one node. The owner touches it with
+//! zero-cost local reads/writes; remote peers access it one-sided through a
+//! [`RemoteBuf`] descriptor (node + rkey + length), the simulated analogue
+//! of exchanging `(addr, rkey)` in a real verbs application.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use netsim::NodeId;
+
+use crate::stack::{RdmaError, RdmaStack};
+
+/// Remote-access key for a registered region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RKey(pub u32);
+
+pub(crate) struct MrInner {
+    pub(crate) node: NodeId,
+    pub(crate) rkey: RKey,
+    pub(crate) buf: RefCell<BytesMut>,
+}
+
+/// Descriptor advertising a region to peers — safe to copy into protocol
+/// messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteBuf {
+    /// Node owning the region.
+    pub node: NodeId,
+    /// Remote access key.
+    pub rkey: RKey,
+    /// Region length in bytes.
+    pub len: u64,
+}
+
+/// An owned registered memory region. Deregisters on drop.
+pub struct Mr {
+    pub(crate) stack: Rc<RdmaStack>,
+    pub(crate) inner: Rc<MrInner>,
+}
+
+impl Mr {
+    /// Node the region lives on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Remote access key.
+    pub fn rkey(&self) -> RKey {
+        self.inner.rkey
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.buf.borrow().len() as u64
+    }
+
+    /// Whether the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Descriptor to hand to peers.
+    pub fn remote(&self) -> RemoteBuf {
+        RemoteBuf {
+            node: self.inner.node,
+            rkey: self.inner.rkey,
+            len: self.len(),
+        }
+    }
+
+    /// Local CPU write into the registered buffer (no simulated time — the
+    /// owner writes its own memory).
+    pub fn write_local(&self, offset: u64, data: &[u8]) -> Result<(), RdmaError> {
+        let mut buf = self.inner.buf.borrow_mut();
+        let end = offset + data.len() as u64;
+        if end > buf.len() as u64 {
+            return Err(RdmaError::OutOfBounds {
+                end,
+                len: buf.len() as u64,
+            });
+        }
+        buf[offset as usize..end as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Local CPU read from the registered buffer.
+    pub fn read_local(&self, offset: u64, len: u64) -> Result<Bytes, RdmaError> {
+        let buf = self.inner.buf.borrow();
+        let end = offset + len;
+        if end > buf.len() as u64 {
+            return Err(RdmaError::OutOfBounds {
+                end,
+                len: buf.len() as u64,
+            });
+        }
+        Ok(Bytes::copy_from_slice(&buf[offset as usize..end as usize]))
+    }
+}
+
+impl Drop for Mr {
+    fn drop(&mut self) {
+        self.stack.deregister(self.inner.node, self.inner.rkey);
+    }
+}

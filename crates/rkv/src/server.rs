@@ -1,0 +1,265 @@
+//! The KV server process: accepts queue-pair connections and serves the
+//! binary protocol against a sharded store, using one-sided RDMA for large
+//! payloads (READ for SET, WRITE for GET).
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use simkit::dur;
+
+use netsim::NodeId;
+use rdmasim::{Qp, QpConfig, RdmaError, RdmaStack};
+
+use crate::proto::{Carrier, ProtoError, Request, Response};
+use crate::sharded::ShardedKv;
+use crate::slab::SlabConfig;
+use crate::store::KvError;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct KvServerConfig {
+    /// Lock stripes in the store.
+    pub shards: usize,
+    /// Slab/memory configuration (`mem_limit` is the `-m` budget).
+    pub slab: SlabConfig,
+    /// CPU time charged per request (parse + hash + store op).
+    pub proc_time: Duration,
+    /// Queue-pair parameters for accepted connections.
+    pub qp: QpConfig,
+}
+
+impl Default for KvServerConfig {
+    fn default() -> Self {
+        KvServerConfig {
+            shards: 4,
+            slab: SlabConfig::default(),
+            proc_time: dur::ns(1_500),
+            qp: QpConfig::default(),
+        }
+    }
+}
+
+/// One KV server instance bound to a fabric node.
+pub struct KvServer {
+    node: NodeId,
+    stack: Rc<RdmaStack>,
+    store: Rc<ShardedKv>,
+    config: KvServerConfig,
+    connections: Cell<u64>,
+    requests: Cell<u64>,
+    proto_errors: Cell<u64>,
+}
+
+impl KvServer {
+    /// Create a server on `node` (no listener thread needed — connections
+    /// are established through [`KvServer::accept`]).
+    pub fn new(stack: Rc<RdmaStack>, node: NodeId, config: KvServerConfig) -> Rc<KvServer> {
+        Rc::new(KvServer {
+            node,
+            stack,
+            store: Rc::new(ShardedKv::new(config.shards, config.slab)),
+            config,
+            connections: Cell::new(0),
+            requests: Cell::new(0),
+            proto_errors: Cell::new(0),
+        })
+    }
+
+    /// Fabric node this server runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Direct handle to the storage engine (used by tests and stats).
+    pub fn store(&self) -> &Rc<ShardedKv> {
+        &self.store
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.get()
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Malformed frames rejected so far.
+    pub fn proto_errors(&self) -> u64 {
+        self.proto_errors.get()
+    }
+
+    /// Establish a connection from `client_node`; the server side of the
+    /// queue pair is handled by a spawned task, the client side is
+    /// returned.
+    pub async fn accept(self: &Rc<Self>, client_node: NodeId) -> Result<Qp, RdmaError> {
+        let (client_qp, server_qp) = self
+            .stack
+            .connect(client_node, self.node, self.config.qp)
+            .await?;
+        self.connections.set(self.connections.get() + 1);
+        let this = Rc::clone(self);
+        self.stack.sim().spawn(async move {
+            this.serve_connection(server_qp).await;
+        });
+        Ok(client_qp)
+    }
+
+    async fn serve_connection(self: Rc<Self>, qp: Qp) {
+        loop {
+            let frame = match qp.recv().await {
+                Ok(f) => f,
+                Err(_) => break, // peer gone
+            };
+            let resp = match Request::decode(frame) {
+                Ok(req) => {
+                    self.requests.set(self.requests.get() + 1);
+                    self.stack.sim().sleep(self.config.proc_time).await;
+                    self.handle(&qp, req).await
+                }
+                Err(ProtoError(_)) => {
+                    self.proto_errors.set(self.proto_errors.get() + 1);
+                    Response::TransferFailed
+                }
+            };
+            if qp.send(resp.encode()).await.is_err() {
+                break;
+            }
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.stack.sim().now().as_nanos()
+    }
+
+    /// Resolve a carrier to payload bytes, RDMA-READing remote payloads.
+    async fn fetch_payload(&self, qp: &Qp, value: Carrier) -> Result<Bytes, RdmaError> {
+        match value {
+            Carrier::Inline(b) => Ok(b),
+            Carrier::Remote { src, len } => qp.read(&src.into(), 0, len as u64).await,
+        }
+    }
+
+    fn map_store_result(r: Result<u64, KvError>) -> Response {
+        match r {
+            Ok(cas) => Response::Stored { cas },
+            Err(KvError::TooLarge) => Response::TooLarge,
+            Err(KvError::OutOfMemory) => Response::OutOfMemory,
+            Err(KvError::NotFound) => Response::NotFound,
+            Err(KvError::Exists) => Response::Exists,
+            Err(KvError::CasMismatch) => Response::CasMismatch,
+            Err(KvError::NonNumeric) => Response::NonNumeric,
+        }
+    }
+
+    async fn handle(&self, qp: &Qp, req: Request) -> Response {
+        let now = self.now();
+        match req {
+            Request::Get { key, dst } => match self.store.get(&key, now) {
+                None => Response::NotFound,
+                Some(v) => {
+                    if let Some(dst) = dst {
+                        if v.data.len() as u64 <= dst.len {
+                            // one-sided path: land the payload in the
+                            // client's registered buffer
+                            return match qp.write(&dst.into(), 0, v.data.clone()).await {
+                                Ok(()) => Response::ValueWritten {
+                                    len: v.data.len() as u32,
+                                    flags: v.flags,
+                                    cas: v.cas,
+                                },
+                                Err(_) => Response::TransferFailed,
+                            };
+                        }
+                    }
+                    Response::Value {
+                        data: v.data,
+                        flags: v.flags,
+                        cas: v.cas,
+                    }
+                }
+            },
+            Request::Set {
+                key,
+                flags,
+                expire_at,
+                value,
+            } => match self.fetch_payload(qp, value).await {
+                Ok(data) => Self::map_store_result(self.store.set(&key, data, flags, expire_at, now)),
+                Err(_) => Response::TransferFailed,
+            },
+            Request::Add {
+                key,
+                flags,
+                expire_at,
+                value,
+            } => match self.fetch_payload(qp, value).await {
+                Ok(data) => Self::map_store_result(self.store.add(&key, data, flags, expire_at, now)),
+                Err(_) => Response::TransferFailed,
+            },
+            Request::Replace {
+                key,
+                flags,
+                expire_at,
+                value,
+            } => match self.fetch_payload(qp, value).await {
+                Ok(data) => {
+                    Self::map_store_result(self.store.replace(&key, data, flags, expire_at, now))
+                }
+                Err(_) => Response::TransferFailed,
+            },
+            Request::Cas {
+                key,
+                flags,
+                expire_at,
+                cas,
+                value,
+            } => match self.fetch_payload(qp, value).await {
+                Ok(data) => Self::map_store_result(
+                    self.store.cas(&key, data, flags, expire_at, cas, now),
+                ),
+                Err(_) => Response::TransferFailed,
+            },
+            Request::Delete { key } => {
+                if self.store.delete(&key) {
+                    Response::Ok
+                } else {
+                    Response::NotFound
+                }
+            }
+            Request::Touch { key, expire_at } => match self.store.touch(&key, expire_at, now) {
+                Ok(()) => Response::Ok,
+                Err(_) => Response::NotFound,
+            },
+            Request::Stats => Response::Stats(self.store.stats()),
+            Request::Incr { key, delta } => match self.store.incr(&key, delta, now) {
+                Ok(value) => Response::Counter { value },
+                Err(KvError::NotFound) => Response::NotFound,
+                Err(KvError::NonNumeric) => Response::NonNumeric,
+                Err(e) => Self::map_store_result(Err(e)),
+            },
+            Request::Decr { key, delta } => match self.store.decr(&key, delta, now) {
+                Ok(value) => Response::Counter { value },
+                Err(KvError::NotFound) => Response::NotFound,
+                Err(KvError::NonNumeric) => Response::NonNumeric,
+                Err(e) => Self::map_store_result(Err(e)),
+            },
+            Request::Append { key, data } => {
+                Self::map_store_result(self.store.append(&key, &data, now))
+            }
+            Request::Prepend { key, data } => {
+                Self::map_store_result(self.store.prepend(&key, &data, now))
+            }
+            Request::MultiGet { keys } => {
+                let values = keys
+                    .iter()
+                    .map(|k| self.store.get(k, now).map(|v| (v.data, v.flags, v.cas)))
+                    .collect();
+                Response::MultiValues { values }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Lock-striped concurrent facade over [`KvStore`] — the shape of
+//! memcached's threaded engine. Inside the single-threaded simulation the
+//! locks are uncontended; the criterion benches drive this type from real
+//! host threads to measure the engine under contention.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::hash::fnv1a;
+use crate::slab::SlabConfig;
+use crate::store::{KvError, KvStats, KvStore, Value};
+
+/// `N`-way lock-striped store. Keys map to shards by FNV-1a.
+pub struct ShardedKv {
+    shards: Vec<Mutex<KvStore>>,
+}
+
+impl ShardedKv {
+    /// Create `shards` stripes, splitting `config.mem_limit` between them.
+    pub fn new(shards: usize, config: SlabConfig) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = SlabConfig {
+            mem_limit: (config.mem_limit / shards as u64).max(config.page_size as u64),
+            ..config
+        };
+        ShardedKv {
+            shards: (0..shards).map(|_| Mutex::new(KvStore::new(per_shard))).collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, key: &[u8]) -> &Mutex<KvStore> {
+        let idx = (fnv1a(key) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// See [`KvStore::set`].
+    pub fn set(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        self.shard(key).lock().set(key, value, flags, expire_at, now)
+    }
+
+    /// See [`KvStore::add`].
+    pub fn add(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        self.shard(key).lock().add(key, value, flags, expire_at, now)
+    }
+
+    /// See [`KvStore::replace`].
+    pub fn replace(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        self.shard(key)
+            .lock()
+            .replace(key, value, flags, expire_at, now)
+    }
+
+    /// See [`KvStore::cas`].
+    pub fn cas(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        expected_cas: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        self.shard(key)
+            .lock()
+            .cas(key, value, flags, expire_at, expected_cas, now)
+    }
+
+    /// See [`KvStore::get`].
+    pub fn get(&self, key: &[u8], now: u64) -> Option<Value> {
+        self.shard(key).lock().get(key, now)
+    }
+
+    /// See [`KvStore::delete`].
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.shard(key).lock().delete(key)
+    }
+
+    /// See [`KvStore::incr`].
+    pub fn incr(&self, key: &[u8], delta: u64, now: u64) -> Result<u64, KvError> {
+        self.shard(key).lock().incr(key, delta, now)
+    }
+
+    /// See [`KvStore::decr`].
+    pub fn decr(&self, key: &[u8], delta: u64, now: u64) -> Result<u64, KvError> {
+        self.shard(key).lock().decr(key, delta, now)
+    }
+
+    /// See [`KvStore::append`].
+    pub fn append(&self, key: &[u8], suffix: &[u8], now: u64) -> Result<u64, KvError> {
+        self.shard(key).lock().append(key, suffix, now)
+    }
+
+    /// See [`KvStore::prepend`].
+    pub fn prepend(&self, key: &[u8], prefix: &[u8], now: u64) -> Result<u64, KvError> {
+        self.shard(key).lock().prepend(key, prefix, now)
+    }
+
+    /// See [`KvStore::touch`].
+    pub fn touch(&self, key: &[u8], expire_at: u64, now: u64) -> Result<(), KvError> {
+        self.shard(key).lock().touch(key, expire_at, now)
+    }
+
+    /// See [`KvStore::contains`].
+    pub fn contains(&self, key: &[u8], now: u64) -> bool {
+        self.shard(key).lock().contains(key, now)
+    }
+
+    /// Aggregate counters across shards.
+    pub fn stats(&self) -> KvStats {
+        let mut out = KvStats::default();
+        for s in &self.shards {
+            let st = s.lock().stats();
+            out.gets += st.gets;
+            out.hits += st.hits;
+            out.sets += st.sets;
+            out.evictions += st.evictions;
+            out.expired += st.expired;
+            out.items += st.items;
+            out.bytes += st.bytes;
+        }
+        out
+    }
+
+    /// Total live items.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slab memory claimed.
+    pub fn memory_used(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().memory_used()).sum()
+    }
+
+    /// Largest storable item.
+    pub fn item_max(&self) -> usize {
+        self.shards[0].lock().item_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn kv(shards: usize) -> ShardedKv {
+        ShardedKv::new(
+            shards,
+            SlabConfig {
+                mem_limit: 16 << 20,
+                ..SlabConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn basic_ops_route_consistently() {
+        let s = kv(4);
+        for i in 0..500 {
+            let k = format!("key-{i}");
+            s.set(k.as_bytes(), Bytes::from(format!("v{i}").into_bytes()), 0, 0, 0).unwrap();
+        }
+        for i in 0..500 {
+            let k = format!("key-{i}");
+            assert_eq!(&s.get(k.as_bytes(), 0).unwrap().data[..], format!("v{i}").as_bytes());
+        }
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let s = kv(8);
+        for i in 0..100 {
+            s.set(format!("k{i}").as_bytes(), Bytes::from_static(b"v"), 0, 0, 0).unwrap();
+        }
+        for i in 0..100 {
+            s.get(format!("k{i}").as_bytes(), 0);
+        }
+        s.get(b"missing", 0);
+        let st = s.stats();
+        assert_eq!(st.sets, 100);
+        assert_eq!(st.gets, 101);
+        assert_eq!(st.hits, 100);
+        assert_eq!(st.items, 100);
+    }
+
+    #[test]
+    fn concurrent_access_from_real_threads() {
+        let s = Arc::new(kv(8));
+        let threads = 8;
+        let per = 500;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let k = format!("t{t}-k{i}");
+                        s.set(k.as_bytes(), Bytes::from(k.clone().into_bytes()), t as u32, 0, 0).unwrap();
+                        let v = s.get(k.as_bytes(), 0).unwrap();
+                        assert_eq!(&v.data[..], k.as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), threads * per);
+        assert_eq!(s.stats().hits, (threads * per) as u64);
+    }
+
+    #[test]
+    fn single_shard_works() {
+        let s = kv(1);
+        s.set(b"a", Bytes::from_static(b"1"), 0, 0, 0).unwrap();
+        assert!(s.delete(b"a"));
+        assert!(s.is_empty());
+    }
+}

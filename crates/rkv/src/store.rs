@@ -1,0 +1,711 @@
+//! The single-shard key-value store: slab-accounted items, per-class LRU
+//! eviction, lazy expiry, and CAS — the memcached storage engine.
+//!
+//! Capacity, class selection, and eviction behave exactly as in memcached:
+//! every item claims a chunk of the smallest slab class that fits
+//! `2 + key + value` bytes, and memory pressure evicts the class's LRU
+//! tail. Payload bytes, however, are held as zero-copy [`Bytes`] handles
+//! rather than being copied into page memory, so simulating a multi-GiB
+//! buffer does not consume multi-GiB of host RAM (the materialized memcpy
+//! path of the allocator itself is exercised directly by its unit tests
+//! and criterion benches).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::slab::{ChunkRef, SlabAllocator, SlabConfig, SlabFull};
+
+/// Store-level failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// key + value exceed the item size limit (clients must chunk).
+    TooLarge,
+    /// Nothing evictable: every chunk of the class is pinned or the class
+    /// cannot grow. (With LRU enabled this only happens when a single item
+    /// is larger than all existing items of its class combined budget.)
+    OutOfMemory,
+    /// Key absent (`replace`, `cas`, `touch`).
+    NotFound,
+    /// Key already present (`add`).
+    Exists,
+    /// CAS token did not match.
+    CasMismatch,
+    /// incr/decr on a value that is not an unsigned decimal number.
+    NonNumeric,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KvError::TooLarge => "item exceeds size limit",
+            KvError::OutOfMemory => "out of memory (nothing evictable)",
+            KvError::NotFound => "key not found",
+            KvError::Exists => "key already exists",
+            KvError::CasMismatch => "cas mismatch",
+            KvError::NonNumeric => "value is not a number",
+        };
+        f.write_str(s)
+    }
+}
+impl std::error::Error for KvError {}
+
+/// A fetched value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    /// Payload bytes.
+    pub data: Bytes,
+    /// Opaque client flags (memcached semantics).
+    pub flags: u32,
+    /// CAS token for optimistic concurrency.
+    pub cas: u64,
+}
+
+/// Store counters (cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// GET requests.
+    pub gets: u64,
+    /// GET requests that found a live item.
+    pub hits: u64,
+    /// Successful stores (set/add/replace/cas).
+    pub sets: u64,
+    /// Items evicted by LRU pressure.
+    pub evictions: u64,
+    /// Items reaped after expiry.
+    pub expired: u64,
+    /// Live items.
+    pub items: u64,
+    /// Live payload bytes (keys + values).
+    pub bytes: u64,
+}
+
+impl KvStats {
+    /// Hit ratio over all GETs (1.0 when no GETs yet).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Meta {
+    chunk: ChunkRef,
+    key_len: u16,
+    value: Bytes,
+    flags: u32,
+    cas: u64,
+    /// Absolute expiry in ns; 0 = never.
+    expire_at: u64,
+}
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct LruNode {
+    prev: u32,
+    next: u32,
+}
+
+struct ClassLru {
+    head: u32,
+    tail: u32,
+    nodes: Vec<LruNode>,
+}
+
+impl ClassLru {
+    fn new() -> Self {
+        ClassLru {
+            head: NONE,
+            tail: NONE,
+            nodes: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, idx: u32) {
+        if self.nodes.len() <= idx as usize {
+            self.nodes.resize(
+                idx as usize + 1,
+                LruNode {
+                    prev: NONE,
+                    next: NONE,
+                },
+            );
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.ensure(idx);
+        self.nodes[idx as usize] = LruNode {
+            prev: NONE,
+            next: self.head,
+        };
+        if self.head != NONE {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let node = self.nodes[idx as usize];
+        if node.prev != NONE {
+            self.nodes[node.prev as usize].next = node.next;
+        } else {
+            self.head = node.next;
+        }
+        if node.next != NONE {
+            self.nodes[node.next as usize].prev = node.prev;
+        } else {
+            self.tail = node.prev;
+        }
+    }
+
+    fn touch(&mut self, idx: u32) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+/// Single-shard store. Not internally synchronized; see
+/// [`crate::sharded::ShardedKv`] for the concurrent facade.
+pub struct KvStore {
+    slab: SlabAllocator,
+    map: HashMap<Box<[u8]>, Meta>,
+    /// chunk → key, so the LRU tail can be unlinked during eviction.
+    chunk_keys: HashMap<ChunkRef, Box<[u8]>>,
+    lru: Vec<ClassLru>,
+    next_cas: u64,
+    stats: KvStats,
+}
+
+impl KvStore {
+    /// Create a store with the given slab configuration. The allocator is
+    /// always run non-materialized here (see the module docs).
+    pub fn new(config: SlabConfig) -> Self {
+        let slab = SlabAllocator::new(SlabConfig {
+            materialize: false,
+            ..config
+        });
+        let lru = (0..slab.class_count()).map(|_| ClassLru::new()).collect();
+        KvStore {
+            slab,
+            map: HashMap::new(),
+            chunk_keys: HashMap::new(),
+            lru,
+            next_cas: 1,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Largest storable item (key + value bytes).
+    pub fn item_max(&self) -> usize {
+        self.slab.item_max()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Live item count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes of slab memory claimed from the budget.
+    pub fn memory_used(&self) -> u64 {
+        self.slab.memory_used()
+    }
+
+    fn is_expired(meta: &Meta, now: u64) -> bool {
+        meta.expire_at != 0 && meta.expire_at <= now
+    }
+
+    fn remove_entry(&mut self, key: &[u8]) -> Option<Meta> {
+        let meta = self.map.remove(key)?;
+        self.lru[meta.chunk.class as usize].unlink(meta.chunk.idx);
+        self.chunk_keys.remove(&meta.chunk);
+        self.slab.free(meta.chunk);
+        self.stats.items -= 1;
+        self.stats.bytes -= meta.key_len as u64 + meta.value.len() as u64;
+        Some(meta)
+    }
+
+    /// Evict the LRU tail of `class`. Returns false if the class is empty.
+    fn evict_one(&mut self, class: u8) -> bool {
+        let tail = self.lru[class as usize].tail;
+        if tail == NONE {
+            return false;
+        }
+        let chunk = ChunkRef { class, idx: tail };
+        let key = self
+            .chunk_keys
+            .get(&chunk)
+            .expect("LRU tail has an owner")
+            .to_vec();
+        self.remove_entry(&key);
+        self.stats.evictions += 1;
+        true
+    }
+
+    fn alloc_with_eviction(&mut self, total: usize) -> Result<ChunkRef, KvError> {
+        loop {
+            match self.slab.alloc(total) {
+                Ok(c) => return Ok(c),
+                Err(SlabFull { class }) => {
+                    if !self.evict_one(class) {
+                        return Err(KvError::OutOfMemory);
+                    }
+                }
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        key: &[u8],
+        value: &Bytes,
+        flags: u32,
+        expire_at: u64,
+    ) -> Result<u64, KvError> {
+        let total = 2 + key.len() + value.len();
+        if total > self.item_max() || key.len() > u16::MAX as usize {
+            return Err(KvError::TooLarge);
+        }
+        // drop any previous version first so its chunk is reusable
+        self.remove_entry(key);
+        let chunk = self.alloc_with_eviction(total)?;
+        self.chunk_keys
+            .insert(chunk, key.to_vec().into_boxed_slice());
+        let cas = self.next_cas;
+        self.next_cas += 1;
+        self.map.insert(
+            key.to_vec().into_boxed_slice(),
+            Meta {
+                chunk,
+                key_len: key.len() as u16,
+                value: value.clone(),
+                flags,
+                cas,
+                expire_at,
+            },
+        );
+        self.lru[chunk.class as usize].push_front(chunk.idx);
+        self.stats.sets += 1;
+        self.stats.items += 1;
+        self.stats.bytes += key.len() as u64 + value.len() as u64;
+        Ok(cas)
+    }
+
+    /// Unconditional store. Returns the new CAS token.
+    pub fn set(
+        &mut self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        _now: u64,
+    ) -> Result<u64, KvError> {
+        self.insert(key, &value, flags, expire_at)
+    }
+
+    /// Store only if absent (live).
+    pub fn add(
+        &mut self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        if self.peek_live(key, now).is_some() {
+            return Err(KvError::Exists);
+        }
+        self.insert(key, &value, flags, expire_at)
+    }
+
+    /// Store only if present (live).
+    pub fn replace(
+        &mut self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        if self.peek_live(key, now).is_none() {
+            return Err(KvError::NotFound);
+        }
+        self.insert(key, &value, flags, expire_at)
+    }
+
+    /// Compare-and-swap: store only if the live item's CAS matches.
+    pub fn cas(
+        &mut self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        expected_cas: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        match self.peek_live(key, now) {
+            None => Err(KvError::NotFound),
+            Some(m) if m.cas != expected_cas => Err(KvError::CasMismatch),
+            Some(_) => self.insert(key, &value, flags, expire_at),
+        }
+    }
+
+    fn peek_live(&mut self, key: &[u8], now: u64) -> Option<Meta> {
+        let meta = self.map.get(key)?.clone();
+        if Self::is_expired(&meta, now) {
+            self.remove_entry(key);
+            self.stats.expired += 1;
+            return None;
+        }
+        Some(meta)
+    }
+
+    /// Fetch a live value, promoting it in its class LRU.
+    pub fn get(&mut self, key: &[u8], now: u64) -> Option<Value> {
+        self.stats.gets += 1;
+        let meta = self.peek_live(key, now)?;
+        self.lru[meta.chunk.class as usize].touch(meta.chunk.idx);
+        self.stats.hits += 1;
+        Some(Value {
+            data: meta.value.clone(),
+            flags: meta.flags,
+            cas: meta.cas,
+        })
+    }
+
+    /// Whether a live item exists (no LRU promotion, no hit accounting).
+    pub fn contains(&mut self, key: &[u8], now: u64) -> bool {
+        self.peek_live(key, now).is_some()
+    }
+
+    /// Remove an item. Returns true if it existed.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        self.remove_entry(key).is_some()
+    }
+
+    /// memcached `incr`: parse the live value as ASCII decimal, add
+    /// `delta` (wrapping at u64), store the new textual value, and return
+    /// the new number. Flags and expiry are preserved.
+    pub fn incr(&mut self, key: &[u8], delta: u64, now: u64) -> Result<u64, KvError> {
+        self.incr_decr(key, delta, true, now)
+    }
+
+    /// memcached `decr`: like [`KvStore::incr`] but subtracting, floored
+    /// at zero (memcached semantics).
+    pub fn decr(&mut self, key: &[u8], delta: u64, now: u64) -> Result<u64, KvError> {
+        self.incr_decr(key, delta, false, now)
+    }
+
+    fn incr_decr(&mut self, key: &[u8], delta: u64, up: bool, now: u64) -> Result<u64, KvError> {
+        let meta = self.peek_live(key, now).ok_or(KvError::NotFound)?;
+        let text = std::str::from_utf8(&meta.value).map_err(|_| KvError::NonNumeric)?;
+        let cur: u64 = text.trim().parse().map_err(|_| KvError::NonNumeric)?;
+        let next = if up {
+            cur.wrapping_add(delta)
+        } else {
+            cur.saturating_sub(delta)
+        };
+        let (flags, expire_at) = (meta.flags, meta.expire_at);
+        self.insert(key, &Bytes::from(next.to_string().into_bytes()), flags, expire_at)?;
+        Ok(next)
+    }
+
+    /// memcached `append`: concatenate `suffix` after the live value.
+    pub fn append(&mut self, key: &[u8], suffix: &[u8], now: u64) -> Result<u64, KvError> {
+        let meta = self.peek_live(key, now).ok_or(KvError::NotFound)?;
+        let mut v = Vec::with_capacity(meta.value.len() + suffix.len());
+        v.extend_from_slice(&meta.value);
+        v.extend_from_slice(suffix);
+        let (flags, expire_at) = (meta.flags, meta.expire_at);
+        self.insert(key, &Bytes::from(v), flags, expire_at)
+    }
+
+    /// memcached `prepend`: concatenate `prefix` before the live value.
+    pub fn prepend(&mut self, key: &[u8], prefix: &[u8], now: u64) -> Result<u64, KvError> {
+        let meta = self.peek_live(key, now).ok_or(KvError::NotFound)?;
+        let mut v = Vec::with_capacity(meta.value.len() + prefix.len());
+        v.extend_from_slice(prefix);
+        v.extend_from_slice(&meta.value);
+        let (flags, expire_at) = (meta.flags, meta.expire_at);
+        self.insert(key, &Bytes::from(v), flags, expire_at)
+    }
+
+    /// Update the expiry of a live item.
+    pub fn touch(&mut self, key: &[u8], expire_at: u64, now: u64) -> Result<(), KvError> {
+        if self.peek_live(key, now).is_none() {
+            return Err(KvError::NotFound);
+        }
+        self.map
+            .get_mut(key)
+            .expect("checked live above")
+            .expire_at = expire_at;
+        Ok(())
+    }
+
+    /// All live keys (diagnostic; unspecified order).
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        self.map.keys().map(|k| k.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_mb(mb: u64) -> KvStore {
+        KvStore::new(SlabConfig {
+            mem_limit: mb << 20,
+            ..SlabConfig::default()
+        })
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = store_mb(4);
+        let cas = s.set(b"k1", Bytes::from_static(b"value-1"), 7, 0, 0).unwrap();
+        let v = s.get(b"k1", 0).unwrap();
+        assert_eq!(&v.data[..], b"value-1");
+        assert_eq!(v.flags, 7);
+        assert_eq!(v.cas, cas);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn get_miss() {
+        let mut s = store_mb(4);
+        assert!(s.get(b"nope", 0).is_none());
+        let st = s.stats();
+        assert_eq!(st.gets, 1);
+        assert_eq!(st.hits, 0);
+        assert_eq!(st.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_bumps_cas() {
+        let mut s = store_mb(4);
+        let c1 = s.set(b"k", Bytes::from_static(b"old"), 0, 0, 0).unwrap();
+        let c2 = s.set(b"k", Bytes::from_static(b"new-value"), 0, 0, 0).unwrap();
+        assert!(c2 > c1);
+        assert_eq!(&s.get(b"k", 0).unwrap().data[..], b"new-value");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut s = store_mb(4);
+        s.set(b"k", Bytes::from_static(b"v"), 0, 0, 0).unwrap();
+        assert!(s.delete(b"k"));
+        assert!(!s.delete(b"k"));
+        assert!(s.get(b"k", 0).is_none());
+        assert_eq!(s.stats().items, 0);
+        assert_eq!(s.stats().bytes, 0);
+    }
+
+    #[test]
+    fn add_and_replace_semantics() {
+        let mut s = store_mb(4);
+        s.add(b"k", Bytes::from_static(b"v1"), 0, 0, 0).unwrap();
+        assert_eq!(s.add(b"k", Bytes::from_static(b"v2"), 0, 0, 0).unwrap_err(), KvError::Exists);
+        s.replace(b"k", Bytes::from_static(b"v3"), 0, 0, 0).unwrap();
+        assert_eq!(&s.get(b"k", 0).unwrap().data[..], b"v3");
+        assert_eq!(
+            s.replace(b"missing", Bytes::from_static(b"v"), 0, 0, 0).unwrap_err(),
+            KvError::NotFound
+        );
+    }
+
+    #[test]
+    fn cas_success_and_mismatch() {
+        let mut s = store_mb(4);
+        let c1 = s.set(b"k", Bytes::from_static(b"v1"), 0, 0, 0).unwrap();
+        let c2 = s.cas(b"k", Bytes::from_static(b"v2"), 0, 0, c1, 0).unwrap();
+        assert_eq!(
+            s.cas(b"k", Bytes::from_static(b"v3"), 0, 0, c1, 0).unwrap_err(),
+            KvError::CasMismatch
+        );
+        assert!(s.cas(b"k", Bytes::from_static(b"v3"), 0, 0, c2, 0).is_ok());
+        assert_eq!(
+            s.cas(b"missing", Bytes::from_static(b"v"), 0, 0, 1, 0).unwrap_err(),
+            KvError::NotFound
+        );
+    }
+
+    #[test]
+    fn expiry_is_lazy_and_counted() {
+        let mut s = store_mb(4);
+        s.set(b"k", Bytes::from_static(b"v"), 0, 1_000, 0).unwrap();
+        assert!(s.get(b"k", 999).is_some());
+        assert!(s.get(b"k", 1_000).is_none());
+        assert_eq!(s.stats().expired, 1);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn touch_extends_expiry() {
+        let mut s = store_mb(4);
+        s.set(b"k", Bytes::from_static(b"v"), 0, 1_000, 0).unwrap();
+        s.touch(b"k", 5_000, 500).unwrap();
+        assert!(s.get(b"k", 2_000).is_some());
+        assert_eq!(s.touch(b"gone", 1, 0).unwrap_err(), KvError::NotFound);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_of_the_class() {
+        // tight budget: 1 MiB of pages, ~64KiB values → one page in that class
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20,
+            page_size: 1 << 20,
+            chunk_min: 96,
+            growth: 1.25,
+            materialize: true,
+        });
+        let val = vec![0xabu8; 60 << 10];
+        // fill the class
+        let mut stored = Vec::new();
+        for i in 0..100 {
+            let key = format!("key-{i:03}");
+            match s.set(key.as_bytes(), Bytes::from(val.clone()), 0, 0, 0) {
+                Ok(_) => stored.push(key),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            if s.stats().evictions > 0 {
+                break;
+            }
+        }
+        assert!(s.stats().evictions > 0, "never hit eviction");
+        // the very first key must be the evicted one (coldest)
+        let mut miss_gets = s.stats().gets;
+        assert!(s.get(b"key-000", 0).is_none());
+        miss_gets += 1;
+        assert_eq!(s.stats().gets, miss_gets);
+        // the newest key is present
+        let last = stored.last().unwrap().clone();
+        assert!(s.get(last.as_bytes(), 0).is_some());
+    }
+
+    #[test]
+    fn get_promotes_item_out_of_eviction_order() {
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20,
+            page_size: 1 << 20,
+            chunk_min: 96,
+            growth: 1.25,
+            materialize: true,
+        });
+        let val = vec![1u8; 60 << 10];
+        // derive the exact per-page chunk capacity of the class this item
+        // lands in, so the fill stops exactly at capacity
+        let mut probe = SlabAllocator::new(SlabConfig {
+            mem_limit: 1 << 20,
+            page_size: 1 << 20,
+            chunk_min: 96,
+            growth: 1.25,
+            materialize: true,
+        });
+        let item_total = 2 + 3 + val.len();
+        let class = probe.class_for(item_total).unwrap();
+        let capacity = (1 << 20) / probe.chunk_size(class);
+        let _ = probe.alloc(item_total).unwrap();
+        for i in 0..capacity {
+            s.set(format!("k{i:02}").as_bytes(), Bytes::from(val.clone()), 0, 0, 0).unwrap();
+        }
+        assert_eq!(s.stats().evictions, 0, "fill overshot capacity");
+        // promote k00, then insert more to force evictions
+        assert!(s.get(b"k00", 0).is_some());
+        for i in capacity..capacity + 3 {
+            s.set(format!("k{i:02}").as_bytes(), Bytes::from(val.clone()), 0, 0, 0).unwrap();
+        }
+        assert!(s.stats().evictions >= 3);
+        // k00 survived thanks to promotion; k01 (the new tail) did not
+        assert!(s.get(b"k00", 0).is_some(), "promoted item was evicted");
+        assert!(s.get(b"k01", 0).is_none(), "cold item survived eviction");
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut s = store_mb(4);
+        let huge = vec![0u8; (1 << 20) + 1];
+        assert_eq!(s.set(b"k", Bytes::from(huge), 0, 0, 0).unwrap_err(), KvError::TooLarge);
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_live_payload() {
+        let mut s = store_mb(4);
+        s.set(b"abc", Bytes::from_static(b"0123456789"), 0, 0, 0).unwrap();
+        assert_eq!(s.stats().bytes, 13);
+        s.set(b"abc", Bytes::from_static(b"01"), 0, 0, 0).unwrap();
+        assert_eq!(s.stats().bytes, 5);
+        s.delete(b"abc");
+        assert_eq!(s.stats().bytes, 0);
+    }
+
+    #[test]
+    fn incr_decr_semantics() {
+        let mut s = store_mb(4);
+        s.set(b"n", Bytes::from_static(b"41"), 5, 0, 0).unwrap();
+        assert_eq!(s.incr(b"n", 1, 0).unwrap(), 42);
+        assert_eq!(s.decr(b"n", 40, 0).unwrap(), 2);
+        // floor at zero, memcached-style
+        assert_eq!(s.decr(b"n", 10, 0).unwrap(), 0);
+        // flags preserved through the rewrite
+        assert_eq!(s.get(b"n", 0).unwrap().flags, 5);
+        assert_eq!(s.incr(b"missing", 1, 0).unwrap_err(), KvError::NotFound);
+        s.set(b"text", Bytes::from_static(b"abc"), 0, 0, 0).unwrap();
+        assert_eq!(s.incr(b"text", 1, 0).unwrap_err(), KvError::NonNumeric);
+    }
+
+    #[test]
+    fn append_prepend_semantics() {
+        let mut s = store_mb(4);
+        s.set(b"k", Bytes::from_static(b"mid"), 3, 0, 0).unwrap();
+        s.append(b"k", b"-end", 0).unwrap();
+        s.prepend(b"k", b"start-", 0).unwrap();
+        let v = s.get(b"k", 0).unwrap();
+        assert_eq!(&v.data[..], b"start-mid-end");
+        assert_eq!(v.flags, 3);
+        assert_eq!(s.append(b"nope", b"x", 0).unwrap_err(), KvError::NotFound);
+    }
+
+    #[test]
+    fn many_items_roundtrip_under_pressure() {
+        let mut s = store_mb(8);
+        let n = 2000;
+        for i in 0..n {
+            let key = format!("key-{i}");
+            let val = format!("value-{i}").repeat(1 + i % 17);
+            s.set(key.as_bytes(), Bytes::from(val.clone().into_bytes()), i as u32, 0, 0).unwrap();
+        }
+        let mut live = 0;
+        for i in 0..n {
+            let key = format!("key-{i}");
+            if let Some(v) = s.get(key.as_bytes(), 0) {
+                assert_eq!(&v.data[..], format!("value-{i}").repeat(1 + i % 17).as_bytes());
+                assert_eq!(v.flags, i as u32);
+                live += 1;
+            }
+        }
+        assert_eq!(live as u64, s.stats().items);
+        assert!(live > 0);
+    }
+}

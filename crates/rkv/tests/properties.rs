@@ -1,0 +1,226 @@
+//! Property-based tests of the storage engine and protocol: the store is
+//! checked against a reference model under arbitrary operation sequences,
+//! the slab against allocation invariants, and the codec against
+//! roundtripping.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use rkv::proto::{Carrier, Request, Response, WireBuf};
+use rkv::slab::{SlabAllocator, SlabConfig};
+use rkv::store::{KvStats, KvStore};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { key: u8, len: usize },
+    Get { key: u8 },
+    Delete { key: u8 },
+    Add { key: u8, len: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1usize..4096).prop_map(|(key, len)| Op::Set { key, len }),
+        any::<u8>().prop_map(|key| Op::Get { key }),
+        any::<u8>().prop_map(|key| Op::Delete { key }),
+        (any::<u8>(), 1usize..2048).prop_map(|(key, len)| Op::Add { key, len }),
+    ]
+}
+
+fn value_for(key: u8, len: usize, version: u64) -> Bytes {
+    let mut v = vec![key; len];
+    // stamp the version so stale reads are detectable
+    let stamp = version.to_le_bytes();
+    let n = stamp.len().min(len);
+    v[..n].copy_from_slice(&stamp[..n]);
+    Bytes::from(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store agrees with a HashMap model on every live-key read, and
+    /// its byte/item accounting matches the model exactly when no eviction
+    /// has occurred (the store is sized so eviction cannot happen here).
+    #[test]
+    fn store_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut store = KvStore::new(SlabConfig {
+            mem_limit: 64 << 20, // far larger than the max working set
+            ..SlabConfig::default()
+        });
+        let mut model: HashMap<u8, Bytes> = HashMap::new();
+        let mut version = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Set { key, len } => {
+                    version += 1;
+                    let v = value_for(key, len, version);
+                    store.set(&[key], v.clone(), 0, 0, 0).unwrap();
+                    model.insert(key, v);
+                }
+                Op::Add { key, len } => {
+                    version += 1;
+                    let v = value_for(key, len, version);
+                    let r = store.add(&[key], v.clone(), 0, 0, 0);
+                    if model.contains_key(&key) {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(key, v);
+                    }
+                }
+                Op::Get { key } => {
+                    let got = store.get(&[key], 0);
+                    match model.get(&key) {
+                        Some(v) => {
+                            let got = got.expect("model says live");
+                            prop_assert_eq!(&got.data, v);
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+                Op::Delete { key } => {
+                    let existed = store.delete(&[key]);
+                    prop_assert_eq!(existed, model.remove(&key).is_some());
+                }
+            }
+        }
+        let st: KvStats = store.stats();
+        prop_assert_eq!(st.evictions, 0, "store was sized to avoid eviction");
+        prop_assert_eq!(st.items as usize, model.len());
+        let model_bytes: u64 = model
+            .iter()
+            .map(|(_, v)| 1 + v.len() as u64)
+            .sum();
+        prop_assert_eq!(st.bytes, model_bytes);
+    }
+
+    /// Under heavy memory pressure the store never corrupts: every hit
+    /// returns the exact last-written value, and live items+bytes stay
+    /// within the configured budget.
+    #[test]
+    fn store_under_pressure_never_corrupts(
+        ops in proptest::collection::vec((any::<u8>(), 1usize..32_768), 1..150)
+    ) {
+        let mut store = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20,
+            ..SlabConfig::default()
+        });
+        let mut last: HashMap<u8, Bytes> = HashMap::new();
+        let mut version = 0;
+        for (key, len) in ops {
+            version += 1;
+            let v = value_for(key, len, version);
+            match store.set(&[key], v.clone(), 0, 0, 0) {
+                Ok(_) => {
+                    last.insert(key, v);
+                }
+                Err(rkv::KvError::OutOfMemory) => {
+                    // slab calcification can strand capacity in other
+                    // classes (faithful memcached behaviour); the failed
+                    // set also dropped any previous version of the key
+                    last.remove(&key);
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            // a hit must be the latest value, never a stale or foreign one
+            if let Some(got) = store.get(&[key], 0) {
+                prop_assert_eq!(&got.data, &last[&key]);
+            }
+        }
+        prop_assert!(store.memory_used() <= 1 << 20);
+    }
+
+    /// Slab allocation: no chunk is handed out twice, frees return
+    /// capacity, and accounting matches the live set.
+    #[test]
+    fn slab_never_double_allocates(
+        sizes in proptest::collection::vec(8usize..100_000, 1..300),
+        free_mask in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut slab = SlabAllocator::new(SlabConfig {
+            mem_limit: 32 << 20,
+            ..SlabConfig::default()
+        });
+        let mut live = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            if let Ok(chunk) = slab.alloc(size) {
+                prop_assert!(
+                    !live.contains(&chunk),
+                    "chunk handed out twice: {chunk:?}"
+                );
+                live.push(chunk);
+            }
+            if *free_mask.get(i).unwrap_or(&false) {
+                if let Some(c) = live.pop() {
+                    slab.free(c);
+                }
+            }
+        }
+        let allocated: usize = (0..slab.class_count())
+            .map(|c| slab.allocated_in(c as u8))
+            .sum();
+        prop_assert_eq!(allocated, live.len());
+    }
+
+    /// Wire protocol: arbitrary requests roundtrip exactly.
+    #[test]
+    fn proto_request_roundtrip(
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        flags in any::<u32>(),
+        expire in any::<u64>(),
+        variant in 0u8..6,
+        node in any::<u32>(),
+        rkey in any::<u32>(),
+    ) {
+        let key = Bytes::from(key);
+        let val = Carrier::Inline(Bytes::from(payload));
+        let req = match variant {
+            0 => Request::Get { key, dst: Some(WireBuf { node, rkey, len: 1 << 20 }) },
+            1 => Request::Set { key, flags, expire_at: expire, value: val },
+            2 => Request::Add { key, flags, expire_at: expire, value: val },
+            3 => Request::Replace { key, flags, expire_at: expire, value: val },
+            4 => Request::Delete { key },
+            _ => Request::Touch { key, expire_at: expire },
+        };
+        let decoded = Request::decode(req.encode()).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn proto_decode_garbage_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(Bytes::from(bytes.clone()));
+        let _ = Response::decode(Bytes::from(bytes));
+        // reaching here without panic is the property
+    }
+
+    /// Ketama: routing is a pure function of the label set — rebuilding
+    /// the ring gives identical placement, and every key routes somewhere
+    /// valid.
+    #[test]
+    fn hashring_routing_is_stable(
+        n in 1usize..12,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..40), 1..100),
+    ) {
+        let build = || {
+            let members: Vec<usize> = (0..n).collect();
+            let labels: Vec<String> = (0..n).map(|i| format!("srv{i}")).collect();
+            rkv::HashRing::new(members, &labels, 100)
+        };
+        let a = build();
+        let b = build();
+        for k in &keys {
+            let ra = *a.route(k);
+            prop_assert_eq!(ra, *b.route(k));
+            prop_assert!(ra < n);
+            let replicas = a.route_n(k, 3.min(n));
+            let mut seen: Vec<usize> = replicas.iter().map(|r| **r).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), 3.min(n), "route_n returned duplicates");
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! The deterministic virtual-time async executor.
+//!
+//! [`Sim`] owns a single-threaded task set and a virtual clock. Tasks are
+//! ordinary Rust futures; they suspend on simulated time ([`Sim::sleep`]),
+//! on channels ([`crate::sync`]), or on queueing resources
+//! ([`crate::resource`]). When no task is runnable the executor advances the
+//! clock to the earliest pending timer, which is the discrete-event step.
+//!
+//! Determinism: execution is single-threaded, ready tasks run in FIFO wake
+//! order, and simultaneous timers fire in registration order, so a run is a
+//! pure function of the program and the RNG seed.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::time::Time;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// FIFO queue of runnable task ids, shared with wakers.
+///
+/// Wakers must be `Send + Sync` by API contract even though this executor is
+/// single-threaded, so the queue sits behind a `Mutex`; it is never
+/// contended.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: usize) {
+        self.queue.lock().expect("ready queue poisoned").push_back(id);
+    }
+    fn pop(&self) -> Option<usize> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// State shared between a pending timer in the heap and the [`Sleep`]
+/// future that created it.
+struct TimerState {
+    fired: Cell<bool>,
+    cancelled: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+struct TimerEntry {
+    deadline: Time,
+    seq: u64,
+    state: Rc<TimerState>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct Inner {
+    now: Cell<Time>,
+    seq: Cell<u64>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<HashMap<usize, LocalFuture>>,
+    next_task_id: Cell<usize>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    live_tasks: Cell<usize>,
+    events: Cell<u64>,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones refer to the same
+/// clock and task set. Not `Send` — a simulation lives on one thread
+/// (parameter sweeps parallelize across *whole simulations*, e.g. with
+/// rayon in the benchmark harness).
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(Time::ZERO),
+                seq: Cell::new(0),
+                ready: Arc::new(ReadyQueue::default()),
+                tasks: RefCell::new(HashMap::new()),
+                next_task_id: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                live_tasks: Cell::new(0),
+                events: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.inner.now.get()
+    }
+
+    /// Total task polls performed so far (a progress/diagnostic metric).
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events.get()
+    }
+
+    /// Number of tasks that have been spawned and have not yet completed.
+    #[inline]
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.get()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.seq.get();
+        self.inner.seq.set(s + 1);
+        s
+    }
+
+    /// Spawn a task. The returned [`JoinHandle`] resolves to the task's
+    /// output; dropping the handle detaches the task.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let task_state = Rc::clone(&state);
+        let inner = Rc::clone(&self.inner);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut st = task_state.borrow_mut();
+            st.result = Some(out);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+            drop(st);
+            inner.live_tasks.set(inner.live_tasks.get() - 1);
+        };
+        let id = self.inner.next_task_id.get();
+        self.inner.next_task_id.set(id + 1);
+        self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        self.inner.tasks.borrow_mut().insert(id, Box::pin(wrapped));
+        self.inner.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Suspend the calling task until `d` of virtual time has elapsed.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Suspend the calling task until the absolute instant `deadline`.
+    pub fn sleep_until(&self, deadline: Time) -> Sleep {
+        let state = Rc::new(TimerState {
+            fired: Cell::new(false),
+            cancelled: Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        if deadline <= self.now() {
+            state.fired.set(true);
+        } else {
+            self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+                deadline,
+                seq: self.next_seq(),
+                state: Rc::clone(&state),
+            }));
+        }
+        Sleep { state }
+    }
+
+    /// Poll one runnable task; returns false if none are runnable.
+    fn step_task(&self) -> bool {
+        let Some(id) = self.inner.ready.pop() else {
+            return false;
+        };
+        // A task can be enqueued more than once (multiple wakes) or have
+        // completed since being enqueued; a missing entry is skipped.
+        let Some(mut task) = self.inner.tasks.borrow_mut().remove(&id) else {
+            return true;
+        };
+        self.inner.events.set(self.inner.events.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.inner.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match task.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut().insert(id, task);
+            }
+        }
+        true
+    }
+
+    /// Pop the earliest timer and advance the clock to it. Returns false if
+    /// no timers are pending.
+    fn step_time(&self, horizon: Time) -> bool {
+        loop {
+            let entry = {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.deadline <= horizon => {
+                        let Reverse(e) = timers.pop().expect("peeked");
+                        e
+                    }
+                    _ => return false,
+                }
+            };
+            if entry.state.cancelled.get() {
+                continue; // dead timer from a dropped Sleep
+            }
+            debug_assert!(entry.deadline >= self.inner.now.get(), "time went backwards");
+            self.inner.now.set(entry.deadline);
+            entry.state.fired.set(true);
+            if let Some(w) = entry.state.waker.borrow_mut().take() {
+                w.wake();
+            }
+            return true;
+        }
+    }
+
+    /// Run until no task is runnable and no timer is pending (quiescence).
+    /// Returns the final virtual time.
+    pub fn run(&self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Run until quiescence or until the clock would pass `horizon`,
+    /// whichever comes first. Timers beyond the horizon are left pending.
+    pub fn run_until(&self, horizon: Time) -> Time {
+        loop {
+            while self.step_task() {}
+            if !self.step_time(horizon) {
+                break;
+            }
+        }
+        self.now()
+    }
+
+    /// Spawn `fut`, run the simulation to quiescence, and return its output.
+    ///
+    /// Panics if the simulation quiesces before `fut` completes (a deadlock
+    /// in the simulated system).
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let handle = self.spawn(fut);
+        self.run();
+        handle
+            .try_take()
+            .expect("simulation quiesced before block_on future completed (deadlock)")
+    }
+
+    /// Cooperatively yield: reschedule the current task behind all currently
+    /// runnable tasks without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Tear the simulation down: drop every pending task and timer.
+    ///
+    /// Long-lived server loops capture `Sim` clones inside futures that the
+    /// executor's task map owns — an intentional reference cycle while the
+    /// simulation runs, but a leak once it is abandoned. Call this when a
+    /// finished simulation goes out of scope (the workload `Testbed` does it
+    /// on drop). Must not be called from inside a running task.
+    pub fn reset(&self) {
+        // drain tasks in passes: dropping a future can spawn-on-drop in
+        // principle, so repeat until stable
+        loop {
+            let tasks: Vec<LocalFuture> = {
+                let mut map = self.inner.tasks.borrow_mut();
+                if map.is_empty() {
+                    break;
+                }
+                map.drain().map(|(_, t)| t).collect()
+            };
+            drop(tasks);
+        }
+        self.inner.timers.borrow_mut().clear();
+        while self.inner.ready.pop().is_some() {}
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    state: Rc<TimerState>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.state.fired.get() {
+            Poll::Ready(())
+        } else {
+            *self.state.waker.borrow_mut() = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        self.state.cancelled.set(true);
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Awaitable handle to a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the result if the task has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Whether the task has completed (result may already be taken).
+    pub fn is_finished(&self) -> bool {
+        let st = self.state.borrow();
+        st.result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        match st.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::dur;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            s.sleep(dur::ms(250)).await;
+            s.now()
+        });
+        assert_eq!(out, Time::from_millis(250));
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(Duration::ZERO).await;
+            assert_eq!(s.now(), Time::ZERO);
+        });
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay_ms) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let s = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(dur::ms(delay_ms)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(sim.now(), Time::from_millis(30));
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10u32 {
+            let s = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(dur::ms(5)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_from_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let result = sim.block_on(async move {
+            let inner = s.clone();
+            let h = s.spawn(async move {
+                inner.sleep(dur::us(10)).await;
+                42
+            });
+            h.await
+        });
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn join_handle_resolves_to_output() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(dur::secs(1)).await;
+            "done".to_owned()
+        });
+        sim.run();
+        assert!(h.is_finished());
+        assert_eq!(h.try_take().as_deref(), Some("done"));
+    }
+
+    #[test]
+    fn detached_task_still_runs() {
+        let sim = Sim::new();
+        let flag = Rc::new(Cell::new(false));
+        let f = Rc::clone(&flag);
+        let s = sim.clone();
+        drop(sim.spawn(async move {
+            s.sleep(dur::ms(1)).await;
+            f.set(true);
+        }));
+        sim.run();
+        assert!(flag.get());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let sim = Sim::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = Rc::clone(&fired);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(dur::secs(10)).await;
+            f.set(true);
+        });
+        sim.run_until(Time::from_secs(5));
+        assert!(!fired.get());
+        assert!(sim.now() <= Time::from_secs(5));
+        // resuming runs the rest
+        sim.run();
+        assert!(fired.get());
+        assert_eq!(sim.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn yield_now_reschedules_fairly() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for step in 0..3u32 {
+                    log.borrow_mut().push((i, step));
+                    s.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        // perfect interleave: tasks alternate at each yield
+        assert_eq!(
+            *log.borrow(),
+            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn dropped_sleep_cancels_timer() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let long = s.sleep(dur::secs(100));
+            drop(long);
+            s.sleep(dur::ms(1)).await;
+        });
+        let end = sim.run();
+        // the cancelled 100s timer must not drag the clock forward
+        assert_eq!(end, Time::from_millis(1));
+    }
+
+    #[test]
+    fn live_task_accounting() {
+        let sim = Sim::new();
+        assert_eq!(sim.live_tasks(), 0);
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(dur::ms(1)).await });
+        assert_eq!(sim.live_tasks(), 1);
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn block_on_deadlock_panics() {
+        let sim = Sim::new();
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn heavy_timer_load_is_ordered() {
+        let sim = Sim::new();
+        let last = Rc::new(Cell::new(0u64));
+        // registration order intentionally scrambled
+        for i in (0..1000u64).rev() {
+            let s = sim.clone();
+            let last = Rc::clone(&last);
+            sim.spawn(async move {
+                s.sleep(dur::us(i)).await;
+                let prev = last.get();
+                assert!(s.now().as_nanos() >= prev);
+                last.set(s.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(sim.now(), Time::from_micros(999));
+    }
+}

@@ -1,0 +1,318 @@
+//! Queueing resources: the building blocks for device and link models.
+//!
+//! [`FifoServer`] is a single-server FIFO queue with a byte rate and a
+//! per-operation overhead — it models a disk spindle, an OST, a NIC TX
+//! engine, or a network link (store-and-forward). Contention emerges
+//! naturally: concurrent users queue and time accumulates.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use crate::executor::Sim;
+use crate::sync::semaphore::Semaphore;
+use crate::time::{dur, Time};
+
+/// Utilization and throughput statistics for a [`FifoServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Operations completed.
+    pub ops: u64,
+    /// Payload bytes serviced.
+    pub bytes: u64,
+    /// Total busy time (service, excluding queueing).
+    pub busy: Duration,
+    /// Total time requests spent queued before service began.
+    pub queued: Duration,
+}
+
+impl ServerStats {
+    /// Busy fraction over `elapsed` (0..=1).
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Mean queueing delay per operation.
+    pub fn mean_queue_delay(&self) -> Duration {
+        if self.ops == 0 {
+            Duration::ZERO
+        } else {
+            self.queued / self.ops as u32
+        }
+    }
+}
+
+/// Single-server FIFO queueing resource with a service rate.
+pub struct FifoServer {
+    sim: Sim,
+    gate: Semaphore,
+    rate_bytes_per_sec: Cell<f64>,
+    per_op_overhead: Duration,
+    ops: Cell<u64>,
+    bytes: Cell<u64>,
+    busy_ns: Cell<u64>,
+    queued_ns: Cell<u64>,
+}
+
+impl FifoServer {
+    /// A server that moves `rate_bytes_per_sec` and charges
+    /// `per_op_overhead` of latency before each operation's transfer time.
+    pub fn new(sim: Sim, rate_bytes_per_sec: f64, per_op_overhead: Duration) -> Self {
+        assert!(rate_bytes_per_sec > 0.0, "rate must be positive");
+        FifoServer {
+            sim,
+            gate: Semaphore::new(1),
+            rate_bytes_per_sec: Cell::new(rate_bytes_per_sec),
+            per_op_overhead,
+            ops: Cell::new(0),
+            bytes: Cell::new(0),
+            busy_ns: Cell::new(0),
+            queued_ns: Cell::new(0),
+        }
+    }
+
+    /// Current service rate in bytes/second.
+    pub fn rate(&self) -> f64 {
+        self.rate_bytes_per_sec.get()
+    }
+
+    /// Change the service rate (e.g. model degraded hardware). Applies to
+    /// operations that begin service after the call.
+    pub fn set_rate(&self, rate_bytes_per_sec: f64) {
+        assert!(rate_bytes_per_sec > 0.0, "rate must be positive");
+        self.rate_bytes_per_sec.set(rate_bytes_per_sec);
+    }
+
+    /// Queue for the server and hold it for the time to move `bytes`
+    /// (plus fixed overhead and `extra` latency, e.g. a disk seek).
+    pub async fn serve_bytes_extra(&self, bytes: u64, extra: Duration) {
+        let enq = self.sim.now();
+        let _permit = self.gate.acquire().await;
+        let start = self.sim.now();
+        self.queued_ns
+            .set(self.queued_ns.get() + (start - enq).as_nanos() as u64);
+        let service = self.per_op_overhead + extra + dur::transfer(bytes, self.rate());
+        self.sim.sleep(service).await;
+        self.ops.set(self.ops.get() + 1);
+        self.bytes.set(self.bytes.get() + bytes);
+        self.busy_ns
+            .set(self.busy_ns.get() + service.as_nanos() as u64);
+    }
+
+    /// Queue for the server and hold it for the time to move `bytes`.
+    pub async fn serve_bytes(&self, bytes: u64) {
+        self.serve_bytes_extra(bytes, Duration::ZERO).await;
+    }
+
+    /// Queue for the server and hold it for an explicit duration.
+    pub async fn serve_for(&self, d: Duration) {
+        let enq = self.sim.now();
+        let _permit = self.gate.acquire().await;
+        let start = self.sim.now();
+        self.queued_ns
+            .set(self.queued_ns.get() + (start - enq).as_nanos() as u64);
+        let service = self.per_op_overhead + d;
+        self.sim.sleep(service).await;
+        self.ops.set(self.ops.get() + 1);
+        self.busy_ns
+            .set(self.busy_ns.get() + service.as_nanos() as u64);
+    }
+
+    /// Snapshot of accumulated statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            ops: self.ops.get(),
+            bytes: self.bytes.get(),
+            busy: Duration::from_nanos(self.busy_ns.get()),
+            queued: Duration::from_nanos(self.queued_ns.get()),
+        }
+    }
+
+    /// Requests currently waiting for service (excludes the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.gate.queued()
+    }
+
+    /// The simulation this server belongs to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+}
+
+/// A pool of identical parallel servers fed by one FIFO queue (M/G/c-style),
+/// modeling multi-channel devices such as a striped RAID OST or a
+/// multi-queue SSD.
+pub struct ServerPool {
+    sim: Sim,
+    gate: Semaphore,
+    width: usize,
+    rate_bytes_per_sec: f64,
+    per_op_overhead: Duration,
+    ops: Cell<u64>,
+    bytes: Cell<u64>,
+    busy_ns: Cell<u64>,
+}
+
+impl ServerPool {
+    /// `width` parallel channels, each moving `rate_bytes_per_sec`.
+    pub fn new(sim: Sim, width: usize, rate_bytes_per_sec: f64, per_op_overhead: Duration) -> Self {
+        assert!(width > 0, "pool width must be > 0");
+        assert!(rate_bytes_per_sec > 0.0, "rate must be positive");
+        ServerPool {
+            sim,
+            gate: Semaphore::new(width),
+            width,
+            rate_bytes_per_sec,
+            per_op_overhead,
+            ops: Cell::new(0),
+            bytes: Cell::new(0),
+            busy_ns: Cell::new(0),
+        }
+    }
+
+    /// Number of channels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Serve `bytes` on the next free channel.
+    pub async fn serve_bytes(&self, bytes: u64) {
+        let _permit = self.gate.acquire().await;
+        let service = self.per_op_overhead + dur::transfer(bytes, self.rate_bytes_per_sec);
+        self.sim.sleep(service).await;
+        self.ops.set(self.ops.get() + 1);
+        self.bytes.set(self.bytes.get() + bytes);
+        self.busy_ns
+            .set(self.busy_ns.get() + service.as_nanos() as u64);
+    }
+
+    /// Snapshot of accumulated statistics (busy time sums across channels).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            ops: self.ops.get(),
+            bytes: self.bytes.get(),
+            busy: Duration::from_nanos(self.busy_ns.get()),
+            queued: Duration::ZERO,
+        }
+    }
+}
+
+/// Convenience: elapsed virtual time of a simulation since an origin mark.
+pub fn elapsed_since(sim: &Sim, origin: Time) -> Duration {
+    sim.now() - origin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::dur;
+
+    fn mib(n: u64) -> u64 {
+        n << 20
+    }
+
+    #[test]
+    fn serial_requests_accumulate() {
+        let sim = Sim::new();
+        // 100 MiB/s, no overhead
+        let srv = std::rc::Rc::new(FifoServer::new(sim.clone(), mib(100) as f64, Duration::ZERO));
+        let s = sim.clone();
+        let srv2 = std::rc::Rc::clone(&srv);
+        let t = sim.block_on(async move {
+            srv2.serve_bytes(mib(100)).await; // 1 s
+            srv2.serve_bytes(mib(50)).await; // 0.5 s
+            s.now()
+        });
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-6);
+        let st = srv.stats();
+        assert_eq!(st.ops, 2);
+        assert_eq!(st.bytes, mib(150));
+    }
+
+    #[test]
+    fn concurrent_requests_queue_fifo() {
+        let sim = Sim::new();
+        let srv = std::rc::Rc::new(FifoServer::new(sim.clone(), mib(100) as f64, Duration::ZERO));
+        let done = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let srv = std::rc::Rc::clone(&srv);
+            let s = sim.clone();
+            let done = std::rc::Rc::clone(&done);
+            sim.spawn(async move {
+                srv.serve_bytes(mib(100)).await;
+                done.borrow_mut().push((i, s.now().as_secs_f64()));
+            });
+        }
+        sim.run();
+        let d = done.borrow();
+        assert_eq!(d.len(), 3);
+        for (i, t) in d.iter() {
+            assert!((t - (*i as f64 + 1.0)).abs() < 1e-6, "op {i} finished at {t}");
+        }
+        // 2 of 3 ops queued behind the first: total queueing 1s + 2s
+        let st = srv.stats();
+        assert!((st.queued.as_secs_f64() - 3.0).abs() < 1e-6);
+        assert!((st.utilization(Duration::from_secs(3)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_op_overhead_charged() {
+        let sim = Sim::new();
+        let srv = FifoServer::new(sim.clone(), 1e9, dur::ms(8)); // seek-like
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            srv.serve_bytes(0).await;
+            srv.serve_bytes(0).await;
+            s.now()
+        });
+        assert_eq!(t, Time::from_millis(16));
+    }
+
+    #[test]
+    fn rate_change_applies_to_new_ops() {
+        let sim = Sim::new();
+        let srv = FifoServer::new(sim.clone(), mib(100) as f64, Duration::ZERO);
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            srv.serve_bytes(mib(100)).await; // 1s
+            srv.set_rate(mib(200) as f64);
+            srv.serve_bytes(mib(100)).await; // 0.5s
+            s.now()
+        });
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pool_runs_width_in_parallel() {
+        let sim = Sim::new();
+        let pool = std::rc::Rc::new(ServerPool::new(
+            sim.clone(),
+            4,
+            mib(100) as f64,
+            Duration::ZERO,
+        ));
+        for _ in 0..8 {
+            let p = std::rc::Rc::clone(&pool);
+            sim.spawn(async move { p.serve_bytes(mib(100)).await });
+        }
+        let end = sim.run();
+        // 8 × 1s jobs on 4 channels => 2s
+        assert!((end.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert_eq!(pool.stats().ops, 8);
+    }
+
+    #[test]
+    fn serve_for_explicit_duration() {
+        let sim = Sim::new();
+        let srv = FifoServer::new(sim.clone(), 1.0, Duration::ZERO);
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            srv.serve_for(dur::ms(123)).await;
+            s.now()
+        });
+        assert_eq!(t, Time::from_millis(123));
+    }
+}

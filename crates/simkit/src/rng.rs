@@ -1,0 +1,239 @@
+//! Seeded deterministic randomness and the distributions the workload
+//! generators need (uniform, exponential, Zipf, truncated normal).
+//!
+//! `rand_distr` is not in the approved dependency set, so the handful of
+//! distributions used by the workloads are implemented here with standard
+//! inverse-CDF / rejection methods.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Cheap-to-clone handle to a seeded PRNG. All clones share the stream, so
+/// the whole simulation consumes one deterministic sequence.
+#[derive(Clone)]
+pub struct SimRng {
+    inner: Rc<RefCell<SmallRng>>,
+}
+
+impl SimRng {
+    /// Construct from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: Rc::new(RefCell::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// Derive an independent child stream (stable function of this stream's
+    /// state order) — used to give each workload its own stream.
+    pub fn fork(&self) -> SimRng {
+        let seed = self.inner.borrow_mut().next_u64();
+        SimRng::seed_from(seed)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&self) -> f64 {
+        self.inner.borrow_mut().gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.borrow_mut().gen_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&self, n: usize) -> usize {
+        assert!(n > 0, "index over empty set");
+        self.inner.borrow_mut().gen_range(0..n)
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    pub fn exp(&self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Normal via Box–Muller, truncated to `>= 0` for use as a duration or
+    /// size.
+    pub fn normal_pos(&self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + std_dev * z).max(0.0)
+    }
+
+    /// Fill `buf` with pseudorandom bytes (workload payload generation).
+    pub fn fill_bytes(&self, buf: &mut [u8]) {
+        self.inner.borrow_mut().fill_bytes(buf);
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&self, slice: &mut [T]) {
+        let mut rng = self.inner.borrow_mut();
+        for i in (1..slice.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Zipf-distributed ranks in `[0, n)` with skew `s`, via a precomputed CDF
+/// and binary search. Matches the access skew of key-popularity workloads
+/// (e.g. the hot-block behaviour a burst buffer exploits).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution for `n` items with exponent `s` (s = 0 is
+    /// uniform; s ≈ 0.99 is the classic YCSB skew).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty set");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let a = SimRng::seed_from(42);
+        let b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.range(0, 1_000_000), b.range(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let a = SimRng::seed_from(7);
+        let b = a.clone();
+        let x = a.range(0, u64::MAX);
+        let fresh = SimRng::seed_from(7);
+        assert_eq!(x, fresh.range(0, u64::MAX));
+        // b continues the same stream, not a restart
+        assert_eq!(b.range(0, u64::MAX), fresh.range(0, u64::MAX));
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let a = SimRng::seed_from(1);
+        let c1 = a.fork();
+        let c2 = a.fork();
+        let xs: Vec<u64> = (0..10).map(|_| c1.range(0, u64::MAX)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| c2.range(0, u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let rng = SimRng::seed_from(99);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() < 0.2, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn normal_pos_is_nonnegative_and_centered() {
+        let rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| rng.normal_pos(10.0, 2.0)).collect();
+        assert!(vals.iter().all(|v| *v >= 0.0));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let rng = SimRng::seed_from(17);
+        let z = Zipf::new(100, 0.99);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // rank 0 of a 0.99-skew zipf over 100 items gets ~19% of mass
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.19).abs() < 0.03, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let rng = SimRng::seed_from(5);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&rng)] += 1;
+        }
+        for c in counts {
+            let p = c as f64 / 50_000.0;
+            assert!((p - 0.1).abs() < 0.02, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let rng = SimRng::seed_from(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

@@ -1,0 +1,233 @@
+//! Lightweight metrics used across the simulated systems: counters and
+//! log-bucketed latency histograms with percentile queries.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Log₂-bucketed histogram over nanosecond samples. 64 buckets cover the
+/// full `u64` range; percentile queries interpolate within a bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one raw nanosecond sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        let idx = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max)
+    }
+
+    /// Approximate percentile (`q` in 0..=100) with linear interpolation
+    /// inside the matched log bucket.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let frac = (target - seen) as f64 / c as f64;
+                let ns = lo as f64 + frac * (hi - lo) as f64;
+                return Duration::from_nanos(ns.min(self.max as f64).max(self.min as f64) as u64);
+            }
+            seen += c;
+        }
+        Duration::from_nanos(self.max)
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram {{ n: {}, mean: {:?}, p50: {:?}, p99: {:?}, max: {:?} }}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// Throughput summary over a measured interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Interval length.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// MB/s using decimal megabytes (how TestDFSIO reports).
+    pub fn mb_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// MiB/s (binary).
+    pub fn mib_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.bytes as f64 / (1u64 << 20) as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut h = Histogram::new();
+        for ns in [100u64, 200, 300] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), Duration::from_nanos(200));
+        assert_eq!(h.min(), Duration::from_nanos(100));
+        assert_eq!(h.max(), Duration::from_nanos(300));
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bracketed() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record_ns(i);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= h.max());
+        assert!(h.min() <= p50);
+        // log-bucket approximation: p50 of uniform 1..10000 is within its 2x bucket
+        let v = p50.as_nanos() as f64;
+        assert!(v >= 4096.0 && v <= 8192.0, "p50 = {v}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_ns(10);
+        b.record_ns(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Duration::from_nanos(10));
+        assert_eq!(a.max(), Duration::from_nanos(1000));
+    }
+
+    #[test]
+    fn zero_sample() {
+        let mut h = Histogram::new();
+        h.record_ns(0);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn throughput_units() {
+        let t = Throughput {
+            bytes: 100_000_000,
+            elapsed: Duration::from_secs(2),
+        };
+        assert!((t.mb_per_sec() - 50.0).abs() < 1e-9);
+        assert!((t.mib_per_sec() - 47.68).abs() < 0.01);
+        let z = Throughput {
+            bytes: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(z.mb_per_sec(), 0.0);
+    }
+}

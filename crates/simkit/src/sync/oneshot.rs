@@ -1,0 +1,166 @@
+//! Single-producer single-consumer one-value channel, the building block
+//! for RPC reply paths.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+    receiver_dropped: bool,
+}
+
+/// Sending half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// Receiving half; a future resolving to `Ok(value)` or [`RecvError`] if the
+/// sender was dropped without sending.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// The sender was dropped before sending a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("oneshot sender dropped without sending")
+    }
+}
+impl std::error::Error for RecvError {}
+
+/// Create a connected oneshot pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+        receiver_dropped: false,
+    }));
+    (
+        Sender {
+            shared: Rc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send `value` to the receiver. Returns `Err(value)` if the receiver
+    /// was already dropped.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut sh = self.shared.borrow_mut();
+        if sh.receiver_dropped {
+            return Err(value);
+        }
+        sh.value = Some(value);
+        if let Some(w) = sh.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether the receiving half is still alive.
+    pub fn is_open(&self) -> bool {
+        !self.shared.borrow().receiver_dropped
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut sh = self.shared.borrow_mut();
+        sh.sender_dropped = true;
+        if let Some(w) = sh.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut sh = self.shared.borrow_mut();
+        if let Some(v) = sh.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if sh.sender_dropped {
+            return Poll::Ready(Err(RecvError));
+        }
+        sh.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_dropped = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::dur;
+
+    #[test]
+    fn send_then_receive() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(dur::ms(5)).await;
+            tx.send(7).unwrap();
+        });
+        let got = sim.block_on(async move { rx.await });
+        assert_eq!(got, Ok(7));
+    }
+
+    #[test]
+    fn receive_before_send_suspends() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<&'static str>();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let v = rx.await.unwrap();
+            (v, s.now())
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(dur::secs(2)).await;
+            tx.send("late").unwrap();
+        });
+        sim.run();
+        let (v, t) = h.try_take().unwrap();
+        assert_eq!(v, "late");
+        assert_eq!(t, crate::time::Time::from_secs(2));
+    }
+
+    #[test]
+    fn dropped_sender_yields_error() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        drop(tx);
+        assert_eq!(sim.block_on(rx), Err(RecvError));
+    }
+
+    #[test]
+    fn dropped_receiver_rejects_send() {
+        let (tx, rx) = channel::<u32>();
+        assert!(tx.is_open());
+        drop(rx);
+        let (tx2, rx2) = channel::<u32>();
+        drop(rx2);
+        assert!(!tx2.is_open());
+        assert_eq!(tx2.send(1), Err(1));
+        let _ = tx;
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests of the simulation core: time monotonicity under
+//! arbitrary task graphs, FIFO resource conservation, histogram
+//! percentile ordering, and channel delivery completeness.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::resource::FifoServer;
+use simkit::stats::Histogram;
+use simkit::sync::mpsc;
+use simkit::{dur, Sim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever tasks and sleeps are spawned, observed time never goes
+    /// backwards and the final clock equals the maximum deadline.
+    #[test]
+    fn virtual_time_is_monotone(delays in proptest::collection::vec(0u64..10_000, 1..80)) {
+        let sim = Sim::new();
+        let observed = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let s = sim.clone();
+            let obs = Rc::clone(&observed);
+            sim.spawn(async move {
+                s.sleep(dur::us(d)).await;
+                obs.borrow_mut().push(s.now());
+            });
+        }
+        let end = sim.run();
+        let obs = observed.borrow();
+        prop_assert_eq!(obs.len(), delays.len());
+        for w in obs.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards");
+        }
+        let max = delays.iter().copied().max().unwrap();
+        prop_assert_eq!(end, simkit::Time::from_micros(max));
+        sim.reset();
+    }
+
+    /// A FIFO server is work-conserving: total busy time equals the sum of
+    /// service demands, and the makespan equals that sum (single channel).
+    #[test]
+    fn fifo_server_conserves_work(jobs in proptest::collection::vec(1u64..5_000, 1..60)) {
+        let sim = Sim::new();
+        let srv = Rc::new(FifoServer::new(sim.clone(), 1e9, Duration::ZERO));
+        for &j in &jobs {
+            let srv = Rc::clone(&srv);
+            sim.spawn(async move { srv.serve_for(dur::us(j)).await });
+        }
+        let end = sim.run();
+        let total: u64 = jobs.iter().sum();
+        prop_assert_eq!(end, simkit::Time::from_micros(total));
+        let st = srv.stats();
+        prop_assert_eq!(st.ops, jobs.len() as u64);
+        prop_assert_eq!(st.busy, Duration::from_micros(total));
+        sim.reset();
+    }
+
+    /// Every message sent is received exactly once, in send order per
+    /// producer.
+    #[test]
+    fn mpsc_delivers_everything_once(
+        counts in proptest::collection::vec(1usize..40, 1..6)
+    ) {
+        let sim = Sim::new();
+        let (tx, mut rx) = mpsc::unbounded::<(usize, usize)>();
+        for (p, &n) in counts.iter().enumerate() {
+            let tx = tx.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for i in 0..n {
+                    s.sleep(dur::ns((p as u64 + 1) * 7 + i as u64 * 13)).await;
+                    tx.try_send((p, i)).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            while let Ok(m) = rx.recv().await {
+                got2.borrow_mut().push(m);
+            }
+        });
+        sim.run();
+        let got = got.borrow();
+        let total: usize = counts.iter().sum();
+        prop_assert_eq!(got.len(), total);
+        // per-producer order preserved
+        for (p, &n) in counts.iter().enumerate() {
+            let seq: Vec<usize> = got.iter().filter(|(pp, _)| *pp == p).map(|(_, i)| *i).collect();
+            prop_assert_eq!(seq, (0..n).collect::<Vec<_>>());
+        }
+        sim.reset();
+    }
+
+    /// Histogram percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(samples in proptest::collection::vec(1u64..10_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let qs = [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+        let mut prev = Duration::ZERO;
+        for q in qs {
+            let v = h.percentile(q);
+            prop_assert!(v >= prev, "p{q} < previous percentile");
+            prop_assert!(v >= h.min() && v <= h.max());
+            prev = v;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Zipf samples stay in range and rank frequencies are non-increasing
+    /// in aggregate (first rank at least as popular as the last).
+    #[test]
+    fn zipf_in_range(n in 2usize..50, s in 0.1f64..2.0) {
+        let rng = simkit::SimRng::seed_from(42);
+        let z = simkit::Zipf::new(n, s);
+        let mut counts = vec![0usize; n];
+        for _ in 0..2000 {
+            let r = z.sample(&rng);
+            prop_assert!(r < n);
+            counts[r] += 1;
+        }
+        prop_assert!(counts[0] >= counts[n - 1]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # storesim — timed storage devices and object stores
+//!
+//! Device models for the storage tiers the paper's systems sit on: local
+//! HDDs (plain HDFS), SSDs (burst-buffer spill, Gordon-style nodes), RAM
+//! disks (Triple-H-style locality replicas), and the RAID arrays behind
+//! Lustre OSTs.
+//!
+//! * [`disk`] — [`disk::Disk`]: FIFO device channel with read/write rates,
+//!   access latency, capacity accounting, and online/offline state;
+//! * [`object`] — [`object::ObjectStore`]: named byte objects with
+//!   append/write-at/read-at, every op charged to the device.
+
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod object;
+
+pub use disk::{Disk, DiskKind, DiskParams, StoreError};
+pub use object::{ObjectId, ObjectStore};

@@ -1,0 +1,119 @@
+//! Property tests: the segment-map object store agrees with a flat
+//! byte-vector model under arbitrary overlapping writes, and capacity
+//! accounting never drifts.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use simkit::Sim;
+use storesim::{Disk, DiskKind, ObjectStore};
+
+fn store() -> (Sim, Rc<ObjectStore>) {
+    let sim = Sim::new();
+    let disk = Disk::of_kind(sim.clone(), DiskKind::RamDisk, 64 << 20);
+    (sim, ObjectStore::new(disk))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary overlapping writes: read-back equals a flat-buffer model
+    /// byte for byte, and stored-byte accounting matches the model's
+    /// covered extent count.
+    #[test]
+    fn segment_writes_match_flat_model(
+        writes in proptest::collection::vec((0u64..5000, 1usize..800, any::<u8>()), 1..40)
+    ) {
+        let (sim, st) = store();
+        let mut model: Vec<Option<u8>> = Vec::new();
+        let writes2 = writes.clone();
+        let st2 = Rc::clone(&st);
+        sim.block_on(async move {
+            for (off, len, fill) in writes2 {
+                let data = Bytes::from(vec![fill; len]);
+                st2.write_at(1, off, data).await.unwrap();
+            }
+        });
+        for (off, len, fill) in &writes {
+            let end = *off as usize + len;
+            if model.len() < end {
+                model.resize(end, None);
+            }
+            for slot in &mut model[*off as usize..end] {
+                *slot = Some(*fill);
+            }
+        }
+        let expect: Vec<u8> = model.iter().map(|s| s.unwrap_or(0)).collect();
+        let st3 = Rc::clone(&st);
+        let got = sim.block_on(async move { st3.read_all(1).await.unwrap() });
+        prop_assert_eq!(&got[..], &expect[..]);
+        // stored bytes == covered (non-gap) cells
+        let covered = model.iter().filter(|s| s.is_some()).count() as u64;
+        prop_assert_eq!(st.stored_bytes(), covered);
+        prop_assert_eq!(st.disk().used(), covered);
+        sim.reset();
+    }
+
+    /// Partial reads at arbitrary offsets agree with the model.
+    #[test]
+    fn partial_reads_agree(
+        writes in proptest::collection::vec((0u64..2000, 1usize..400, any::<u8>()), 1..20),
+        read_off in 0u64..1500,
+        read_len in 1u64..500,
+    ) {
+        let (sim, st) = store();
+        let mut model: Vec<u8> = Vec::new();
+        let writes2 = writes.clone();
+        let st2 = Rc::clone(&st);
+        sim.block_on(async move {
+            for (off, len, fill) in writes2 {
+                st2.write_at(7, off, Bytes::from(vec![fill; len])).await.unwrap();
+            }
+        });
+        for (off, len, fill) in &writes {
+            let end = *off as usize + len;
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*off as usize..end].fill(*fill);
+        }
+        let logical = st.object_len(7).unwrap();
+        prop_assert_eq!(logical as usize, model.len());
+        let end = (read_off + read_len).min(logical);
+        if read_off < end {
+            let st3 = Rc::clone(&st);
+            let got = sim.block_on(async move {
+                st3.read_at(7, read_off, end - read_off).await.unwrap()
+            });
+            prop_assert_eq!(&got[..], &model[read_off as usize..end as usize]);
+        }
+        sim.reset();
+    }
+
+    /// Delete always returns exactly the accounted bytes, and the device
+    /// ends balanced at zero.
+    #[test]
+    fn delete_balances_capacity(
+        objects in proptest::collection::vec((1u64..20, 1usize..5000), 1..30)
+    ) {
+        let (sim, st) = store();
+        let st2 = Rc::clone(&st);
+        let objs = objects.clone();
+        sim.block_on(async move {
+            for (id, len) in objs {
+                st2.append(id, Bytes::from(vec![1u8; len])).await.unwrap();
+            }
+        });
+        let used_before = st.disk().used();
+        prop_assert_eq!(used_before, st.stored_bytes());
+        let mut freed = 0;
+        for id in st.ids() {
+            freed += st.delete(id).unwrap();
+        }
+        prop_assert_eq!(freed, used_before);
+        prop_assert_eq!(st.disk().used(), 0);
+        prop_assert!(st.is_empty());
+        sim.reset();
+    }
+}

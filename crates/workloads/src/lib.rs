@@ -1,0 +1,32 @@
+//! # workloads — the paper's benchmarks
+//!
+//! Implementations of every workload the evaluation uses, all driving the
+//! unified [`bb_core::fs::AnyFs`] layer so the same code measures HDFS,
+//! Lustre, and the three burst-buffer schemes:
+//!
+//! * [`testdfsio`] — the TestDFSIO write/read throughput benchmark (E3–E5,
+//!   E11);
+//! * [`randomwriter`] — RandomWriter bulk ingest (E6);
+//! * [`sortbench`] — TeraGen + Sort (E7, E8);
+//! * [`swim`] — a SWIM-style mixed job trace for the I/O-intensive
+//!   workload experiment (E10);
+//! * [`testbed`] — one-call deployment of a complete system under test;
+//! * [`payload`] — zero-copy synthetic payload generation (slices of one
+//!   shared pattern buffer, so multi-GiB logical datasets cost megabytes
+//!   of host memory).
+
+#![warn(missing_docs)]
+
+pub mod payload;
+pub mod randomwriter;
+pub mod sortbench;
+pub mod swim;
+pub mod testbed;
+pub mod testdfsio;
+
+pub use payload::PayloadPool;
+pub use testbed::{SystemKind, Testbed, TestbedConfig};
+pub use testdfsio::{DfsioConfig, DfsioResult};
+
+#[cfg(test)]
+mod tests;

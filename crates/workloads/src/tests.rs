@@ -1,0 +1,315 @@
+//! Workload correctness tests plus "shape" tests: do the five systems
+//! order the way the paper reports, at reduced scale?
+
+use std::rc::Rc;
+
+use bb_core::Scheme;
+use simkit::Time;
+
+use crate::payload::PayloadPool;
+use crate::randomwriter::{self, RandomWriterConfig};
+use crate::sortbench::{self, SortConfig};
+use crate::swim::{self, SwimConfig};
+use crate::testbed::{SystemKind, Testbed, TestbedConfig};
+use crate::testdfsio::{self, DfsioConfig};
+
+/// Shape tests run at the calibrated default scale (16 nodes): the
+/// HDFS/Lustre/BB balance is scale-dependent (Lustre is fixed
+/// infrastructure, HDFS grows with the cluster), and the paper's ratios
+/// hold at its default cluster size.
+fn small_config() -> TestbedConfig {
+    TestbedConfig::default()
+}
+
+fn dfsio_small() -> DfsioConfig {
+    DfsioConfig {
+        files: 16,
+        file_size: 64 << 20,
+        ..DfsioConfig::default()
+    }
+}
+
+/// Write-then-read with full content verification on every system.
+#[test]
+fn dfsio_roundtrip_verifies_on_all_five_systems() {
+    for kind in SystemKind::all_five() {
+        let tb = Testbed::build(kind, small_config());
+        let pool = PayloadPool::standard();
+        let cfg = DfsioConfig {
+            files: 4,
+            file_size: 8 << 20,
+            ..DfsioConfig::default()
+        };
+        let sim = tb.sim.clone();
+        sim.block_on(async move {
+            let fs_for = tb.fs_for();
+            let w = testdfsio::write(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg)
+                .await
+                .unwrap();
+            assert_eq!(w.bytes, 32 << 20);
+            let r = testdfsio::read(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg, true)
+                .await
+                .unwrap();
+            assert_eq!(r.bytes, 32 << 20);
+            testdfsio::clean(&tb.nodes, &fs_for, &cfg).await.unwrap();
+            tb.shutdown();
+        });
+    }
+}
+
+fn run_dfsio(kind: SystemKind, cfg: &DfsioConfig) -> (f64, f64) {
+    let tb = Testbed::build(kind, small_config());
+    let pool = PayloadPool::standard();
+    let cfg = cfg.clone();
+    let sim = tb.sim.clone();
+    sim.block_on(async move {
+        let fs_for = tb.fs_for();
+        let w = testdfsio::write(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg)
+            .await
+            .unwrap();
+        let r = testdfsio::read(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg, false)
+            .await
+            .unwrap();
+        tb.shutdown();
+        (w.aggregate.mb_per_sec(), r.aggregate.mb_per_sec())
+    })
+}
+
+/// The paper's headline write ordering (E3): BB-Async > Lustre > HDFS,
+/// with BB ≥ ~2× HDFS and ≥ ~1.3× Lustre at this reduced scale.
+#[test]
+fn e3_shape_write_ordering() {
+    let cfg = dfsio_small();
+    let (hdfs_w, _) = run_dfsio(SystemKind::Hdfs, &cfg);
+    let (lustre_w, _) = run_dfsio(SystemKind::Lustre, &cfg);
+    let (bb_w, _) = run_dfsio(SystemKind::Bb(Scheme::AsyncLustre), &cfg);
+    println!("E3 write MB/s: HDFS {hdfs_w:.0}, Lustre {lustre_w:.0}, BB-Async {bb_w:.0}");
+    assert!(
+        lustre_w > hdfs_w * 1.2,
+        "Lustre ({lustre_w:.0}) should beat HDFS ({hdfs_w:.0})"
+    );
+    assert!(
+        bb_w > hdfs_w * 2.0,
+        "BB ({bb_w:.0}) should be ≥2x HDFS ({hdfs_w:.0})"
+    );
+    assert!(
+        bb_w > lustre_w * 1.3,
+        "BB ({bb_w:.0}) should be ≥1.3x Lustre ({lustre_w:.0})"
+    );
+}
+
+/// The paper's read gain (E4): buffered reads far above both baselines.
+#[test]
+fn e4_shape_read_gain() {
+    let cfg = dfsio_small();
+    let (_, hdfs_r) = run_dfsio(SystemKind::Hdfs, &cfg);
+    let (_, lustre_r) = run_dfsio(SystemKind::Lustre, &cfg);
+    let (_, bb_r) = run_dfsio(SystemKind::Bb(Scheme::AsyncLustre), &cfg);
+    println!("E4 read MB/s: HDFS {hdfs_r:.0}, Lustre {lustre_r:.0}, BB-Async {bb_r:.0}");
+    assert!(
+        bb_r > hdfs_r * 3.0,
+        "BB read ({bb_r:.0}) should be ≥3x HDFS ({hdfs_r:.0})"
+    );
+    assert!(
+        bb_r > lustre_r * 3.0,
+        "BB read ({bb_r:.0}) should be ≥3x Lustre ({lustre_r:.0})"
+    );
+}
+
+/// Scheme ordering (E8): async ≥ hybrid > sync on writes; all ≥ Lustre.
+#[test]
+fn e8_shape_scheme_write_ordering() {
+    let cfg = dfsio_small();
+    let (a, _) = run_dfsio(SystemKind::Bb(Scheme::AsyncLustre), &cfg);
+    let (s, _) = run_dfsio(SystemKind::Bb(Scheme::SyncLustre), &cfg);
+    let (h, _) = run_dfsio(SystemKind::Bb(Scheme::HybridLocality), &cfg);
+    println!("E8 write MB/s: async {a:.0}, sync {s:.0}, hybrid {h:.0}");
+    assert!(a > s, "async ({a:.0}) should beat sync ({s:.0})");
+    assert!(a >= h * 0.95, "async ({a:.0}) should not lose to hybrid ({h:.0})");
+}
+
+/// Sort (E7): burst buffer reduces end-to-end sort time vs both baselines.
+#[test]
+fn e7_shape_sort_ordering() {
+    fn run_sort(kind: SystemKind) -> f64 {
+        let tb = Testbed::build(kind, small_config());
+        let pool = PayloadPool::standard();
+        let cfg = SortConfig {
+            data_size: 512 << 20,
+            input_files: 8,
+            reducers: 8,
+            ..SortConfig::default()
+        };
+        let sim = tb.sim.clone();
+        sim.block_on(async move {
+            let fs_for = tb.fs_for();
+            let r = sortbench::generate_and_sort(&tb.engine, &tb.nodes, &fs_for, &pool, &cfg)
+                .await
+                .unwrap();
+            tb.shutdown();
+            r.sort_time.as_secs_f64()
+        })
+    }
+    let hdfs_t = run_sort(SystemKind::Hdfs);
+    let lustre_t = run_sort(SystemKind::Lustre);
+    let bb_t = run_sort(SystemKind::Bb(Scheme::AsyncLustre));
+    println!("E7 sort secs: HDFS {hdfs_t:.2}, Lustre {lustre_t:.2}, BB-Async {bb_t:.2}");
+    assert!(bb_t < hdfs_t, "BB sort ({bb_t:.2}s) should beat HDFS ({hdfs_t:.2}s)");
+    assert!(bb_t < lustre_t, "BB sort ({bb_t:.2}s) should beat Lustre ({lustre_t:.2}s)");
+}
+
+/// Local storage (E9): HDFS ≈ 3× data, hybrid ≈ 1× data, async/sync ≈ 0.
+#[test]
+fn e9_local_storage_by_system() {
+    let data = 4u64 << 20;
+    for (kind, expect) in [
+        (SystemKind::Hdfs, 3 * data),
+        (SystemKind::Lustre, 0),
+        (SystemKind::Bb(Scheme::AsyncLustre), 0),
+        (SystemKind::Bb(Scheme::SyncLustre), 0),
+        (SystemKind::Bb(Scheme::HybridLocality), data),
+    ] {
+        let tb = Testbed::build(kind, small_config());
+        let pool = PayloadPool::standard();
+        let sim = tb.sim.clone();
+        let used = sim.block_on(async move {
+            let fs_for = tb.fs_for();
+            let w = fs_for(tb.nodes[0]).create("/e9/file").await.unwrap();
+            for piece in pool.stream(0, data, 1 << 20) {
+                w.append(piece).await.unwrap();
+            }
+            w.close().await.unwrap();
+            tb.drain_flush(&["/e9/file".into()]).await;
+            let used = tb.local_storage_used();
+            tb.shutdown();
+            used
+        });
+        assert_eq!(used, expect, "kind {kind:?}");
+    }
+}
+
+#[test]
+fn randomwriter_runs_and_orders() {
+    fn run(kind: SystemKind) -> f64 {
+        let tb = Testbed::build(kind, small_config());
+        let pool = PayloadPool::standard();
+        let cfg = RandomWriterConfig {
+            bytes_per_node: 64 << 20,
+            ..RandomWriterConfig::default()
+        };
+        let sim = tb.sim.clone();
+        sim.block_on(async move {
+            let fs_for = tb.fs_for();
+            let r = randomwriter::run(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg)
+                .await
+                .unwrap();
+            tb.shutdown();
+            r.elapsed.as_secs_f64()
+        })
+    }
+    let h = run(SystemKind::Hdfs);
+    let b = run(SystemKind::Bb(Scheme::AsyncLustre));
+    println!("E6 randomwriter secs: HDFS {h:.2}, BB {b:.2}");
+    assert!(b < h, "BB ({b:.2}s) should beat HDFS ({h:.2}s)");
+}
+
+#[test]
+fn swim_trace_completes_with_sane_stats() {
+    let tb = Testbed::build(SystemKind::Bb(Scheme::AsyncLustre), small_config());
+    let pool = PayloadPool::standard();
+    let cfg = SwimConfig {
+        jobs: 6,
+        min_input: 16 << 20,
+        max_input: 128 << 20,
+        ..SwimConfig::default()
+    };
+    let sim = tb.sim.clone();
+    sim.block_on(async move {
+        let fs_for = tb.fs_for();
+        let r = swim::run(&tb.engine, &tb.nodes, &fs_for, &pool, &cfg)
+            .await
+            .unwrap();
+        assert_eq!(r.jobs.len(), 6);
+        assert!(r.makespan > std::time::Duration::ZERO);
+        assert!(r.mean_job_time <= r.p95_job_time);
+        assert!(r.p95_job_time <= r.makespan);
+        tb.shutdown();
+    });
+    assert!(sim.now() > Time::ZERO);
+}
+
+#[test]
+fn real_record_sort_small_scale_via_bench_path() {
+    let tb = Testbed::build(SystemKind::Bb(Scheme::AsyncLustre), small_config());
+    let cfg = SortConfig {
+        data_size: 8 << 20,
+        input_files: 4,
+        reducers: 4,
+        real_sort: true,
+        ..SortConfig::default()
+    };
+    let records_per_file = (cfg.data_size / cfg.input_files as u64 / 100) as usize;
+    let expected_total = (records_per_file * cfg.input_files * 100) as u64;
+    let sim = tb.sim.clone();
+    sim.block_on(async move {
+        let fs_for = tb.fs_for();
+        // real record input so the real sort has structure to sort
+        for i in 0..cfg.input_files {
+            sortbench::teragen_real(
+                &fs_for(tb.nodes[i % tb.nodes.len()]),
+                &format!("{}/part-{i:05}", cfg.input_dir),
+                records_per_file,
+                i as u64 + 1,
+            )
+            .await
+            .unwrap();
+        }
+        let r = sortbench::sort(&tb.engine, &fs_for, &cfg).await.unwrap();
+        assert_eq!(r.bytes, expected_total);
+        // outputs exist and carry all the bytes back
+        let mut total = 0;
+        for p in 0..cfg.reducers {
+            let f = fs_for(tb.nodes[0])
+                .open(&format!("{}/part-{p:05}", cfg.output_dir))
+                .await
+                .unwrap();
+            total += f.size();
+        }
+        assert_eq!(total, expected_total);
+        tb.shutdown();
+    });
+}
+
+#[test]
+fn e11_more_kv_servers_scale_write_throughput() {
+    fn run(servers: usize) -> f64 {
+        let mut cfg = small_config();
+        cfg.bb.kv_servers = servers;
+        // push the client bottleneck out of the way so the buffer layer is
+        // what limits throughput in this sweep
+        cfg.bb.client_write_rate = 3.0e9;
+        let tb = Testbed::build(SystemKind::Bb(Scheme::AsyncLustre), cfg);
+        let pool = PayloadPool::standard();
+        let dfsio = DfsioConfig {
+            files: 16,
+            file_size: 128 << 20,
+            ..DfsioConfig::default()
+        };
+        let sim = tb.sim.clone();
+        sim.block_on(async move {
+            let fs_for = tb.fs_for();
+            let w = testdfsio::write(&tb.sim, &tb.nodes, &fs_for, &pool, &dfsio)
+                .await
+                .unwrap();
+            tb.shutdown();
+            w.aggregate.mb_per_sec()
+        })
+    }
+    let one = run(1);
+    let four = run(4);
+    println!("E11 write MB/s: 1 server {one:.0}, 4 servers {four:.0}");
+    assert!(
+        four > one * 2.0,
+        "4 servers ({four:.0}) should scale well past 1 ({one:.0})"
+    );
+}

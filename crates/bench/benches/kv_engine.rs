@@ -16,19 +16,23 @@ fn bench_slab(c: &mut Criterion) {
     let mut g = c.benchmark_group("slab");
     for &size in &[128usize, 4096, 65536] {
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("alloc_write_free", size), &size, |b, &size| {
-            let mut slab = SlabAllocator::new(SlabConfig {
-                mem_limit: 64 << 20,
-                ..SlabConfig::default()
-            });
-            let payload = vec![0xa5u8; size];
-            b.iter(|| {
-                let chunk = slab.alloc(size).expect("capacity");
-                slab.write(chunk, &payload);
-                std::hint::black_box(slab.read(chunk, size)[0]);
-                slab.free(chunk);
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("alloc_write_free", size),
+            &size,
+            |b, &size| {
+                let mut slab = SlabAllocator::new(SlabConfig {
+                    mem_limit: 64 << 20,
+                    ..SlabConfig::default()
+                });
+                let payload = vec![0xa5u8; size];
+                b.iter(|| {
+                    let chunk = slab.alloc(size).expect("capacity");
+                    slab.write(chunk, &payload);
+                    std::hint::black_box(slab.read(chunk, size)[0]);
+                    slab.free(chunk);
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -56,7 +60,8 @@ fn bench_store(c: &mut Criterion) {
         });
         let v = Bytes::from(vec![1u8; 4096]);
         for i in 0..1000u64 {
-            s.set(format!("key-{i}").as_bytes(), v.clone(), 0, 0, 0).unwrap();
+            s.set(format!("key-{i}").as_bytes(), v.clone(), 0, 0, 0)
+                .unwrap();
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -74,7 +79,8 @@ fn bench_store(c: &mut Criterion) {
         let v = Bytes::from(vec![2u8; 16 << 10]);
         let mut i = 0u64;
         b.iter(|| {
-            s.set(format!("key-{i}").as_bytes(), v.clone(), 0, 0, 0).expect("set");
+            s.set(format!("key-{i}").as_bytes(), v.clone(), 0, 0, 0)
+                .expect("set");
             i += 1;
         });
     });
@@ -98,7 +104,8 @@ fn bench_sharded_threads(c: &mut Criterion) {
                 let v = Bytes::from(vec![3u8; 1024]);
                 // preload
                 for i in 0..4096u64 {
-                    kv.set(format!("k{i}").as_bytes(), v.clone(), 0, 0, 0).unwrap();
+                    kv.set(format!("k{i}").as_bytes(), v.clone(), 0, 0, 0)
+                        .unwrap();
                 }
                 b.iter(|| {
                     std::thread::scope(|scope| {

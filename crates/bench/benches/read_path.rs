@@ -1,0 +1,72 @@
+//! Criterion bench of the pipelined tiered read path: host-time cost of
+//! simulating a whole-file read, buffered (RDMA GET tier) vs cold
+//! (coalesced Lustre fallback), across read-window depths. This measures
+//! the harness itself — how expensive the extra spawned readahead tasks
+//! are per simulated byte — not the simulated throughput (that is AB5).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bb_core::manager::chunk_key;
+use bb_core::{BbConfig, BbDeployment, Scheme};
+use lustre::{LustreCluster, LustreConfig};
+use netsim::{Fabric, NetConfig, NodeId};
+use simkit::Sim;
+
+const FILE_SIZE: u64 = 8 << 20; // 16 chunks of 512 KiB
+
+fn run_read(read_window: usize, cold: bool) -> Bytes {
+    let sim = Sim::new();
+    let fabric = Fabric::new(sim.clone(), 2, NetConfig::default());
+    let lustre = LustreCluster::deploy(&fabric, LustreConfig::default());
+    let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+    let cfg = BbConfig {
+        scheme: Scheme::AsyncLustre,
+        read_window,
+        ..BbConfig::default()
+    };
+    let chunk_size = cfg.chunk_size;
+    let dep = BbDeployment::deploy(&fabric, lustre, &nodes, cfg);
+    let client = dep.client(NodeId(0));
+    sim.block_on(async move {
+        let w = client.create("/bench").await.unwrap();
+        w.append(Bytes::from(vec![7u8; FILE_SIZE as usize]))
+            .await
+            .unwrap();
+        w.close().await.unwrap();
+        if cold {
+            client.wait_flushed("/bench").await.unwrap();
+            for seq in 0..FILE_SIZE.div_ceil(chunk_size) {
+                let _ = client.kv().delete(&chunk_key(1, seq)).await;
+            }
+        }
+        let rd = client.open("/bench").await.unwrap();
+        let data = rd.read_all().await.unwrap();
+        dep.shutdown();
+        data
+    })
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_path");
+    g.throughput(Throughput::Bytes(FILE_SIZE));
+    for &window in &[1usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("buffered", window), &window, |b, &w| {
+            b.iter(|| std::hint::black_box(run_read(w, false)));
+        });
+        g.bench_with_input(BenchmarkId::new("cold", window), &window, |b, &w| {
+            b.iter(|| std::hint::black_box(run_read(w, true)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_read_path
+}
+criterion_main!(benches);

@@ -12,6 +12,10 @@ fn main() {
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
-        if report.shape_holds { "HOLDS" } else { "DIVERGES" }
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
     );
 }

@@ -1,0 +1,22 @@
+//! AB5: read-window sweep on the E4 workload — pipelined read depth vs
+//! aggregate read throughput.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab5 [--quick]
+//! ```
+
+use bench::experiments::ablations;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = ablations::ab5_read_window(quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+}

@@ -11,6 +11,17 @@ use crate::table::{mbps, ratio, Table};
 
 /// One DFSIO cell: (write MB/s, read MB/s) for a system at a total size.
 pub fn dfsio_cell(kind: SystemKind, config: TestbedConfig, cfg: DfsioConfig) -> (f64, f64) {
+    let (w, r, _) = dfsio_cell_stats(kind, config, cfg);
+    (w, r)
+}
+
+/// Like [`dfsio_cell`], also returning the burst buffer's read-path tier
+/// counters for the read phase (`None` for non-BB systems).
+pub fn dfsio_cell_stats(
+    kind: SystemKind,
+    config: TestbedConfig,
+    cfg: DfsioConfig,
+) -> (f64, f64, Option<bb_core::ReadStats>) {
     let tb = Testbed::build(kind, config);
     let pool = PayloadPool::standard();
     let sim = tb.sim.clone();
@@ -19,11 +30,16 @@ pub fn dfsio_cell(kind: SystemKind, config: TestbedConfig, cfg: DfsioConfig) -> 
         let w = testdfsio::write(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg)
             .await
             .expect("write phase");
+        // count only the read phase's chunk fetches
+        if let Some(bb) = &tb.bb {
+            bb.reset_read_stats();
+        }
         let r = testdfsio::read(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg, false)
             .await
             .expect("read phase");
+        let stats = tb.bb.as_ref().map(|bb| bb.read_stats());
         tb.shutdown();
-        (w.aggregate.mb_per_sec(), r.aggregate.mb_per_sec())
+        (w.aggregate.mb_per_sec(), r.aggregate.mb_per_sec(), stats)
     })
 }
 
@@ -44,7 +60,8 @@ fn dfsio_for_total(total: u64) -> DfsioConfig {
 }
 
 /// Full write+read sweep over the five systems (shared by E3 and E4).
-fn sweep(quick: bool) -> Vec<(u64, SystemKind, f64, f64)> {
+#[allow(clippy::type_complexity)]
+fn sweep(quick: bool) -> Vec<(u64, SystemKind, f64, f64, Option<bb_core::ReadStats>)> {
     let sizes = size_sweep(quick);
     let cells: Vec<(u64, SystemKind)> = sizes
         .iter()
@@ -53,8 +70,9 @@ fn sweep(quick: bool) -> Vec<(u64, SystemKind, f64, f64)> {
     cells
         .into_par_iter()
         .map(|(sz, kind)| {
-            let (w, r) = dfsio_cell(kind, TestbedConfig::default(), dfsio_for_total(sz));
-            (sz, kind, w, r)
+            let (w, r, stats) =
+                dfsio_cell_stats(kind, TestbedConfig::default(), dfsio_for_total(sz));
+            (sz, kind, w, r, stats)
         })
         .collect()
 }
@@ -68,7 +86,16 @@ pub fn e3_write(quick: bool) -> ExpReport {
     let results = sweep(quick);
     let mut t = Table::new(
         "E3: TestDFSIO WRITE aggregate MB/s vs total data size (16 files, 16 nodes)",
-        &["size", "HDFS", "Lustre", "BB-Async", "BB-Sync", "BB-Hybrid", "BB/HDFS", "BB/Lustre"],
+        &[
+            "size",
+            "HDFS",
+            "Lustre",
+            "BB-Async",
+            "BB-Sync",
+            "BB-Hybrid",
+            "BB/HDFS",
+            "BB/Lustre",
+        ],
     );
     let mut worst_vs_hdfs = f64::MAX;
     let mut worst_vs_lustre = f64::MAX;
@@ -76,8 +103,8 @@ pub fn e3_write(quick: bool) -> ExpReport {
         let get = |k: SystemKind| {
             results
                 .iter()
-                .find(|(s, kk, _, _)| *s == sz && *kk == k)
-                .map(|(_, _, w, _)| *w)
+                .find(|(s, kk, _, _, _)| *s == sz && *kk == k)
+                .map(|(_, _, w, _, _)| *w)
                 .unwrap_or(0.0)
         };
         let (h, l, a, s, hy) = (
@@ -120,12 +147,13 @@ pub fn e4_read(quick: bool) -> ExpReport {
         &["size", "HDFS", "Lustre", "BB-Async", "BB/HDFS", "BB/Lustre"],
     );
     let mut best_gain: f64 = 0.0;
+    let mut tiers_account = true;
     for &sz in &size_sweep(quick) {
         let get = |k: SystemKind| {
             results
                 .iter()
-                .find(|(s, kk, _, _)| *s == sz && *kk == k)
-                .map(|(_, _, _, r)| *r)
+                .find(|(s, kk, _, _, _)| *s == sz && *kk == k)
+                .map(|(_, _, _, r, _)| *r)
                 .unwrap_or(0.0)
         };
         let (h, l, a) = (
@@ -134,7 +162,40 @@ pub fn e4_read(quick: bool) -> ExpReport {
             get(SystemKind::Bb(bb_core::Scheme::AsyncLustre)),
         );
         best_gain = best_gain.max((a / h).max(a / l));
-        t.row(vec![gb(sz), mbps(h), mbps(l), mbps(a), ratio(a / h), ratio(a / l)]);
+        t.row(vec![
+            gb(sz),
+            mbps(h),
+            mbps(l),
+            mbps(a),
+            ratio(a / h),
+            ratio(a / l),
+        ]);
+        // tier accounting: every chunk of the dataset is served by
+        // exactly one tier during the read phase
+        if let Some(stats) = results
+            .iter()
+            .find(|(s, kk, _, _, _)| {
+                *s == sz && *kk == SystemKind::Bb(bb_core::Scheme::AsyncLustre)
+            })
+            .and_then(|(_, _, _, _, st)| st.clone())
+        {
+            let chunk = TestbedConfig::default().bb.chunk_size;
+            let expect = 16 * (sz / 16).div_ceil(chunk);
+            tiers_account &= stats.chunks_fetched() == expect;
+            t.note(format!(
+                "{}: BB-Async tiers local/buffer/lustre = {}/{}/{} (sum {}, dataset {} chunks), \
+                 {} multi-GETs avg batch {:.1}, {} readahead stalls",
+                gb(sz),
+                stats.tier_local,
+                stats.tier_buffer,
+                stats.tier_lustre,
+                stats.chunks_fetched(),
+                expect,
+                stats.multi_gets,
+                stats.avg_batch(),
+                stats.readahead_stalls,
+            ));
+        }
     }
     t.note(format!(
         "paper: read gain up to 8x; measured best gain {}",
@@ -143,7 +204,7 @@ pub fn e4_read(quick: bool) -> ExpReport {
     ExpReport {
         id: "E4",
         table: t,
-        shape_holds: best_gain > 4.0,
+        shape_holds: best_gain > 4.0 && tiers_account,
     }
 }
 
@@ -178,7 +239,9 @@ pub fn e5_cluster_scaling(quick: bool) -> ExpReport {
         .collect();
     let mut t = Table::new(
         "E5: TestDFSIO aggregate MB/s vs cluster size (128 MiB per node)",
-        &["nodes", "HDFS w", "Lustre w", "BB w", "HDFS r", "Lustre r", "BB r"],
+        &[
+            "nodes", "HDFS w", "Lustre w", "BB w", "HDFS r", "Lustre r", "BB r",
+        ],
     );
     let mut bb_wins_at_largest = false;
     for &n in sizes {

@@ -21,7 +21,10 @@ pub fn e9_local_storage() -> ExpReport {
         let sim = tb.sim.clone();
         let used = sim.block_on(async move {
             let fs_for = tb.fs_for();
-            let w = fs_for(tb.nodes[0]).create("/e9/data").await.expect("create");
+            let w = fs_for(tb.nodes[0])
+                .create("/e9/data")
+                .await
+                .expect("create");
             for piece in pool.stream(0, data, 1 << 20) {
                 w.append(piece).await.expect("append");
             }
@@ -84,12 +87,20 @@ pub fn e12_fault_tolerance() -> ExpReport {
             let ok = r.read_all().await.map(|b| b.len() as u64) == Ok(256 << 20);
             let recovered = stats.under_replicated == 0;
             tb.shutdown();
-            (ok && recovered, stats.replications_issued, (tb.sim.now() - t0).as_secs_f64())
+            (
+                ok && recovered,
+                stats.replications_issued,
+                (tb.sim.now() - t0).as_secs_f64(),
+            )
         });
         shape &= recovered;
         t.row(vec![
             "HDFS: kill 1 of 16 DataNodes".into(),
-            if recovered { "recovered".into() } else { "DEGRADED".into() },
+            if recovered {
+                "recovered".into()
+            } else {
+                "DEGRADED".into()
+            },
             format!("{repl_cmds} re-replications within {dt:.0}s window"),
         ]);
     }

@@ -48,7 +48,14 @@ pub fn e6_randomwriter(quick: bool) -> ExpReport {
         .collect();
     let mut t = Table::new(
         "E6: RandomWriter execution time (s) vs bytes per node (16 nodes)",
-        &["per node", "HDFS", "Lustre", "BB-Async", "BB-Sync", "BB-Hybrid"],
+        &[
+            "per node",
+            "HDFS",
+            "Lustre",
+            "BB-Async",
+            "BB-Sync",
+            "BB-Hybrid",
+        ],
     );
     let mut shape = true;
     for &sz in sizes {
@@ -128,7 +135,15 @@ pub fn e7_sort(quick: bool) -> ExpReport {
         .collect();
     let mut t = Table::new(
         "E7: Sort execution time (s) vs data size (16 nodes, 16 reducers)",
-        &["size", "HDFS", "Lustre", "BB-Async", "BB-Hybrid", "vs HDFS", "vs Lustre"],
+        &[
+            "size",
+            "HDFS",
+            "Lustre",
+            "BB-Async",
+            "BB-Hybrid",
+            "vs HDFS",
+            "vs Lustre",
+        ],
     );
     let mut best_vs_hdfs: f64 = 0.0;
     let mut best_vs_lustre: f64 = 0.0;
@@ -180,12 +195,15 @@ pub fn e8_schemes(quick: bool) -> ExpReport {
         ..DfsioConfig::default()
     };
     let schemes = Scheme::all();
-    let io: Vec<(Scheme, f64, f64)> = schemes
+    let io: Vec<(Scheme, f64, f64, Option<bb_core::ReadStats>)> = schemes
         .into_par_iter()
         .map(|s| {
-            let (w, r) =
-                crate::experiments::dfsio::dfsio_cell(SystemKind::Bb(s), TestbedConfig::default(), dfsio.clone());
-            (s, w, r)
+            let (w, r, stats) = crate::experiments::dfsio::dfsio_cell_stats(
+                SystemKind::Bb(s),
+                TestbedConfig::default(),
+                dfsio.clone(),
+            );
+            (s, w, r, stats)
         })
         .collect();
     let sorts: Vec<(Scheme, f64)> = schemes
@@ -194,10 +212,17 @@ pub fn e8_schemes(quick: bool) -> ExpReport {
         .collect();
     let mut t = Table::new(
         "E8: scheme comparison — write/read MB/s and sort time",
-        &["scheme", "write MB/s", "read MB/s", "sort s", "local data", "fault window"],
+        &[
+            "scheme",
+            "write MB/s",
+            "read MB/s",
+            "sort s",
+            "local data",
+            "fault window",
+        ],
     );
     for (i, s) in schemes.iter().enumerate() {
-        let (_, w, r) = io[i];
+        let (_, w, r, ref stats) = io[i];
         let (_, st) = sorts[i];
         let (local, window) = match s {
             Scheme::AsyncLustre => ("none", "until flush"),
@@ -212,6 +237,18 @@ pub fn e8_schemes(quick: bool) -> ExpReport {
             local.into(),
             window.into(),
         ]);
+        if let Some(stats) = stats {
+            t.note(format!(
+                "{}: read tiers local/buffer/lustre = {}/{}/{} (sum {}), {} multi-GETs avg batch {:.1}",
+                s.label(),
+                stats.tier_local,
+                stats.tier_buffer,
+                stats.tier_lustre,
+                stats.chunks_fetched(),
+                stats.multi_gets,
+                stats.avg_batch(),
+            ));
+        }
     }
     let aw = io[0].1;
     let sw = io[1].1;
@@ -246,9 +283,17 @@ pub fn e10_io_intensive(quick: bool) -> ExpReport {
         &["system", "WordCount", "Grep", "SWIM makespan"],
     );
     for (kind, wc, grep, swim) in &rows {
-        t.row(vec![kind.label().into(), secs(*wc), secs(*grep), secs(*swim)]);
+        t.row(vec![
+            kind.label().into(),
+            secs(*wc),
+            secs(*grep),
+            secs(*swim),
+        ]);
     }
-    let bb = rows.iter().find(|r| matches!(r.0, SystemKind::Bb(_))).unwrap();
+    let bb = rows
+        .iter()
+        .find(|r| matches!(r.0, SystemKind::Bb(_)))
+        .unwrap();
     let hdfs = rows.iter().find(|r| r.0 == SystemKind::Hdfs).unwrap();
     let shape = bb.3 < hdfs.3 && bb.1 <= hdfs.1 * 1.05;
     t.note("paper: the buffered design significantly benefits I/O-intensive workloads vs both baselines");

@@ -41,7 +41,10 @@ fn latency_cell(profile: TransportProfile, value_size: usize, reps: usize) -> (f
         let t0 = s.now();
         for i in 0..reps {
             let key = format!("k{}", i % 8);
-            client.set(key.as_bytes(), payload.clone(), 0, 0).await.unwrap();
+            client
+                .set(key.as_bytes(), payload.clone(), 0, 0)
+                .await
+                .unwrap();
         }
         let set_lat = (s.now() - t0).as_secs_f64() / reps as f64;
         let t1 = s.now();
@@ -60,11 +63,24 @@ fn latency_cell(profile: TransportProfile, value_size: usize, reps: usize) -> (f
 pub fn e1_kv_latency() -> ExpReport {
     // the largest value stays under memcached's 1 MiB item limit
     // (key + header + value must fit the top slab class)
-    let sizes = [64usize, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, (1 << 20) - 128];
+    let sizes = [
+        64usize,
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        (1 << 20) - 128,
+    ];
     let mut t = Table::new(
         "E1: KV store latency (µs) vs value size — hybrid protocol per transport",
         &[
-            "size", "verbs set", "verbs get", "ipoib set", "ipoib get", "10gige set",
+            "size",
+            "verbs set",
+            "verbs get",
+            "ipoib set",
+            "ipoib get",
+            "10gige set",
             "10gige get",
         ],
     );
@@ -101,7 +117,11 @@ pub fn e1_kv_latency() -> ExpReport {
 
 /// E2: aggregate throughput vs concurrent clients.
 pub fn e2_kv_throughput(quick: bool) -> ExpReport {
-    let client_counts: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32] };
+    let client_counts: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let mut t = Table::new(
         "E2: KV store throughput (K ops/s) vs concurrent clients — 4 KiB values",
         &["clients", "get Kops/s", "set Kops/s"],
@@ -114,7 +134,11 @@ pub fn e2_kv_throughput(quick: bool) -> ExpReport {
             first_get = get_kops;
         }
         last_get = get_kops;
-        t.row(vec![n.to_string(), format!("{get_kops:.1}"), format!("{set_kops:.1}")]);
+        t.row(vec![
+            n.to_string(),
+            format!("{get_kops:.1}"),
+            format!("{set_kops:.1}"),
+        ]);
     }
     let scaling = last_get / first_get.max(1e-12);
     t.note(format!(
@@ -156,7 +180,10 @@ fn throughput_cell(clients: usize, value_size: usize, ops_per_client: usize) -> 
             handles.push(s.spawn(async move {
                 for i in 0..ops_per_client {
                     let key = format!("c{c}-k{i}");
-                    client.set(key.as_bytes(), payload.clone(), 0, 0).await.unwrap();
+                    client
+                        .set(key.as_bytes(), payload.clone(), 0, 0)
+                        .await
+                        .unwrap();
                 }
                 let set_done = s2.now();
                 for i in 0..ops_per_client {

@@ -14,7 +14,7 @@ use crate::table::Table;
 
 /// An experiment's rendered output plus its paper-shape verdict.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB4`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB5`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
@@ -57,5 +57,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(ablations::ab3_flushers(quick));
     println!(">>> AB4: placement ablation");
     out.push(ablations::ab4_placement());
+    println!(">>> AB5: read-window ablation");
+    out.push(ablations::ab5_read_window(quick));
     out
 }

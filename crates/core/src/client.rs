@@ -3,7 +3,9 @@
 //! scheme-C local-replica) fallback.
 
 use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
+use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 use netsim::NodeId;
@@ -14,8 +16,8 @@ use simkit::JoinHandle;
 use hdfs::{HdfsClient, HdfsReader, HdfsWriter};
 use lustre::{LustreClient, LustreError, LustreFile};
 
-use crate::manager::{chunk_key, lustre_path, BbFileMeta, FileState, MgrMsg, MGR_SERVICE};
 pub use crate::manager::BbError;
+use crate::manager::{chunk_key, lustre_path, BbFileMeta, FileState, MgrMsg, MGR_SERVICE};
 use crate::{BbConfig, BbDeployment, Scheme};
 
 /// KV client settings derived from the burst-buffer configuration.
@@ -35,6 +37,47 @@ pub(crate) fn kv_client_config(cfg: &BbConfig) -> KvClientConfig {
     }
 }
 
+/// Counters for the tiered read path, aggregated per deployment. Every
+/// chunk a reader returns is attributed to exactly one tier, so
+/// `tier_local + tier_buffer + tier_lustre` equals the total chunks
+/// fetched (see [`ReadStats::chunks_fetched`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Chunks served from the scheme-C node-local replica (tier 0).
+    pub tier_local: u64,
+    /// Chunks served from the KV buffer (tier 1).
+    pub tier_buffer: u64,
+    /// Chunks served from Lustre (tier 2).
+    pub tier_lustre: u64,
+    /// Per-server batched-GET round trips issued by the pipelined path.
+    pub multi_gets: u64,
+    /// Keys carried by those round trips (`multi_get_keys / multi_gets`
+    /// is the mean batch size).
+    pub multi_get_keys: u64,
+    /// Times a consumer had to wait on a chunk still in flight.
+    pub readahead_stalls: u64,
+    /// Read-through cache fills started (`populate_on_read`).
+    pub fills_started: u64,
+    /// Read-through cache fills skipped because the fill window was full.
+    pub fill_drops: u64,
+}
+
+impl ReadStats {
+    /// Total chunks fetched through any tier.
+    pub fn chunks_fetched(&self) -> u64 {
+        self.tier_local + self.tier_buffer + self.tier_lustre
+    }
+
+    /// Mean keys per batched-GET round trip (0 when none were issued).
+    pub fn avg_batch(&self) -> f64 {
+        if self.multi_gets == 0 {
+            0.0
+        } else {
+            self.multi_get_keys as f64 / self.multi_gets as f64
+        }
+    }
+}
+
 /// A burst-buffer client bound to one compute node.
 pub struct BbClient {
     dep: Rc<BbDeployment>,
@@ -42,6 +85,9 @@ pub struct BbClient {
     kv: Rc<KvClient>,
     lustre: LustreClient,
     hdfs: Option<HdfsClient>,
+    /// Bounds concurrent `populate_on_read` cache fills (read-through
+    /// fills beyond the window are dropped, not queued).
+    fill_gate: Semaphore,
 }
 
 impl BbClient {
@@ -55,12 +101,14 @@ impl BbClient {
         );
         let lustre = dep.lustre.client(node);
         let hdfs = dep.hdfs_local.as_ref().map(|h| h.client(node));
+        let fill_gate = Semaphore::new(dep.config.read_window.max(1));
         Rc::new(BbClient {
             dep,
             node,
             kv,
             lustre,
             hdfs,
+            fill_gate,
         })
     }
 
@@ -96,7 +144,10 @@ impl BbClient {
     pub async fn create(self: &Rc<Self>, path: &str) -> Result<BbWriter, BbError> {
         let p = path.to_owned();
         let file_id = self
-            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Create { path: p, reply })
+            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Create {
+                path: p,
+                reply,
+            })
             .await??;
         let lustre_file = match self.dep.config.scheme {
             Scheme::SyncLustre => Some(Rc::new(self.lustre.create(&lustre_path(path)).await?)),
@@ -129,18 +180,26 @@ impl BbClient {
             None => None,
         };
         Ok(BbReader {
-            client: Rc::clone(self),
-            path: path.to_owned(),
-            meta: RefCell::new(meta),
-            hdfs_reader,
-            lustre_file: RefCell::new(None),
+            core: Rc::new(ReadCore {
+                client: Rc::clone(self),
+                path: path.to_owned(),
+                meta: RefCell::new(meta),
+                hdfs_reader,
+                lustre_file: RefCell::new(None),
+                ready: RefCell::new(BTreeMap::new()),
+                inflight: RefCell::new(BTreeMap::new()),
+                fetch_gate: Semaphore::new(self.dep.config.read_window.max(1)),
+            }),
         })
     }
 
     async fn fetch_meta(&self, path: &str) -> Result<BbFileMeta, BbError> {
         let p = path.to_owned();
-        self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::Open { path: p, reply })
-            .await?
+        self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::Open {
+            path: p,
+            reply,
+        })
+        .await?
     }
 
     /// Whether `path` exists.
@@ -157,11 +216,28 @@ impl BbClient {
     pub async fn delete(&self, path: &str) -> Result<(), BbError> {
         let p = path.to_owned();
         let meta = self
-            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Delete { path: p, reply })
+            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Delete {
+                path: p,
+                reply,
+            })
             .await??;
         let chunks = meta.size.div_ceil(meta.chunk_size.max(1));
+        // drop buffered chunks with up to `read_window` deletes in flight
+        // (window 1 degenerates to the serial per-chunk loop)
+        let gate = Semaphore::new(self.dep.config.read_window.max(1));
+        let sim = self.dep.stack.sim().clone();
+        let mut pending = Vec::with_capacity(chunks as usize);
         for seq in 0..chunks {
-            let _ = self.kv.delete(&chunk_key(meta.file_id, seq)).await;
+            let gate = gate.clone();
+            let kv = Rc::clone(&self.kv);
+            let key = chunk_key(meta.file_id, seq);
+            pending.push(sim.spawn(async move {
+                let _permit = gate.acquire().await;
+                let _ = kv.delete(&key).await;
+            }));
+        }
+        for h in pending {
+            h.await;
         }
         match self.lustre.unlink(&meta.lustre_path).await {
             Ok(()) | Err(LustreError::Mds(lustre::MdsError::NotFound(_))) => {}
@@ -184,7 +260,6 @@ impl BbClient {
             reply,
         })
         .await
-        .map_err(Into::into)
     }
 
     /// Block until `path` is durable in Lustre (or reported lost).
@@ -291,9 +366,8 @@ impl BbWriter {
                     let lf = lustre_file.expect("sync scheme has a lustre handle");
                     let kv = Rc::clone(&client.kv);
                     let kv_chunk = chunk.clone();
-                    let kv_task = sim.spawn(async move {
-                        kv.set(&key, kv_chunk, 0, 0).await.map(|_| ())
-                    });
+                    let kv_task =
+                        sim.spawn(async move { kv.set(&key, kv_chunk, 0, 0).await.map(|_| ()) });
                     lf.write_at(seq * chunk_size, chunk).await?;
                     let _ = kv_task.await; // buffer errors are non-fatal here
                     Ok(())
@@ -349,15 +423,23 @@ impl BbWriter {
                 first_err.get_or_insert(e);
             }
         }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
+        // Mark closed and release the per-file handles even when a chunk
+        // write failed: a caller that retries after an error must not trip
+        // the `double close`/`append after close` asserts, and the HDFS/
+        // Lustre handles must not leak open.
         self.closed.set(true);
         if let Some(w) = &self.hdfs_writer {
-            w.close().await?;
+            if let Err(e) = w.close().await {
+                first_err.get_or_insert(e.into());
+            }
         }
         if let Some(lf) = &self.lustre_file {
-            lf.close().await?;
+            if let Err(e) = lf.close().await {
+                first_err.get_or_insert(e.into());
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let file_id = self.file_id;
         let size = self.size.get();
@@ -372,29 +454,86 @@ impl BbWriter {
     }
 }
 
-/// Reader with buffer-first chunk fetches.
+/// Reader with buffer-first chunk fetches. With `read_window > 1` the
+/// tiered path is pipelined: up to `read_window` chunks are in flight at
+/// once, buffer GETs are batched per KV server, and contiguous
+/// buffer-miss runs collapse into single Lustre reads. `read_window = 1`
+/// reproduces the serial chunk-at-a-time path exactly.
 pub struct BbReader {
-    client: Rc<BbClient>,
-    path: String,
-    meta: RefCell<BbFileMeta>,
-    hdfs_reader: Option<HdfsReader>,
-    lustre_file: RefCell<Option<Rc<LustreFile>>>,
+    core: Rc<ReadCore>,
 }
 
 impl BbReader {
     /// The file path.
     pub fn path(&self) -> &str {
-        &self.path
+        &self.core.path
     }
 
     /// File size.
     pub fn size(&self) -> u64 {
-        self.meta.borrow().size
+        self.core.meta.borrow().size
     }
 
     /// Durability state at last metadata refresh.
     pub fn state(&self) -> FileState {
-        self.meta.borrow().state
+        self.core.meta.borrow().state
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub async fn read_at(&self, offset: u64, len: u64) -> Result<Bytes, BbError> {
+        self.core.read_at(offset, len).await
+    }
+
+    /// Read the whole file.
+    pub async fn read_all(&self) -> Result<Bytes, BbError> {
+        let size = self.size();
+        if size == 0 {
+            return Ok(Bytes::new());
+        }
+        self.core.read_at(0, size).await
+    }
+
+    /// Block size of the scheme-C local overlay, if present.
+    pub fn local_block_size(&self) -> Option<u64> {
+        self.core.hdfs_reader.as_ref().map(|r| r.info().block_size)
+    }
+
+    /// Replica locations per chunk-region, for locality-aware scheduling
+    /// (scheme C exposes the local overlay's placement; A/B have no
+    /// node-local data).
+    pub fn locations(&self) -> Vec<Vec<NodeId>> {
+        match &self.core.hdfs_reader {
+            Some(r) => r.info().blocks.iter().map(|b| b.replicas.clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A group fetch publishes into `ready`; consumers waiting on a chunk
+/// take the group's join handle out of its shared slot.
+type InflightSlot = Rc<RefCell<Option<JoinHandle<()>>>>;
+
+/// Shared state behind a [`BbReader`]: per-file metadata plus the
+/// pipelined-fetch bookkeeping (chunks ready to consume, chunks in
+/// flight, and the window semaphore bounding concurrent fetches).
+struct ReadCore {
+    client: Rc<BbClient>,
+    path: String,
+    meta: RefCell<BbFileMeta>,
+    hdfs_reader: Option<HdfsReader>,
+    lustre_file: RefCell<Option<Rc<LustreFile>>>,
+    /// Fetched chunks awaiting consumption, by seq.
+    ready: RefCell<BTreeMap<u64, Result<Bytes, BbError>>>,
+    /// Seqs currently being fetched; all seqs of one group share a slot.
+    inflight: RefCell<BTreeMap<u64, InflightSlot>>,
+    /// `read_window` permits; a group of N chunks holds N for the wire
+    /// phase of its fetch.
+    fetch_gate: Semaphore,
+}
+
+impl ReadCore {
+    fn config(&self) -> &BbConfig {
+        &self.client.dep.config
     }
 
     /// Whether this node holds a scheme-C local replica covering `offset`.
@@ -414,8 +553,9 @@ impl BbReader {
     }
 
     async fn lustre_handle(&self) -> Result<Rc<LustreFile>, BbError> {
-        if let Some(f) = self.lustre_file.borrow().as_ref() {
-            return Ok(Rc::clone(f));
+        let cached = self.lustre_file.borrow().as_ref().map(Rc::clone);
+        if let Some(f) = cached {
+            return Ok(f);
         }
         let lpath = self.meta.borrow().lustre_path.clone();
         let f = Rc::new(self.client.lustre.open(&lpath).await?);
@@ -423,7 +563,29 @@ impl BbReader {
         Ok(f)
     }
 
-    /// Fetch one whole chunk via the tiered read path.
+    /// Start a read-through cache fill if the fill window has room.
+    fn maybe_fill(&self, file_id: u64, seq: u64, data: &Bytes) {
+        if !self.config().populate_on_read {
+            return;
+        }
+        match self.client.fill_gate.try_acquire() {
+            Some(permit) => {
+                self.client.dep.bump_read_stats(|s| s.fills_started += 1);
+                let kv = Rc::clone(&self.client.kv);
+                let key = chunk_key(file_id, seq);
+                let fill = data.clone();
+                self.client.dep.stack.sim().spawn(async move {
+                    let _permit = permit;
+                    let _ = kv.set(&key, fill, 0, 0).await;
+                });
+            }
+            None => self.client.dep.bump_read_stats(|s| s.fill_drops += 1),
+        }
+    }
+
+    /// Fetch one whole chunk via the serial tiered read path (the
+    /// `read_window = 1` behaviour, and the fallback for chunks the
+    /// pipelined planner did not cover).
     async fn fetch_chunk(&self, seq: u64) -> Result<Bytes, BbError> {
         let (file_id, chunk_size, size) = {
             let m = self.meta.borrow();
@@ -431,12 +593,13 @@ impl BbReader {
         };
         let chunk_len = chunk_size.min(size - seq * chunk_size);
         let sim = self.client.dep.stack.sim().clone();
-        let read_cpu = simkit::dur::transfer(chunk_len, self.client.dep.config.client_read_rate);
+        let read_cpu = simkit::dur::transfer(chunk_len, self.config().client_read_rate);
         // tier 0 (scheme C): node-local replica
         if self.has_local_replica(seq * chunk_size) {
             if let Some(r) = &self.hdfs_reader {
                 if let Ok(b) = r.read_at(seq * chunk_size, chunk_len).await {
                     sim.sleep(read_cpu).await;
+                    self.client.dep.bump_read_stats(|s| s.tier_local += 1);
                     return Ok(b);
                 }
             }
@@ -444,6 +607,7 @@ impl BbReader {
         // tier 1: the buffer (RDMA GET from server DRAM)
         if let Ok(Some(v)) = self.client.kv.get(&chunk_key(file_id, seq)).await {
             sim.sleep(read_cpu).await;
+            self.client.dep.bump_read_stats(|s| s.tier_buffer += 1);
             return Ok(v.data);
         }
         // tier 2: Lustre — only sound once the file is flushed
@@ -463,22 +627,27 @@ impl BbReader {
         }
         let lf = self.lustre_handle().await?;
         let data = lf.read_at(seq * chunk_size, chunk_len).await?;
-        if self.client.dep.config.populate_on_read {
-            // read-through cache fill (fire-and-forget)
-            let kv = Rc::clone(&self.client.kv);
-            let key = chunk_key(file_id, seq);
-            let fill = data.clone();
-            self.client.dep.stack.sim().spawn(async move {
-                let _ = kv.set(&key, fill, 0, 0).await;
-            });
-        }
+        self.maybe_fill(file_id, seq, &data);
+        self.client.dep.bump_read_stats(|s| s.tier_lustre += 1);
         Ok(data)
     }
 
     /// Read `len` bytes at `offset`.
-    pub async fn read_at(&self, offset: u64, len: u64) -> Result<Bytes, BbError> {
-        let size = self.size();
+    async fn read_at(self: &Rc<Self>, offset: u64, len: u64) -> Result<Bytes, BbError> {
+        let size = self.meta.borrow().size;
         assert!(offset + len <= size, "read past EOF");
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        if self.config().read_window <= 1 {
+            self.read_at_sequential(offset, len).await
+        } else {
+            self.read_at_pipelined(offset, len).await
+        }
+    }
+
+    /// The serial chunk-at-a-time loop (seed behaviour, bit-for-bit).
+    async fn read_at_sequential(&self, offset: u64, len: u64) -> Result<Bytes, BbError> {
         let chunk_size = self.meta.borrow().chunk_size;
         let mut out = BytesMut::with_capacity(len as usize);
         let mut pos = offset;
@@ -494,27 +663,294 @@ impl BbReader {
         Ok(out.freeze())
     }
 
-    /// Read the whole file.
-    pub async fn read_all(&self) -> Result<Bytes, BbError> {
-        let size = self.size();
-        if size == 0 {
-            return Ok(Bytes::new());
+    /// The pipelined path: plan group fetches over the requested range
+    /// (plus readahead), then consume in order, overlapping one group's
+    /// client-side CPU with the next group's wire time.
+    async fn read_at_pipelined(self: &Rc<Self>, offset: u64, len: u64) -> Result<Bytes, BbError> {
+        let (chunk_size, size) = {
+            let m = self.meta.borrow();
+            (m.chunk_size, m.size)
+        };
+        let window = self.config().read_window;
+        let first = offset / chunk_size;
+        let last = (offset + len - 1) / chunk_size;
+        let max_seq = (size - 1) / chunk_size;
+        let horizon = if self.config().readahead {
+            (last + window as u64).min(max_seq)
+        } else {
+            last
+        };
+        // bound the ready map under random access: keep only the planned
+        // range once it outgrows a few windows of chunks
+        {
+            let mut ready = self.ready.borrow_mut();
+            if ready.len() > 4 * window {
+                ready.retain(|s, _| *s >= first && *s <= horizon);
+            }
         }
-        self.read_at(0, size).await
+        self.spawn_missing(first, horizon);
+        let mut out = BytesMut::with_capacity(len as usize);
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let seq = pos / chunk_size;
+            let within = pos % chunk_size;
+            let chunk = self.take_chunk(seq).await?;
+            let take = ((chunk.len() as u64) - within).min(end - pos);
+            out.extend_from_slice(&chunk[within as usize..(within + take) as usize]);
+            pos += take;
+            if within + take < chunk.len() as u64 {
+                // the request ends mid-chunk: keep the rest for the next
+                // (sequential) read instead of refetching
+                self.ready.borrow_mut().insert(seq, Ok(chunk));
+            }
+        }
+        Ok(out.freeze())
     }
 
-    /// Block size of the scheme-C local overlay, if present.
-    pub fn local_block_size(&self) -> Option<u64> {
-        self.hdfs_reader.as_ref().map(|r| r.info().block_size)
-    }
-
-    /// Replica locations per chunk-region, for locality-aware scheduling
-    /// (scheme C exposes the local overlay's placement; A/B have no
-    /// node-local data).
-    pub fn locations(&self) -> Vec<Vec<NodeId>> {
-        match &self.hdfs_reader {
-            Some(r) => r.info().blocks.iter().map(|b| b.replicas.clone()).collect(),
-            None => Vec::new(),
+    /// Launch group fetches for every seq in `[first, horizon]` that is
+    /// neither ready nor in flight. Groups are at most `read_window`
+    /// chunks and acquire their permits atomically (all-or-nothing), so
+    /// two groups can never deadlock holding partial windows.
+    fn spawn_missing(self: &Rc<Self>, first: u64, horizon: u64) {
+        let window = self.config().read_window;
+        let missing: Vec<u64> = {
+            let ready = self.ready.borrow();
+            let inflight = self.inflight.borrow();
+            (first..=horizon)
+                .filter(|s| !ready.contains_key(s) && !inflight.contains_key(s))
+                .collect()
+        };
+        let sim = self.client.dep.stack.sim().clone();
+        for group in missing.chunks(window) {
+            let seqs = group.to_vec();
+            let slot: InflightSlot = Rc::new(RefCell::new(None));
+            {
+                let mut inflight = self.inflight.borrow_mut();
+                for &s in &seqs {
+                    inflight.insert(s, Rc::clone(&slot));
+                }
+            }
+            let handle = sim.spawn(Rc::clone(self).run_group(seqs));
+            // single-threaded executor: the task cannot have run yet, so
+            // the slot is filled before any consumer can look at it
+            *slot.borrow_mut() = Some(handle);
         }
     }
+
+    /// One group fetch: hold `len` window permits for the wire phase,
+    /// release them, then charge the client-side CPU while the next
+    /// group's wire phase proceeds, and finally publish the chunks.
+    async fn run_group(self: Rc<Self>, seqs: Vec<u64>) {
+        let permit = self.fetch_gate.acquire_many(seqs.len()).await;
+        let (results, cpu) = self.fetch_group(&seqs).await;
+        drop(permit);
+        if cpu > Duration::ZERO {
+            self.client.dep.stack.sim().sleep(cpu).await;
+        }
+        let mut ready = self.ready.borrow_mut();
+        let mut inflight = self.inflight.borrow_mut();
+        for (s, r) in results {
+            ready.insert(s, r);
+            inflight.remove(&s);
+        }
+    }
+
+    /// Fetch a group of chunks through the tiers: node-local replicas in
+    /// parallel, one batched GET round trip per KV server for the rest,
+    /// and contiguous buffer-miss runs coalesced into single Lustre
+    /// reads. Returns per-seq results plus the client CPU to charge for
+    /// the buffer hits (their payloads land together when the batched
+    /// GETs join, so the per-chunk costs overlap — the max is charged).
+    async fn fetch_group(
+        self: &Rc<Self>,
+        seqs: &[u64],
+    ) -> (Vec<(u64, Result<Bytes, BbError>)>, Duration) {
+        let (file_id, chunk_size, size) = {
+            let m = self.meta.borrow();
+            (m.file_id, m.chunk_size, m.size)
+        };
+        let rate = self.config().client_read_rate;
+        let sim = self.client.dep.stack.sim().clone();
+        let clen = |seq: u64| chunk_size.min(size - seq * chunk_size);
+        let mut out: BTreeMap<u64, Result<Bytes, BbError>> = BTreeMap::new();
+        let mut cpu = Duration::ZERO;
+
+        // tier 0: node-local replica reads, concurrent, each charging its
+        // own client CPU inside the task
+        let mut local: Vec<(u64, JoinHandle<Option<Bytes>>)> = Vec::new();
+        let mut rest: Vec<u64> = Vec::new();
+        for &s in seqs {
+            if self.has_local_replica(s * chunk_size) {
+                let core = Rc::clone(self);
+                let len = clen(s);
+                local.push((
+                    s,
+                    sim.spawn(async move {
+                        let r = core.hdfs_reader.as_ref()?;
+                        let b = r.read_at(s * chunk_size, len).await.ok()?;
+                        let cpu = simkit::dur::transfer(len, rate);
+                        core.client.dep.stack.sim().sleep(cpu).await;
+                        Some(b)
+                    }),
+                ));
+            } else {
+                rest.push(s);
+            }
+        }
+
+        // tier 1: batched buffer GETs (one round trip per owning server)
+        let mut misses: Vec<u64> = Vec::new();
+        if !rest.is_empty() {
+            let keys: Vec<Vec<u8>> = rest.iter().map(|&s| chunk_key(file_id, s)).collect();
+            let servers: BTreeSet<usize> = keys
+                .iter()
+                .filter_map(|k| self.client.kv.route(k).ok())
+                .collect();
+            self.client.dep.bump_read_stats(|st| {
+                st.multi_gets += servers.len() as u64;
+                st.multi_get_keys += keys.len() as u64;
+            });
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            match self.client.kv.multi_get(&refs).await {
+                Ok(vals) => {
+                    for (&s, v) in rest.iter().zip(vals) {
+                        match v {
+                            Some(val) => {
+                                cpu = cpu.max(simkit::dur::transfer(clen(s), rate));
+                                self.client.dep.bump_read_stats(|st| st.tier_buffer += 1);
+                                out.insert(s, Ok(val.data));
+                            }
+                            None => misses.push(s),
+                        }
+                    }
+                }
+                // a failed batch (e.g. a server down) degrades every key
+                // to the Lustre tier, matching the serial path's fallback
+                Err(_) => misses.extend(rest.iter().copied()),
+            }
+        }
+
+        // join the tier-0 reads; a failed local read falls back to the
+        // serial tiered path for that chunk
+        for (s, h) in local {
+            match h.await {
+                Some(b) => {
+                    self.client.dep.bump_read_stats(|st| st.tier_local += 1);
+                    out.insert(s, Ok(b));
+                }
+                None => {
+                    let r = self.fetch_chunk(s).await;
+                    out.insert(s, r);
+                }
+            }
+        }
+
+        // tier 2: Lustre, only sound once the file is flushed
+        if !misses.is_empty() {
+            let mut state = self.meta.borrow().state;
+            if state != FileState::Flushed {
+                if let Ok(m) = self.client.fetch_meta(&self.path).await {
+                    state = m.state;
+                    *self.meta.borrow_mut() = m;
+                }
+            }
+            if state != FileState::Flushed {
+                for s in misses {
+                    out.insert(
+                        s,
+                        Err(BbError::DataUnavailable {
+                            path: self.path.clone(),
+                            seq: s,
+                        }),
+                    );
+                }
+            } else {
+                match self.lustre_handle().await {
+                    Err(e) => {
+                        for s in misses {
+                            out.insert(s, Err(e.clone()));
+                        }
+                    }
+                    Ok(lf) => {
+                        // coalesce contiguous miss runs into single
+                        // stripe-spanning reads, fetched concurrently
+                        type LustreRun = (u64, u64, JoinHandle<Result<Bytes, LustreError>>);
+                        let mut runs: Vec<LustreRun> = Vec::new();
+                        for (s0, s1) in coalesce_runs(&misses) {
+                            let lf = Rc::clone(&lf);
+                            let off = s0 * chunk_size;
+                            let run_len = (s1 * chunk_size + clen(s1)) - off;
+                            let h = sim.spawn(async move { lf.read_at(off, run_len).await });
+                            runs.push((s0, s1, h));
+                        }
+                        for (s0, s1, h) in runs {
+                            match h.await {
+                                Ok(data) => {
+                                    for s in s0..=s1 {
+                                        let rel = ((s - s0) * chunk_size) as usize;
+                                        let b = data.slice(rel..rel + clen(s) as usize);
+                                        self.maybe_fill(file_id, s, &b);
+                                        self.client.dep.bump_read_stats(|st| st.tier_lustre += 1);
+                                        out.insert(s, Ok(b));
+                                    }
+                                }
+                                Err(e) => {
+                                    let e: BbError = e.into();
+                                    for s in s0..=s1 {
+                                        out.insert(s, Err(e.clone()));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (out.into_iter().collect(), cpu)
+    }
+
+    /// Hand the consumer chunk `seq`: from `ready` if fetched, by waiting
+    /// on its group if in flight, or via the serial path if the planner
+    /// never covered it (random access outside the planned range).
+    async fn take_chunk(self: &Rc<Self>, seq: u64) -> Result<Bytes, BbError> {
+        let hit = self.ready.borrow_mut().remove(&seq);
+        if let Some(res) = hit {
+            return match res {
+                Ok(b) => Ok(b),
+                // a group-fetch error may be stale (e.g. the flusher
+                // finished since): retry once through the serial path,
+                // which surfaces the authoritative error
+                Err(_) => self.fetch_chunk(seq).await,
+            };
+        }
+        let slot = self.inflight.borrow().get(&seq).map(Rc::clone);
+        if let Some(slot) = slot {
+            self.client.dep.bump_read_stats(|s| s.readahead_stalls += 1);
+            let handle = slot.borrow_mut().take();
+            if let Some(h) = handle {
+                h.await;
+            }
+            // else: another consumer is already driving this group; with
+            // a single sequential consumer this cannot happen, fall
+            // through to the direct fetch
+            let res = self.ready.borrow_mut().remove(&seq);
+            if let Some(Ok(b)) = res {
+                return Ok(b);
+            }
+        }
+        self.fetch_chunk(seq).await
+    }
+}
+
+/// Collapse an ascending seq list into inclusive `(start, end)` runs.
+fn coalesce_runs(seqs: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &s in seqs {
+        match runs.last_mut() {
+            Some((_, e)) if *e + 1 == s => *e = s,
+            _ => runs.push((s, s)),
+        }
+    }
+    runs
 }

@@ -42,7 +42,7 @@ use lustre::LustreCluster;
 use hdfs::{HdfsCluster, HdfsConfig};
 use storesim::DiskKind;
 
-pub use client::{BbClient, BbError, BbReader, BbWriter};
+pub use client::{BbClient, BbError, BbReader, BbWriter, ReadStats};
 pub use manager::{BbManager, FileState};
 
 /// Which of the paper's three HDFS⇄Lustre integration schemes is active.
@@ -70,7 +70,11 @@ impl Scheme {
 
     /// All three schemes, for sweeps.
     pub fn all() -> [Scheme; 3] {
-        [Scheme::AsyncLustre, Scheme::SyncLustre, Scheme::HybridLocality]
+        [
+            Scheme::AsyncLustre,
+            Scheme::SyncLustre,
+            Scheme::HybridLocality,
+        ]
     }
 }
 
@@ -93,6 +97,13 @@ pub struct BbConfig {
     pub flush_watermark: f64,
     /// Chunks a writer pushes concurrently.
     pub write_window: usize,
+    /// Chunks a reader fetches concurrently (pipelined tiered read path).
+    /// `1` reproduces the serial chunk-at-a-time behaviour exactly.
+    pub read_window: usize,
+    /// Prefetch up to `read_window` chunks past the current request on
+    /// sequential reads (readahead); the bytes returned are identical
+    /// either way.
+    pub readahead: bool,
     /// RAM-disk capacity per node for the locality replica (scheme C).
     pub local_ramdisk: u64,
     /// Populate the buffer on Lustre-fallback reads (read-through cache).
@@ -125,6 +136,8 @@ impl Default for BbConfig {
             flusher_threads: 4,
             flush_watermark: 0.6,
             write_window: 4,
+            read_window: 8,
+            readahead: true,
             local_ramdisk: 8 << 30,
             populate_on_read: false,
             client_write_rate: 55e6,
@@ -151,6 +164,9 @@ pub struct BbDeployment {
     pub hdfs_local: Option<Rc<HdfsCluster>>,
     /// The namespace + persistence manager.
     pub manager: Rc<BbManager>,
+    /// Read-path tier/batch counters, aggregated across every client of
+    /// this deployment (single-threaded simulation, so a plain RefCell).
+    read_stats: std::cell::RefCell<ReadStats>,
 }
 
 impl BbDeployment {
@@ -217,6 +233,7 @@ impl BbDeployment {
             lustre,
             hdfs_local,
             manager,
+            read_stats: std::cell::RefCell::new(ReadStats::default()),
         })
     }
 
@@ -232,7 +249,10 @@ impl BbDeployment {
 
     /// Bytes currently held in the buffer layer (live KV items).
     pub fn buffered_bytes(&self) -> u64 {
-        self.kv_servers.iter().map(|s| s.store().stats().bytes).sum()
+        self.kv_servers
+            .iter()
+            .map(|s| s.store().stats().bytes)
+            .sum()
     }
 
     /// Node-local storage in use (scheme C overlay; 0 for A/B) — the E9
@@ -244,6 +264,21 @@ impl BbDeployment {
             .unwrap_or(0)
     }
 
+    /// Snapshot of the read-path counters accumulated since deployment
+    /// (or the last [`BbDeployment::reset_read_stats`]).
+    pub fn read_stats(&self) -> ReadStats {
+        self.read_stats.borrow().clone()
+    }
+
+    /// Zero the read-path counters (per-phase accounting in experiments).
+    pub fn reset_read_stats(&self) {
+        *self.read_stats.borrow_mut() = ReadStats::default();
+    }
+
+    pub(crate) fn bump_read_stats(&self, f: impl FnOnce(&mut ReadStats)) {
+        f(&mut self.read_stats.borrow_mut());
+    }
+
     /// Stop background loops (scheme-C overlay heartbeats) so simulations
     /// can quiesce.
     pub fn shutdown(&self) {
@@ -253,5 +288,7 @@ impl BbDeployment {
     }
 }
 
+#[cfg(test)]
+mod read_path_tests;
 #[cfg(test)]
 mod tests;

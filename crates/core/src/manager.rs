@@ -15,9 +15,9 @@ use netsim::{NodeId, ReplyHandle, RpcError, Switchboard};
 use rdmasim::RdmaStack;
 use rkv::client::ClientError;
 use rkv::{KvClient, KvServer};
+use simkit::dur;
 use simkit::sync::mpsc;
 use simkit::sync::semaphore::Semaphore;
-use simkit::dur;
 
 use lustre::{LustreCluster, LustreError};
 
@@ -231,6 +231,8 @@ pub struct MgrStats {
     pub watermark_stalls: u64,
 }
 
+type FlushWaiters = RefCell<HashMap<u64, Vec<ReplyHandle<Result<FileState, BbError>>>>>;
+
 /// The manager process.
 pub struct BbManager {
     node: NodeId,
@@ -244,7 +246,7 @@ pub struct BbManager {
     unflushed: Cell<u64>,
     watermark: u64,
     credit_waiters: RefCell<VecDeque<ReplyHandle<Result<(), BbError>>>>,
-    flush_waiters: RefCell<HashMap<u64, Vec<ReplyHandle<Result<FileState, BbError>>>>>,
+    flush_waiters: FlushWaiters,
     flush_gate: Semaphore,
     stats: RefCell<MgrStats>,
 }
@@ -373,10 +375,7 @@ impl BbManager {
                         reply.send(Ok(()), 16);
                     }
                     None => {
-                        reply.send(
-                            Err(BbError::Busy("no flusher for this scheme".into())),
-                            16,
-                        );
+                        reply.send(Err(BbError::Busy("no flusher for this scheme".into())), 16);
                     }
                 }
             }
@@ -571,11 +570,7 @@ impl BbManager {
         let mut lost = false;
         let mut inflight: Vec<simkit::JoinHandle<bool>> = Vec::new();
         let mut final_size = None;
-        loop {
-            let item = match rx.recv().await {
-                Ok(i) => i,
-                Err(_) => break,
-            };
+        while let Ok(item) = rx.recv().await {
             match item {
                 FlushItem::Chunk { seq, len } => {
                     let this = Rc::clone(&self);

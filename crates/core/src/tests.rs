@@ -19,7 +19,12 @@ struct Rig {
 }
 
 fn rig(compute: usize, scheme: Scheme) -> Rig {
-    rig_with(compute, scheme, LustreConfig::default(), BbConfig::default())
+    rig_with(
+        compute,
+        scheme,
+        LustreConfig::default(),
+        BbConfig::default(),
+    )
 }
 
 fn rig_with(compute: usize, scheme: Scheme, lcfg: LustreConfig, bcfg: BbConfig) -> Rig {
@@ -339,7 +344,11 @@ fn populate_on_read_refills_the_buffer() {
         client.wait_flushed("/rt").await.unwrap();
         // evict everything, then read: the miss path should refill
         for seq in 0..2u64 {
-            client.kv().delete(&crate::manager::chunk_key(1, seq)).await.unwrap();
+            client
+                .kv()
+                .delete(&crate::manager::chunk_key(1, seq))
+                .await
+                .unwrap();
         }
         assert_eq!(dep.buffered_bytes(), 0);
         let rd = client.open("/rt").await.unwrap();

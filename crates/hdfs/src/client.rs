@@ -118,7 +118,10 @@ impl HdfsClient {
     pub async fn open(&self, path: &str) -> Result<HdfsReader, HdfsError> {
         let p = path.to_owned();
         let info = self
-            .nn_call(128 + path.len() as u64, |reply| NnMsg::Open { path: p, reply })
+            .nn_call(128 + path.len() as u64, |reply| NnMsg::Open {
+                path: p,
+                reply,
+            })
             .await??;
         Ok(HdfsReader {
             client: self.clone(),
@@ -139,8 +142,11 @@ impl HdfsClient {
     /// Delete a file (replicas reaped via heartbeat invalidation).
     pub async fn delete(&self, path: &str) -> Result<(), HdfsError> {
         let p = path.to_owned();
-        self.nn_call(128 + path.len() as u64, |reply| NnMsg::Delete { path: p, reply })
-            .await??;
+        self.nn_call(128 + path.len() as u64, |reply| NnMsg::Delete {
+            path: p,
+            reply,
+        })
+        .await??;
         Ok(())
     }
 
@@ -152,7 +158,6 @@ impl HdfsClient {
             reply,
         })
         .await
-        .map_err(Into::into)
     }
 }
 
@@ -310,7 +315,9 @@ impl HdfsWriter {
     ) -> Result<(), HdfsError> {
         let first = pipeline[0];
         let rest: Vec<NodeId> = pipeline[1..].to_vec();
-        let window = Rc::new(Semaphore::new(self.client.cluster.config.write_window.max(1)));
+        let window = Rc::new(Semaphore::new(
+            self.client.cluster.config.write_window.max(1),
+        ));
         let sim = self.client.cluster.dn_net.fabric().sim().clone();
         let mut futs = Vec::new();
         let mut offset = 0u64;
@@ -424,7 +431,9 @@ impl HdfsReader {
         while pos < end {
             let bi = (pos / block_size) as usize;
             let Some(loc) = self.info.blocks.get(bi) else {
-                return Err(HdfsError::Dn(DnError::Store(storesim::StoreError::OutOfRange)));
+                return Err(HdfsError::Dn(DnError::Store(
+                    storesim::StoreError::OutOfRange,
+                )));
             };
             let within = pos % block_size;
             let chunk = (block_size - within).min(end - pos).min(loc.len - within);

@@ -111,7 +111,10 @@ impl DataNode {
         config: HdfsConfig,
     ) -> Rc<DataNode> {
         let sim = dn_net.fabric().sim().clone();
-        let disk = Disk::new(sim.clone(), DiskParams::of(config.dn_disk, config.dn_capacity));
+        let disk = Disk::new(
+            sim.clone(),
+            DiskParams::of(config.dn_disk, config.dn_capacity),
+        );
         let dn = Rc::new(DataNode {
             node,
             nn_node,
@@ -254,22 +257,26 @@ impl DataNode {
                 .await?;
             let wire = data.len() as u64 + 64;
             self.dn_net
-                .call(self.node, target, DN_SERVICE, wire, |reply| DnMsg::WritePacket {
-                    block,
-                    offset: off,
-                    data,
-                    downstream: Vec::new(),
-                    reply,
+                .call(self.node, target, DN_SERVICE, wire, |reply| {
+                    DnMsg::WritePacket {
+                        block,
+                        offset: off,
+                        data,
+                        downstream: Vec::new(),
+                        reply,
+                    }
                 })
                 .await??;
             off += chunk;
         }
         self.dn_net
-            .call(self.node, target, DN_SERVICE, 64, |reply| DnMsg::CommitBlock {
-                block,
-                len,
-                downstream: Vec::new(),
-                reply,
+            .call(self.node, target, DN_SERVICE, 64, |reply| {
+                DnMsg::CommitBlock {
+                    block,
+                    len,
+                    downstream: Vec::new(),
+                    reply,
+                }
             })
             .await??;
         Ok(())
@@ -372,11 +379,13 @@ impl DataNode {
             let next = downstream[0];
             let rest: Vec<NodeId> = downstream[1..].to_vec();
             self.dn_net
-                .call(self.node, next, DN_SERVICE, 64, |reply| DnMsg::CommitBlock {
-                    block,
-                    len,
-                    downstream: rest,
-                    reply,
+                .call(self.node, next, DN_SERVICE, 64, |reply| {
+                    DnMsg::CommitBlock {
+                        block,
+                        len,
+                        downstream: rest,
+                        reply,
+                    }
                 })
                 .await??;
         }

@@ -100,7 +100,11 @@ pub struct HdfsCluster {
 impl HdfsCluster {
     /// Deploy on `fabric`: the NameNode gets a fresh node; a DataNode is
     /// started on every node in `datanodes`.
-    pub fn deploy(fabric: &Rc<Fabric>, datanodes: &[NodeId], config: HdfsConfig) -> Rc<HdfsCluster> {
+    pub fn deploy(
+        fabric: &Rc<Fabric>,
+        datanodes: &[NodeId],
+        config: HdfsConfig,
+    ) -> Rc<HdfsCluster> {
         assert!(!datanodes.is_empty(), "need at least one DataNode");
         assert!(config.replication >= 1);
         assert!(config.packet_size > 0 && config.block_size >= config.packet_size);

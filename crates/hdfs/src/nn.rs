@@ -290,12 +290,14 @@ impl NameNode {
 
     /// Rack-aware placement: writer-local first, then a different rack,
     /// then the second target's rack, then random.
-    fn place(&self, writer: NodeId, count: usize, exclude: &[NodeId]) -> Result<Vec<NodeId>, NnError> {
+    fn place(
+        &self,
+        writer: NodeId,
+        count: usize,
+        exclude: &[NodeId],
+    ) -> Result<Vec<NodeId>, NnError> {
         let live = self.live_dns();
-        let mut pool: Vec<NodeId> = live
-            .into_iter()
-            .filter(|n| !exclude.contains(n))
-            .collect();
+        let mut pool: Vec<NodeId> = live.into_iter().filter(|n| !exclude.contains(n)).collect();
         if pool.is_empty() {
             return Err(NnError::NoDataNodes);
         }
@@ -447,24 +449,24 @@ impl NameNode {
                 reply,
             } => {
                 let mut files = self.files.borrow_mut();
-                let r = if files.contains_key(&path) {
-                    Err(NnError::Exists(path))
-                } else {
-                    let repl = if replication == 0 {
-                        self.config.replication
-                    } else {
-                        replication
-                    };
-                    files.insert(
-                        path,
-                        FileEntry {
+                let r = match files.entry(path) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        Err(NnError::Exists(e.key().clone()))
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let repl = if replication == 0 {
+                            self.config.replication
+                        } else {
+                            replication
+                        };
+                        e.insert(FileEntry {
                             blocks: Vec::new(),
                             replication: repl,
                             size: 0,
                             complete: false,
-                        },
-                    );
-                    Ok(())
+                        });
+                        Ok(())
+                    }
                 };
                 reply.send(r, 64);
             }
@@ -525,10 +527,7 @@ impl NameNode {
                         block_size: self.config.block_size,
                     }),
                 };
-                let bytes = 128
-                    + r.as_ref()
-                        .map(|i| i.blocks.len() as u64 * 48)
-                        .unwrap_or(0);
+                let bytes = 128 + r.as_ref().map(|i| i.blocks.len() as u64 * 48).unwrap_or(0);
                 reply.send(r, bytes);
             }
             NnMsg::Delete { path, reply } => {

@@ -93,7 +93,10 @@ impl LustreClient {
     pub async fn create(&self, path: &str) -> Result<LustreFile, LustreError> {
         let p = path.to_owned();
         let layout = self
-            .mds_call(128 + path.len() as u64, |reply| MdsMsg::Create { path: p, reply })
+            .mds_call(128 + path.len() as u64, |reply| MdsMsg::Create {
+                path: p,
+                reply,
+            })
             .await??;
         Ok(LustreFile::new(self.clone(), path.to_owned(), layout))
     }
@@ -102,7 +105,10 @@ impl LustreClient {
     pub async fn open(&self, path: &str) -> Result<LustreFile, LustreError> {
         let p = path.to_owned();
         let layout = self
-            .mds_call(128 + path.len() as u64, |reply| MdsMsg::Open { path: p, reply })
+            .mds_call(128 + path.len() as u64, |reply| MdsMsg::Open {
+                path: p,
+                reply,
+            })
             .await??;
         Ok(LustreFile::new(self.clone(), path.to_owned(), layout))
     }
@@ -120,7 +126,10 @@ impl LustreClient {
     pub async fn unlink(&self, path: &str) -> Result<(), LustreError> {
         let p = path.to_owned();
         let layout = self
-            .mds_call(128 + path.len() as u64, |reply| MdsMsg::Unlink { path: p, reply })
+            .mds_call(128 + path.len() as u64, |reply| MdsMsg::Unlink {
+                path: p,
+                reply,
+            })
             .await??;
         // reap the object from every OSS that may hold a stripe
         let mut oss_nodes: Vec<NodeId> = layout
@@ -134,9 +143,11 @@ impl LustreClient {
             let _freed: u64 = self
                 .cluster
                 .oss_net
-                .call(self.node, oss_node, OSS_SERVICE, 64, |reply| OssMsg::Delete {
-                    obj: layout.file_id,
-                    reply,
+                .call(self.node, oss_node, OSS_SERVICE, 64, |reply| {
+                    OssMsg::Delete {
+                        obj: layout.file_id,
+                        reply,
+                    }
                 })
                 .await?;
         }
@@ -151,7 +162,6 @@ impl LustreClient {
             reply,
         })
         .await
-        .map_err(Into::into)
     }
 }
 

@@ -369,7 +369,8 @@ impl MrEngine {
         let total: u64 = pieces.iter().map(|b| b.len() as u64).sum();
         *bytes_shuffled.borrow_mut() += total;
         // reduce CPU
-        sim.sleep(dur::transfer(total, logic.reduce_cpu_rate())).await;
+        sim.sleep(dur::transfer(total, logic.reduce_cpu_rate()))
+            .await;
         let outs = logic.reduce(partition, pieces);
         // write output through the DFS
         let writer = fs.create(out_path).await?;

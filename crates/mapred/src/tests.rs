@@ -133,7 +133,9 @@ fn record_sort_produces_globally_sorted_output() {
     for _ in 0..n_records {
         let mut rec = [0u8; SORT_RECORD_LEN];
         for b in rec.iter_mut().take(10) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (x >> 33) as u8;
         }
         input.put_slice(&rec);
@@ -208,7 +210,10 @@ fn word_count_over_lustre() {
         // gather both partitions and check totals
         let mut all = String::new();
         for p in 0..2 {
-            let out = fs(NodeId(0)).open(&format!("/wc/out/part-{p:05}")).await.unwrap();
+            let out = fs(NodeId(0))
+                .open(&format!("/wc/out/part-{p:05}"))
+                .await
+                .unwrap();
             all.push_str(&String::from_utf8_lossy(&out.read_all().await.unwrap()));
         }
         assert!(all.contains("alpha\t60000"), "got: {all}");

@@ -156,10 +156,7 @@ impl Fabric {
     /// Whether `node` is up.
     pub fn is_up(&self, node: NodeId) -> bool {
         let nodes = self.nodes.borrow();
-        nodes
-            .get(node.0 as usize)
-            .map(|n| n.up)
-            .unwrap_or(false)
+        nodes.get(node.0 as usize).map(|n| n.up).unwrap_or(false)
     }
 
     fn endpoints(

@@ -158,7 +158,8 @@ impl<M: 'static> Switchboard<M> {
             client: src,
             tx,
         };
-        self.send(src, dst, service, req_bytes, make(handle)).await?;
+        self.send(src, dst, service, req_bytes, make(handle))
+            .await?;
         rx.await.map_err(|_| RpcError::NoReply)
     }
 }
@@ -273,7 +274,8 @@ mod tests {
         let (sim, _fabric, sb) = setup(2);
         let sb2 = Rc::clone(&sb);
         let r = sim.block_on(async move {
-            sb2.send(NodeId(0), NodeId(1), "nope", 8, Msg::Datagram(0)).await
+            sb2.send(NodeId(0), NodeId(1), "nope", 8, Msg::Datagram(0))
+                .await
         });
         assert_eq!(r.unwrap_err(), RpcError::ServiceUnavailable);
     }
@@ -299,7 +301,8 @@ mod tests {
         fabric.set_up(NodeId(1), false);
         let sb2 = Rc::clone(&sb);
         let r = sim.block_on(async move {
-            sb2.send(NodeId(0), NodeId(1), "svc", 8, Msg::Datagram(1)).await
+            sb2.send(NodeId(0), NodeId(1), "svc", 8, Msg::Datagram(1))
+                .await
         });
         assert_eq!(r.unwrap_err(), RpcError::Net(NetError::DstDown(NodeId(1))));
     }
@@ -313,7 +316,8 @@ mod tests {
         assert!(!sb.is_registered(NodeId(1), "svc"));
         let sb2 = Rc::clone(&sb);
         let r = sim.block_on(async move {
-            sb2.send(NodeId(0), NodeId(1), "svc", 8, Msg::Datagram(1)).await
+            sb2.send(NodeId(0), NodeId(1), "svc", 8, Msg::Datagram(1))
+                .await
         });
         assert_eq!(r.unwrap_err(), RpcError::ServiceUnavailable);
     }
@@ -333,7 +337,8 @@ mod tests {
         for i in 0..20u32 {
             let sb = Rc::clone(&sb);
             handles.push(sim.spawn(async move {
-                sb.call(NodeId(i % 2), NodeId(2), "svc", 64, Msg::Ping).await
+                sb.call(NodeId(i % 2), NodeId(2), "svc", 64, Msg::Ping)
+                    .await
             }));
         }
         sim.run();

@@ -104,7 +104,12 @@ impl Qp {
         self.check_connected()?;
         self.stack
             .fabric()
-            .transfer(self.local, self.remote, data.len() as u64, self.stack.profile())
+            .transfer(
+                self.local,
+                self.remote,
+                data.len() as u64,
+                self.stack.profile(),
+            )
             .await?;
         self.tx
             .send(data)
@@ -113,6 +118,9 @@ impl Qp {
     }
 
     /// Pop the next incoming SEND payload, waiting if none is queued.
+    // single-threaded sim: the mailbox is only ever polled by this QP's
+    // owner, so holding the borrow across the await cannot contend
+    #[allow(clippy::await_holding_refcell_ref)]
     pub async fn recv(&self) -> Result<Bytes, RdmaError> {
         let mut rx = self.rx.borrow_mut();
         let fut = rx.recv();
@@ -129,7 +137,12 @@ impl Qp {
         }
         self.stack
             .fabric()
-            .transfer(self.local, dst.node, data.len() as u64, self.stack.profile())
+            .transfer(
+                self.local,
+                dst.node,
+                data.len() as u64,
+                self.stack.profile(),
+            )
             .await?;
         let region = self.stack.lookup(dst.node, dst.rkey)?;
         let mut buf = region.buf.borrow_mut();

@@ -39,7 +39,10 @@ impl fmt::Display for RdmaError {
             RdmaError::Net(e) => write!(f, "rdma transport error: {e}"),
             RdmaError::InvalidRKey(k) => write!(f, "invalid rkey {k:?}"),
             RdmaError::OutOfBounds { end, len } => {
-                write!(f, "rdma access out of bounds: end {end} > region length {len}")
+                write!(
+                    f,
+                    "rdma access out of bounds: end {end} > region length {len}"
+                )
             }
             RdmaError::Disconnected => f.write_str("queue pair disconnected"),
         }
@@ -145,7 +148,12 @@ impl RdmaStack {
 
     /// Establish a reliable-connected queue pair between `a` and `b`,
     /// charging connection-setup time. Returns the two endpoints.
-    pub async fn connect(self: &Rc<Self>, a: NodeId, b: NodeId, config: QpConfig) -> Result<(Qp, Qp), RdmaError> {
+    pub async fn connect(
+        self: &Rc<Self>,
+        a: NodeId,
+        b: NodeId,
+        config: QpConfig,
+    ) -> Result<(Qp, Qp), RdmaError> {
         if !self.fabric.is_up(a) {
             return Err(NetError::SrcDown(a).into());
         }
@@ -173,14 +181,7 @@ impl RdmaStack {
             tx_ab,
             RefCell::new(rx_ba),
         );
-        let qb = Qp::new(
-            Rc::clone(self),
-            shared,
-            b,
-            a,
-            tx_ba,
-            RefCell::new(rx_ab),
-        );
+        let qb = Qp::new(Rc::clone(self), shared, b, a, tx_ba, RefCell::new(rx_ab));
         Ok((qa, qb))
     }
 

@@ -489,9 +489,13 @@ impl KvClient {
         }
     }
 
-    /// Fetch many keys with one round trip per owning server. Results come
-    /// back in the order of `keys` (`None` = miss).
-    pub async fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Value>>, ClientError> {
+    /// Fetch many keys with one batched round trip per owning server, all
+    /// servers queried concurrently. Results come back in the order of
+    /// `keys` (`None` = miss).
+    pub async fn multi_get(
+        self: &Rc<Self>,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Option<Value>>, ClientError> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
@@ -507,36 +511,63 @@ impl KvClient {
         let mut out: Vec<Option<Value>> = vec![None; keys.len()];
         let mut server_ids: Vec<usize> = by_server.keys().copied().collect();
         server_ids.sort_unstable();
+        let sim = self.stack.sim().clone();
+        let mut tasks = Vec::with_capacity(server_ids.len());
         for idx in server_ids {
-            let batch = &by_server[&idx];
-            let req = Request::MultiGet {
-                keys: batch.iter().map(|(_, k)| k.clone()).collect(),
-            };
-            let conn = self.conn(idx).await?;
-            let _serial = conn.lock.acquire().await;
-            let r = async {
-                conn.qp.send(req.encode()).await?;
-                conn.qp.recv().await
-            }
-            .await;
-            let frame = match r {
-                Ok(f) => f,
+            let batch = by_server.remove(&idx).expect("grouped above");
+            let client = Rc::clone(self);
+            tasks.push(sim.spawn(async move {
+                let req = Request::MultiGet {
+                    keys: batch.iter().map(|(_, k)| k.clone()).collect(),
+                };
+                let conn = client.conn(idx).await?;
+                let _serial = conn.lock.acquire().await;
+                let r = async {
+                    conn.qp.send(req.encode()).await?;
+                    conn.qp.recv().await
+                }
+                .await;
+                let frame = match r {
+                    Ok(f) => f,
+                    Err(e) => {
+                        client.conns.borrow_mut().remove(&idx);
+                        return Err(e.into());
+                    }
+                };
+                match Response::decode(frame)? {
+                    Response::MultiValues { values } => {
+                        if values.len() != batch.len() {
+                            return Err(ClientError::Proto(ProtoError("multiget arity")));
+                        }
+                        let pairs: Vec<(usize, Option<Value>)> = batch
+                            .into_iter()
+                            .zip(values)
+                            .map(|((pos, _), v)| {
+                                (pos, v.map(|(data, flags, cas)| Value { data, flags, cas }))
+                            })
+                            .collect();
+                        Ok(pairs)
+                    }
+                    other => Err(Self::unexpected(other)),
+                }
+            }));
+        }
+        // join in sorted-server order so the surfaced error is deterministic
+        let mut first_err = None;
+        for task in tasks {
+            match task.await {
+                Ok(pairs) => {
+                    for (pos, v) in pairs {
+                        out[pos] = v;
+                    }
+                }
                 Err(e) => {
-                    self.conns.borrow_mut().remove(&idx);
-                    return Err(e.into());
+                    first_err.get_or_insert(e);
                 }
-            };
-            match Response::decode(frame)? {
-                Response::MultiValues { values } => {
-                    if values.len() != batch.len() {
-                        return Err(ClientError::Proto(ProtoError("multiget arity")));
-                    }
-                    for ((pos, _), v) in batch.iter().zip(values) {
-                        out[*pos] = v.map(|(data, flags, cas)| Value { data, flags, cas });
-                    }
-                }
-                other => return Err(Self::unexpected(other)),
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let mut st = self.stats.borrow_mut();
         st.gets += keys.len() as u64;
@@ -612,7 +643,13 @@ mod tests {
         let fabric = Fabric::new(sim.clone(), n_servers + n_clients, NetConfig::default());
         let stack = RdmaStack::new(fabric);
         let servers: Vec<_> = (0..n_servers)
-            .map(|i| KvServer::new(Rc::clone(&stack), NodeId(i as u32), KvServerConfig::default()))
+            .map(|i| {
+                KvServer::new(
+                    Rc::clone(&stack),
+                    NodeId(i as u32),
+                    KvServerConfig::default(),
+                )
+            })
             .collect();
         Cluster {
             sim,
@@ -635,7 +672,9 @@ mod tests {
         let c = cluster(2, 1);
         let cl = client(&c, 2);
         c.sim.block_on(async move {
-            cl.set(b"k1", Bytes::from_static(b"small"), 9, 0).await.unwrap();
+            cl.set(b"k1", Bytes::from_static(b"small"), 9, 0)
+                .await
+                .unwrap();
             let v = cl.get(b"k1").await.unwrap().unwrap();
             assert_eq!(&v.data[..], b"small");
             assert_eq!(v.flags, 9);
@@ -677,7 +716,9 @@ mod tests {
             async move {
                 for i in 0..200 {
                     let k = format!("blk_{i}_0");
-                    cl.set(k.as_bytes(), Bytes::from(vec![1u8; 64]), 0, 0).await.unwrap();
+                    cl.set(k.as_bytes(), Bytes::from(vec![1u8; 64]), 0, 0)
+                        .await
+                        .unwrap();
                 }
             }
         });
@@ -694,9 +735,15 @@ mod tests {
         let cl = client(&c, 2);
         c.sim.block_on(async move {
             let cas = cl.set(b"k", Bytes::from_static(b"v1"), 0, 0).await.unwrap();
-            let cas2 = cl.cas(b"k", Bytes::from_static(b"v2"), 0, 0, cas).await.unwrap();
+            let cas2 = cl
+                .cas(b"k", Bytes::from_static(b"v2"), 0, 0, cas)
+                .await
+                .unwrap();
             assert!(cas2 > cas);
-            let err = cl.cas(b"k", Bytes::from_static(b"v3"), 0, 0, cas).await.unwrap_err();
+            let err = cl
+                .cas(b"k", Bytes::from_static(b"v3"), 0, 0, cas)
+                .await
+                .unwrap_err();
             assert_eq!(err, ClientError::Kv(KvError::CasMismatch));
             assert!(cl.delete(b"k").await.unwrap());
             assert!(!cl.delete(b"k").await.unwrap());
@@ -709,7 +756,10 @@ mod tests {
         let cl = client(&c, 1);
         c.sim.block_on(async move {
             cl.add(b"a", Bytes::from_static(b"1"), 0, 0).await.unwrap();
-            let err = cl.add(b"a", Bytes::from_static(b"2"), 0, 0).await.unwrap_err();
+            let err = cl
+                .add(b"a", Bytes::from_static(b"2"), 0, 0)
+                .await
+                .unwrap_err();
             assert_eq!(err, ClientError::Kv(KvError::Exists));
             cl.touch(b"a", 1_000_000).await.unwrap();
             let err = cl.touch(b"zzz", 1).await.unwrap_err();
@@ -733,7 +783,9 @@ mod tests {
             );
             let s = sim.clone();
             sim.block_on(async move {
-                cl.set(b"k", Bytes::from(vec![7u8; 4096]), 0, 0).await.unwrap();
+                cl.set(b"k", Bytes::from(vec![7u8; 4096]), 0, 0)
+                    .await
+                    .unwrap();
                 let t0 = s.now();
                 for _ in 0..50 {
                     cl.get(b"k").await.unwrap().unwrap();
@@ -800,16 +852,26 @@ mod tests {
         let c = cluster(2, 1);
         let cl = client(&c, 2);
         c.sim.block_on(async move {
-            cl.set(b"hits", Bytes::from_static(b"10"), 0, 0).await.unwrap();
+            cl.set(b"hits", Bytes::from_static(b"10"), 0, 0)
+                .await
+                .unwrap();
             assert_eq!(cl.incr(b"hits", 5).await.unwrap(), 15);
             assert_eq!(cl.decr(b"hits", 20).await.unwrap(), 0);
             let err = cl.incr(b"missing", 1).await.unwrap_err();
             assert_eq!(err, ClientError::Kv(KvError::NotFound));
-            cl.set(b"log", Bytes::from_static(b"b"), 0, 0).await.unwrap();
-            cl.append_value(b"log", Bytes::from_static(b"c")).await.unwrap();
-            cl.prepend_value(b"log", Bytes::from_static(b"a")).await.unwrap();
+            cl.set(b"log", Bytes::from_static(b"b"), 0, 0)
+                .await
+                .unwrap();
+            cl.append_value(b"log", Bytes::from_static(b"c"))
+                .await
+                .unwrap();
+            cl.prepend_value(b"log", Bytes::from_static(b"a"))
+                .await
+                .unwrap();
             assert_eq!(&cl.get(b"log").await.unwrap().unwrap().data[..], b"abc");
-            cl.set(b"txt", Bytes::from_static(b"not-a-number"), 0, 0).await.unwrap();
+            cl.set(b"txt", Bytes::from_static(b"not-a-number"), 0, 0)
+                .await
+                .unwrap();
             let err = cl.incr(b"txt", 1).await.unwrap_err();
             assert_eq!(err, ClientError::Kv(KvError::NonNumeric));
         });

@@ -612,7 +612,15 @@ impl Response {
             Response::TransferFailed => buf.put_u8(RTAG_TRANSFER_FAILED),
             Response::Stats(s) => {
                 buf.put_u8(RTAG_STATS);
-                for v in [s.gets, s.hits, s.sets, s.evictions, s.expired, s.items, s.bytes] {
+                for v in [
+                    s.gets,
+                    s.hits,
+                    s.sets,
+                    s.evictions,
+                    s.expired,
+                    s.items,
+                    s.bytes,
+                ] {
                     buf.put_u64_le(v);
                 }
             }
@@ -864,11 +872,7 @@ mod tests {
         roundtrip_resp(Response::Counter { value: 42 });
         roundtrip_resp(Response::NonNumeric);
         roundtrip_resp(Response::MultiValues {
-            values: vec![
-                None,
-                Some((Bytes::from_static(b"v"), 7, 9)),
-                None,
-            ],
+            values: vec![None, Some((Bytes::from_static(b"v"), 7, 9)), None],
         });
         roundtrip_resp(Response::Stats(KvStats {
             gets: 1,

@@ -188,7 +188,9 @@ impl KvServer {
                 expire_at,
                 value,
             } => match self.fetch_payload(qp, value).await {
-                Ok(data) => Self::map_store_result(self.store.set(&key, data, flags, expire_at, now)),
+                Ok(data) => {
+                    Self::map_store_result(self.store.set(&key, data, flags, expire_at, now))
+                }
                 Err(_) => Response::TransferFailed,
             },
             Request::Add {
@@ -197,7 +199,9 @@ impl KvServer {
                 expire_at,
                 value,
             } => match self.fetch_payload(qp, value).await {
-                Ok(data) => Self::map_store_result(self.store.add(&key, data, flags, expire_at, now)),
+                Ok(data) => {
+                    Self::map_store_result(self.store.add(&key, data, flags, expire_at, now))
+                }
                 Err(_) => Response::TransferFailed,
             },
             Request::Replace {
@@ -218,9 +222,9 @@ impl KvServer {
                 cas,
                 value,
             } => match self.fetch_payload(qp, value).await {
-                Ok(data) => Self::map_store_result(
-                    self.store.cas(&key, data, flags, expire_at, cas, now),
-                ),
+                Ok(data) => {
+                    Self::map_store_result(self.store.cas(&key, data, flags, expire_at, cas, now))
+                }
                 Err(_) => Response::TransferFailed,
             },
             Request::Delete { key } => {

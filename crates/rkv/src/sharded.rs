@@ -17,14 +17,24 @@ pub struct ShardedKv {
 
 impl ShardedKv {
     /// Create `shards` stripes, splitting `config.mem_limit` between them.
+    /// The division remainder is spread one byte per shard so the
+    /// aggregate budget is preserved exactly (every shard still gets at
+    /// least one page so it can hold an item at all).
     pub fn new(shards: usize, config: SlabConfig) -> Self {
         assert!(shards > 0, "need at least one shard");
-        let per_shard = SlabConfig {
-            mem_limit: (config.mem_limit / shards as u64).max(config.page_size as u64),
-            ..config
-        };
+        let base = config.mem_limit / shards as u64;
+        let remainder = config.mem_limit % shards as u64;
         ShardedKv {
-            shards: (0..shards).map(|_| Mutex::new(KvStore::new(per_shard))).collect(),
+            shards: (0..shards)
+                .map(|i| {
+                    let extra = u64::from((i as u64) < remainder);
+                    let per_shard = SlabConfig {
+                        mem_limit: (base + extra).max(config.page_size as u64),
+                        ..config
+                    };
+                    Mutex::new(KvStore::new(per_shard))
+                })
+                .collect(),
         }
     }
 
@@ -48,7 +58,9 @@ impl ShardedKv {
         expire_at: u64,
         now: u64,
     ) -> Result<u64, KvError> {
-        self.shard(key).lock().set(key, value, flags, expire_at, now)
+        self.shard(key)
+            .lock()
+            .set(key, value, flags, expire_at, now)
     }
 
     /// See [`KvStore::add`].
@@ -60,7 +72,9 @@ impl ShardedKv {
         expire_at: u64,
         now: u64,
     ) -> Result<u64, KvError> {
-        self.shard(key).lock().add(key, value, flags, expire_at, now)
+        self.shard(key)
+            .lock()
+            .add(key, value, flags, expire_at, now)
     }
 
     /// See [`KvStore::replace`].
@@ -167,6 +181,11 @@ impl ShardedKv {
     pub fn item_max(&self) -> usize {
         self.shards[0].lock().item_max()
     }
+
+    /// Aggregate configured memory budget across shards.
+    pub fn mem_limit(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().mem_limit()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -189,11 +208,21 @@ mod tests {
         let s = kv(4);
         for i in 0..500 {
             let k = format!("key-{i}");
-            s.set(k.as_bytes(), Bytes::from(format!("v{i}").into_bytes()), 0, 0, 0).unwrap();
+            s.set(
+                k.as_bytes(),
+                Bytes::from(format!("v{i}").into_bytes()),
+                0,
+                0,
+                0,
+            )
+            .unwrap();
         }
         for i in 0..500 {
             let k = format!("key-{i}");
-            assert_eq!(&s.get(k.as_bytes(), 0).unwrap().data[..], format!("v{i}").as_bytes());
+            assert_eq!(
+                &s.get(k.as_bytes(), 0).unwrap().data[..],
+                format!("v{i}").as_bytes()
+            );
         }
         assert_eq!(s.len(), 500);
     }
@@ -202,7 +231,14 @@ mod tests {
     fn stats_aggregate_across_shards() {
         let s = kv(8);
         for i in 0..100 {
-            s.set(format!("k{i}").as_bytes(), Bytes::from_static(b"v"), 0, 0, 0).unwrap();
+            s.set(
+                format!("k{i}").as_bytes(),
+                Bytes::from_static(b"v"),
+                0,
+                0,
+                0,
+            )
+            .unwrap();
         }
         for i in 0..100 {
             s.get(format!("k{i}").as_bytes(), 0);
@@ -226,7 +262,14 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..per {
                         let k = format!("t{t}-k{i}");
-                        s.set(k.as_bytes(), Bytes::from(k.clone().into_bytes()), t as u32, 0, 0).unwrap();
+                        s.set(
+                            k.as_bytes(),
+                            Bytes::from(k.clone().into_bytes()),
+                            t as u32,
+                            0,
+                            0,
+                        )
+                        .unwrap();
                         let v = s.get(k.as_bytes(), 0).unwrap();
                         assert_eq!(&v.data[..], k.as_bytes());
                     }
@@ -238,6 +281,37 @@ mod tests {
         }
         assert_eq!(s.len(), threads * per);
         assert_eq!(s.stats().hits, (threads * per) as u64);
+    }
+
+    #[test]
+    fn splitting_preserves_aggregate_capacity() {
+        // a budget that does not divide evenly across shards must not
+        // lose the remainder (7 shards over 16 MiB + 5 leaves 5 bytes)
+        for shards in [1usize, 3, 7, 8] {
+            let budget = (16u64 << 20) + 5;
+            let s = ShardedKv::new(
+                shards,
+                SlabConfig {
+                    mem_limit: budget,
+                    ..SlabConfig::default()
+                },
+            );
+            assert_eq!(
+                s.mem_limit(),
+                budget,
+                "{shards} shards must keep the full {budget}-byte budget"
+            );
+        }
+        // tiny budgets still round every shard up to one page
+        let page = SlabConfig::default().page_size as u64;
+        let s = ShardedKv::new(
+            4,
+            SlabConfig {
+                mem_limit: 10,
+                ..SlabConfig::default()
+            },
+        );
+        assert_eq!(s.mem_limit(), 4 * page);
     }
 
     #[test]

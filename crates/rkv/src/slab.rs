@@ -83,7 +83,11 @@ pub struct SlabFull {
 
 impl fmt::Display for SlabFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "slab class {} is full and memory limit reached", self.class)
+        write!(
+            f,
+            "slab class {} is full and memory limit reached",
+            self.class
+        )
     }
 }
 impl std::error::Error for SlabFull {}
@@ -173,9 +177,7 @@ impl SlabAllocator {
         if size > self.item_max() {
             return None;
         }
-        let idx = self
-            .classes
-            .partition_point(|c| c.chunk_size < size);
+        let idx = self.classes.partition_point(|c| c.chunk_size < size);
         Some(idx as u8)
     }
 
@@ -361,11 +363,8 @@ mod tests {
         });
         // exhaust budget in the small class
         let mut chunks = Vec::new();
-        loop {
-            match a.alloc(96) {
-                Ok(c) => chunks.push(c),
-                Err(_) => break,
-            }
+        while let Ok(c) = a.alloc(96) {
+            chunks.push(c);
         }
         // now a big alloc must fail: pages are calcified in the small class
         assert!(a.alloc(1 << 19).is_err());

@@ -232,6 +232,11 @@ impl KvStore {
         self.slab.memory_used()
     }
 
+    /// Configured memory budget (slab `mem_limit`).
+    pub fn mem_limit(&self) -> u64 {
+        self.slab.config().mem_limit
+    }
+
     fn is_expired(meta: &Meta, now: u64) -> bool {
         meta.expire_at != 0 && meta.expire_at <= now
     }
@@ -427,7 +432,12 @@ impl KvStore {
             cur.saturating_sub(delta)
         };
         let (flags, expire_at) = (meta.flags, meta.expire_at);
-        self.insert(key, &Bytes::from(next.to_string().into_bytes()), flags, expire_at)?;
+        self.insert(
+            key,
+            &Bytes::from(next.to_string().into_bytes()),
+            flags,
+            expire_at,
+        )?;
         Ok(next)
     }
 
@@ -456,10 +466,7 @@ impl KvStore {
         if self.peek_live(key, now).is_none() {
             return Err(KvError::NotFound);
         }
-        self.map
-            .get_mut(key)
-            .expect("checked live above")
-            .expire_at = expire_at;
+        self.map.get_mut(key).expect("checked live above").expire_at = expire_at;
         Ok(())
     }
 
@@ -483,7 +490,9 @@ mod tests {
     #[test]
     fn set_get_roundtrip() {
         let mut s = store_mb(4);
-        let cas = s.set(b"k1", Bytes::from_static(b"value-1"), 7, 0, 0).unwrap();
+        let cas = s
+            .set(b"k1", Bytes::from_static(b"value-1"), 7, 0, 0)
+            .unwrap();
         let v = s.get(b"k1", 0).unwrap();
         assert_eq!(&v.data[..], b"value-1");
         assert_eq!(v.flags, 7);
@@ -505,7 +514,9 @@ mod tests {
     fn overwrite_replaces_value_and_bumps_cas() {
         let mut s = store_mb(4);
         let c1 = s.set(b"k", Bytes::from_static(b"old"), 0, 0, 0).unwrap();
-        let c2 = s.set(b"k", Bytes::from_static(b"new-value"), 0, 0, 0).unwrap();
+        let c2 = s
+            .set(b"k", Bytes::from_static(b"new-value"), 0, 0, 0)
+            .unwrap();
         assert!(c2 > c1);
         assert_eq!(&s.get(b"k", 0).unwrap().data[..], b"new-value");
         assert_eq!(s.len(), 1);
@@ -526,11 +537,15 @@ mod tests {
     fn add_and_replace_semantics() {
         let mut s = store_mb(4);
         s.add(b"k", Bytes::from_static(b"v1"), 0, 0, 0).unwrap();
-        assert_eq!(s.add(b"k", Bytes::from_static(b"v2"), 0, 0, 0).unwrap_err(), KvError::Exists);
+        assert_eq!(
+            s.add(b"k", Bytes::from_static(b"v2"), 0, 0, 0).unwrap_err(),
+            KvError::Exists
+        );
         s.replace(b"k", Bytes::from_static(b"v3"), 0, 0, 0).unwrap();
         assert_eq!(&s.get(b"k", 0).unwrap().data[..], b"v3");
         assert_eq!(
-            s.replace(b"missing", Bytes::from_static(b"v"), 0, 0, 0).unwrap_err(),
+            s.replace(b"missing", Bytes::from_static(b"v"), 0, 0, 0)
+                .unwrap_err(),
             KvError::NotFound
         );
     }
@@ -541,12 +556,14 @@ mod tests {
         let c1 = s.set(b"k", Bytes::from_static(b"v1"), 0, 0, 0).unwrap();
         let c2 = s.cas(b"k", Bytes::from_static(b"v2"), 0, 0, c1, 0).unwrap();
         assert_eq!(
-            s.cas(b"k", Bytes::from_static(b"v3"), 0, 0, c1, 0).unwrap_err(),
+            s.cas(b"k", Bytes::from_static(b"v3"), 0, 0, c1, 0)
+                .unwrap_err(),
             KvError::CasMismatch
         );
         assert!(s.cas(b"k", Bytes::from_static(b"v3"), 0, 0, c2, 0).is_ok());
         assert_eq!(
-            s.cas(b"missing", Bytes::from_static(b"v"), 0, 0, 1, 0).unwrap_err(),
+            s.cas(b"missing", Bytes::from_static(b"v"), 0, 0, 1, 0)
+                .unwrap_err(),
             KvError::NotFound
         );
     }
@@ -628,13 +645,27 @@ mod tests {
         let capacity = (1 << 20) / probe.chunk_size(class);
         let _ = probe.alloc(item_total).unwrap();
         for i in 0..capacity {
-            s.set(format!("k{i:02}").as_bytes(), Bytes::from(val.clone()), 0, 0, 0).unwrap();
+            s.set(
+                format!("k{i:02}").as_bytes(),
+                Bytes::from(val.clone()),
+                0,
+                0,
+                0,
+            )
+            .unwrap();
         }
         assert_eq!(s.stats().evictions, 0, "fill overshot capacity");
         // promote k00, then insert more to force evictions
         assert!(s.get(b"k00", 0).is_some());
         for i in capacity..capacity + 3 {
-            s.set(format!("k{i:02}").as_bytes(), Bytes::from(val.clone()), 0, 0, 0).unwrap();
+            s.set(
+                format!("k{i:02}").as_bytes(),
+                Bytes::from(val.clone()),
+                0,
+                0,
+                0,
+            )
+            .unwrap();
         }
         assert!(s.stats().evictions >= 3);
         // k00 survived thanks to promotion; k01 (the new tail) did not
@@ -646,13 +677,17 @@ mod tests {
     fn too_large_rejected() {
         let mut s = store_mb(4);
         let huge = vec![0u8; (1 << 20) + 1];
-        assert_eq!(s.set(b"k", Bytes::from(huge), 0, 0, 0).unwrap_err(), KvError::TooLarge);
+        assert_eq!(
+            s.set(b"k", Bytes::from(huge), 0, 0, 0).unwrap_err(),
+            KvError::TooLarge
+        );
     }
 
     #[test]
     fn bytes_accounting_tracks_live_payload() {
         let mut s = store_mb(4);
-        s.set(b"abc", Bytes::from_static(b"0123456789"), 0, 0, 0).unwrap();
+        s.set(b"abc", Bytes::from_static(b"0123456789"), 0, 0, 0)
+            .unwrap();
         assert_eq!(s.stats().bytes, 13);
         s.set(b"abc", Bytes::from_static(b"01"), 0, 0, 0).unwrap();
         assert_eq!(s.stats().bytes, 5);
@@ -694,13 +729,23 @@ mod tests {
         for i in 0..n {
             let key = format!("key-{i}");
             let val = format!("value-{i}").repeat(1 + i % 17);
-            s.set(key.as_bytes(), Bytes::from(val.clone().into_bytes()), i as u32, 0, 0).unwrap();
+            s.set(
+                key.as_bytes(),
+                Bytes::from(val.clone().into_bytes()),
+                i as u32,
+                0,
+                0,
+            )
+            .unwrap();
         }
         let mut live = 0;
         for i in 0..n {
             let key = format!("key-{i}");
             if let Some(v) = s.get(key.as_bytes(), 0) {
-                assert_eq!(&v.data[..], format!("value-{i}").repeat(1 + i % 17).as_bytes());
+                assert_eq!(
+                    &v.data[..],
+                    format!("value-{i}").repeat(1 + i % 17).as_bytes()
+                );
                 assert_eq!(v.flags, i as u32);
                 live += 1;
             }

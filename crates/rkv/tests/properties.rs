@@ -63,11 +63,14 @@ proptest! {
                     version += 1;
                     let v = value_for(key, len, version);
                     let r = store.add(&[key], v.clone(), 0, 0, 0);
-                    if model.contains_key(&key) {
-                        prop_assert!(r.is_err());
-                    } else {
-                        prop_assert!(r.is_ok());
-                        model.insert(key, v);
+                    match model.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert!(r.is_err());
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            prop_assert!(r.is_ok());
+                            e.insert(v);
+                        }
                     }
                 }
                 Op::Get { key } => {
@@ -89,10 +92,7 @@ proptest! {
         let st: KvStats = store.stats();
         prop_assert_eq!(st.evictions, 0, "store was sized to avoid eviction");
         prop_assert_eq!(st.items as usize, model.len());
-        let model_bytes: u64 = model
-            .iter()
-            .map(|(_, v)| 1 + v.len() as u64)
-            .sum();
+        let model_bytes: u64 = model.values().map(|v| 1 + v.len() as u64).sum();
         prop_assert_eq!(st.bytes, model_bytes);
     }
 

@@ -36,7 +36,10 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     fn push(&self, id: usize) {
-        self.queue.lock().expect("ready queue poisoned").push_back(id);
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
     fn pop(&self) -> Option<usize> {
         self.queue.lock().expect("ready queue poisoned").pop_front()
@@ -252,7 +255,10 @@ impl Sim {
             if entry.state.cancelled.get() {
                 continue; // dead timer from a dropped Sleep
             }
-            debug_assert!(entry.deadline >= self.inner.now.get(), "time went backwards");
+            debug_assert!(
+                entry.deadline >= self.inner.now.get(),
+                "time went backwards"
+            );
             self.inner.now.set(entry.deadline);
             entry.state.fired.set(true);
             if let Some(w) = entry.state.waker.borrow_mut().take() {

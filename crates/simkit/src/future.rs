@@ -167,7 +167,8 @@ mod tests {
     fn join_all_empty() {
         let sim = Sim::new();
         let s = sim.clone();
-        let out = sim.block_on(async move { join_all(&s, Vec::<crate::executor::Sleep>::new()).await });
+        let out =
+            sim.block_on(async move { join_all(&s, Vec::<crate::executor::Sleep>::new()).await });
         assert!(out.is_empty());
     }
 }

@@ -218,7 +218,11 @@ mod tests {
     fn serial_requests_accumulate() {
         let sim = Sim::new();
         // 100 MiB/s, no overhead
-        let srv = std::rc::Rc::new(FifoServer::new(sim.clone(), mib(100) as f64, Duration::ZERO));
+        let srv = std::rc::Rc::new(FifoServer::new(
+            sim.clone(),
+            mib(100) as f64,
+            Duration::ZERO,
+        ));
         let s = sim.clone();
         let srv2 = std::rc::Rc::clone(&srv);
         let t = sim.block_on(async move {
@@ -235,7 +239,11 @@ mod tests {
     #[test]
     fn concurrent_requests_queue_fifo() {
         let sim = Sim::new();
-        let srv = std::rc::Rc::new(FifoServer::new(sim.clone(), mib(100) as f64, Duration::ZERO));
+        let srv = std::rc::Rc::new(FifoServer::new(
+            sim.clone(),
+            mib(100) as f64,
+            Duration::ZERO,
+        ));
         let done = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         for i in 0..3u32 {
             let srv = std::rc::Rc::clone(&srv);
@@ -250,7 +258,10 @@ mod tests {
         let d = done.borrow();
         assert_eq!(d.len(), 3);
         for (i, t) in d.iter() {
-            assert!((t - (*i as f64 + 1.0)).abs() < 1e-6, "op {i} finished at {t}");
+            assert!(
+                (t - (*i as f64 + 1.0)).abs() < 1e-6,
+                "op {i} finished at {t}"
+            );
         }
         // 2 of 3 ops queued behind the first: total queueing 1s + 2s
         let st = srv.stats();

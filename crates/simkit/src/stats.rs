@@ -40,7 +40,11 @@ impl Histogram {
 
     /// Record one raw nanosecond sample.
     pub fn record_ns(&mut self, ns: u64) {
-        let idx = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += ns as u128;
@@ -101,7 +105,11 @@ impl Histogram {
             }
             if seen + c >= target {
                 let lo = if i == 0 { 0u64 } else { 1u64 << i };
-                let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 let frac = (target - seen) as f64 / c as f64;
                 let ns = lo as f64 + frac * (hi - lo) as f64;
                 return Duration::from_nanos(ns.min(self.max as f64).max(self.min as f64) as u64);
@@ -193,7 +201,7 @@ mod tests {
         assert!(h.min() <= p50);
         // log-bucket approximation: p50 of uniform 1..10000 is within its 2x bucket
         let v = p50.as_nanos() as f64;
-        assert!(v >= 4096.0 && v <= 8192.0, "p50 = {v}");
+        assert!((4096.0..=8192.0).contains(&v), "p50 = {v}");
     }
 
     #[test]

@@ -120,7 +120,7 @@ mod tests {
             s.sleep(dur::ms(5)).await;
             tx.send(7).unwrap();
         });
-        let got = sim.block_on(async move { rx.await });
+        let got = sim.block_on(rx);
         assert_eq!(got, Ok(7));
     }
 

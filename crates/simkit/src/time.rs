@@ -64,7 +64,10 @@ impl Time {
     /// Saturating add of a duration (clamps at [`Time::MAX`]).
     #[inline]
     pub fn saturating_add(self, d: Duration) -> Time {
-        Time(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+        Time(
+            self.0
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 }
 

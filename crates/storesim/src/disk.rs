@@ -89,7 +89,10 @@ impl fmt::Display for StoreError {
             StoreError::DiskFull {
                 requested,
                 available,
-            } => write!(f, "disk full: requested {requested} B, {available} B available"),
+            } => write!(
+                f,
+                "disk full: requested {requested} B, {available} B available"
+            ),
             StoreError::NotFound => f.write_str("object not found"),
             StoreError::OutOfRange => f.write_str("read out of range"),
             StoreError::Offline => f.write_str("device offline"),
@@ -326,7 +329,9 @@ mod tests {
         assert_eq!(r, Err(StoreError::Offline));
         d.set_online(true);
         let d3 = Rc::clone(&d);
-        assert!(sim.block_on(async move { d3.read_extent(100).await }).is_ok());
+        assert!(sim
+            .block_on(async move { d3.read_extent(100).await })
+            .is_ok());
     }
 
     #[test]

@@ -96,8 +96,7 @@ impl Object {
             let copy_start = k.max(offset);
             let copy_end = seg_end.min(end);
             let src = &seg[(copy_start - k) as usize..(copy_end - k) as usize];
-            out[(copy_start - offset) as usize..(copy_end - offset) as usize]
-                .copy_from_slice(src);
+            out[(copy_start - offset) as usize..(copy_end - offset) as usize].copy_from_slice(src);
         }
         out.freeze()
     }
@@ -150,12 +149,7 @@ impl ObjectStore {
 
     /// Append `data` to object `id`, creating it if absent.
     pub async fn append(&self, id: ObjectId, data: Bytes) -> Result<(), StoreError> {
-        let off = self
-            .objects
-            .borrow()
-            .get(&id)
-            .map(|o| o.len)
-            .unwrap_or(0);
+        let off = self.objects.borrow().get(&id).map(|o| o.len).unwrap_or(0);
         self.write_at(id, off, data).await
     }
 
@@ -300,7 +294,9 @@ mod tests {
         let (sim, st) = store(DiskKind::RamDisk, 1 << 30);
         let st2 = Rc::clone(&st);
         let got = sim.block_on(async move {
-            st2.write_at(9, 4, Bytes::from_static(b"abcd")).await.unwrap();
+            st2.write_at(9, 4, Bytes::from_static(b"abcd"))
+                .await
+                .unwrap();
             st2.read_all(9).await.unwrap()
         });
         assert_eq!(&got[..], b"\0\0\0\0abcd");
@@ -314,7 +310,9 @@ mod tests {
         let (sim, st) = store(DiskKind::RamDisk, 1 << 30);
         let st2 = Rc::clone(&st);
         sim.block_on(async move {
-            st2.write_at(1, 0, Bytes::from_static(b"xxxxxxxx")).await.unwrap();
+            st2.write_at(1, 0, Bytes::from_static(b"xxxxxxxx"))
+                .await
+                .unwrap();
             let used_before = st2.disk().used();
             st2.write_at(1, 2, Bytes::from_static(b"YY")).await.unwrap();
             assert_eq!(st2.disk().used(), used_before);
@@ -329,8 +327,12 @@ mod tests {
         let st2 = Rc::clone(&st);
         sim.block_on(async move {
             // segment A covers [0,10), B covers [5,15), C inside A'
-            st2.write_at(1, 0, Bytes::from_static(b"AAAAAAAAAA")).await.unwrap();
-            st2.write_at(1, 5, Bytes::from_static(b"BBBBBBBBBB")).await.unwrap();
+            st2.write_at(1, 0, Bytes::from_static(b"AAAAAAAAAA"))
+                .await
+                .unwrap();
+            st2.write_at(1, 5, Bytes::from_static(b"BBBBBBBBBB"))
+                .await
+                .unwrap();
             st2.write_at(1, 2, Bytes::from_static(b"CC")).await.unwrap();
             let got = st2.read_all(1).await.unwrap();
             assert_eq!(&got[..], b"AACCABBBBBBBBBB");
@@ -345,7 +347,9 @@ mod tests {
         sim.block_on(async move {
             st2.write_at(1, 2, Bytes::from_static(b"ab")).await.unwrap();
             st2.write_at(1, 6, Bytes::from_static(b"cd")).await.unwrap();
-            st2.write_at(1, 0, Bytes::from_static(b"ZZZZZZZZZZ")).await.unwrap();
+            st2.write_at(1, 0, Bytes::from_static(b"ZZZZZZZZZZ"))
+                .await
+                .unwrap();
             let got = st2.read_all(1).await.unwrap();
             assert_eq!(&got[..], b"ZZZZZZZZZZ");
             assert_eq!(st2.stored_bytes(), 10);
@@ -421,7 +425,9 @@ mod tests {
         let (sim, st) = store(DiskKind::Hdd, 1 << 40);
         let st2 = Rc::clone(&st);
         sim.block_on(async move {
-            st2.append(1, Bytes::from(vec![0u8; 115_000_000])).await.unwrap();
+            st2.append(1, Bytes::from(vec![0u8; 115_000_000]))
+                .await
+                .unwrap();
         });
         // 1 s stream + 8 ms seek
         assert!((sim.now().as_secs_f64() - 1.008).abs() < 1e-6);
@@ -447,9 +453,15 @@ mod tests {
         let (sim, st) = store(DiskKind::RamDisk, 1 << 30);
         let st2 = Rc::clone(&st);
         sim.block_on(async move {
-            st2.write_at(1, 0, Bytes::from_static(b"0123")).await.unwrap();
-            st2.write_at(1, 4, Bytes::from_static(b"4567")).await.unwrap();
-            st2.write_at(1, 8, Bytes::from_static(b"89ab")).await.unwrap();
+            st2.write_at(1, 0, Bytes::from_static(b"0123"))
+                .await
+                .unwrap();
+            st2.write_at(1, 4, Bytes::from_static(b"4567"))
+                .await
+                .unwrap();
+            st2.write_at(1, 8, Bytes::from_static(b"89ab"))
+                .await
+                .unwrap();
             let got = st2.read_at(1, 2, 8).await.unwrap();
             assert_eq!(&got[..], b"23456789");
         });

@@ -39,7 +39,10 @@ impl PayloadPool {
     /// [`PayloadPool::stream`].
     pub fn slice(&self, cursor: u64, len: usize) -> Bytes {
         let plen = self.pattern.len();
-        assert!(len <= plen, "slice() limited to the pattern length; use stream()");
+        assert!(
+            len <= plen,
+            "slice() limited to the pattern length; use stream()"
+        );
         let start = (cursor as usize * 8191) % (plen - len + 1);
         self.pattern.slice(start..start + len)
     }

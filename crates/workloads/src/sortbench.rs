@@ -7,7 +7,6 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use bb_core::fs::{AnyFs, FsError};
-use bytes::Bytes;
 use mapred::logic::{RecordSortLogic, SyntheticShuffleLogic};
 use mapred::{JobSpec, MrEngine};
 use netsim::NodeId;
@@ -166,13 +165,15 @@ pub async fn teragen_real(
     for _ in 0..n_records {
         let mut rec = [0u8; 100];
         for b in rec.iter_mut().take(10) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (x >> 33) as u8;
         }
         buf.put_slice(&rec);
     }
     let w = fs.create(path).await?;
-    w.append(Bytes::from(buf.freeze())).await?;
+    w.append(buf.freeze()).await?;
     w.close().await?;
     Ok(())
 }

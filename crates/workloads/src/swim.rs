@@ -87,8 +87,7 @@ pub async fn run(
     let mut arrival = Duration::ZERO;
     for j in 0..cfg.jobs {
         arrival += dur::secs_f64(rng.exp(cfg.mean_interarrival.as_secs_f64()));
-        let size = ((cfg.min_input as f64) * rng.exp(1.0).exp())
-            .min(cfg.max_input as f64) as u64;
+        let size = ((cfg.min_input as f64) * rng.exp(1.0).exp()).min(cfg.max_input as f64) as u64;
         plan.push(Planned {
             input: format!("{}/in/job{j}", cfg.dir),
             output: format!("{}/out/job{j}", cfg.dir),
@@ -178,11 +177,7 @@ pub async fn run(
 
 /// Convenience: PUMA-style single-job drivers (WordCount / Grep) over a
 /// staged text dataset — the other half of E10.
-pub async fn stage_text(
-    fs: &AnyFs,
-    path: &str,
-    approx_size: u64,
-) -> Result<(), FsError> {
+pub async fn stage_text(fs: &AnyFs, path: &str, approx_size: u64) -> Result<(), FsError> {
     use bytes::Bytes;
     // realistic-ish text: repeated vocabulary with line structure
     let line = "the quick brown fox jumps over the lazy dog while reading logs\n";

@@ -160,9 +160,17 @@ impl Testbed {
     /// Node-local storage consumed by the system (the E9 metric).
     pub fn local_storage_used(&self) -> u64 {
         match self.kind {
-            SystemKind::Hdfs => self.hdfs.as_ref().map(|h| h.local_storage_used()).unwrap_or(0),
+            SystemKind::Hdfs => self
+                .hdfs
+                .as_ref()
+                .map(|h| h.local_storage_used())
+                .unwrap_or(0),
             SystemKind::Lustre => 0,
-            SystemKind::Bb(_) => self.bb.as_ref().map(|b| b.local_storage_used()).unwrap_or(0),
+            SystemKind::Bb(_) => self
+                .bb
+                .as_ref()
+                .map(|b| b.local_storage_used())
+                .unwrap_or(0),
         }
     }
 

@@ -1,8 +1,6 @@
 //! Workload correctness tests plus "shape" tests: do the five systems
 //! order the way the paper reports, at reduced scale?
 
-use std::rc::Rc;
-
 use bb_core::Scheme;
 use simkit::Time;
 
@@ -125,7 +123,10 @@ fn e8_shape_scheme_write_ordering() {
     let (h, _) = run_dfsio(SystemKind::Bb(Scheme::HybridLocality), &cfg);
     println!("E8 write MB/s: async {a:.0}, sync {s:.0}, hybrid {h:.0}");
     assert!(a > s, "async ({a:.0}) should beat sync ({s:.0})");
-    assert!(a >= h * 0.95, "async ({a:.0}) should not lose to hybrid ({h:.0})");
+    assert!(
+        a >= h * 0.95,
+        "async ({a:.0}) should not lose to hybrid ({h:.0})"
+    );
 }
 
 /// Sort (E7): burst buffer reduces end-to-end sort time vs both baselines.
@@ -154,8 +155,14 @@ fn e7_shape_sort_ordering() {
     let lustre_t = run_sort(SystemKind::Lustre);
     let bb_t = run_sort(SystemKind::Bb(Scheme::AsyncLustre));
     println!("E7 sort secs: HDFS {hdfs_t:.2}, Lustre {lustre_t:.2}, BB-Async {bb_t:.2}");
-    assert!(bb_t < hdfs_t, "BB sort ({bb_t:.2}s) should beat HDFS ({hdfs_t:.2}s)");
-    assert!(bb_t < lustre_t, "BB sort ({bb_t:.2}s) should beat Lustre ({lustre_t:.2}s)");
+    assert!(
+        bb_t < hdfs_t,
+        "BB sort ({bb_t:.2}s) should beat HDFS ({hdfs_t:.2}s)"
+    );
+    assert!(
+        bb_t < lustre_t,
+        "BB sort ({bb_t:.2}s) should beat Lustre ({lustre_t:.2}s)"
+    );
 }
 
 /// Local storage (E9): HDFS ≈ 3× data, hybrid ≈ 1× data, async/sync ≈ 0.

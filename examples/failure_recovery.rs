@@ -24,7 +24,11 @@ fn scenario(scheme: Scheme, slow_lustre: bool) {
     sim.block_on(async move {
         let bb = tb.bb.as_ref().unwrap();
         let client = bb.client(tb.nodes[0]);
-        println!("--- {} (lustre {}) ---", scheme.label(), if slow_lustre { "slow" } else { "normal" });
+        println!(
+            "--- {} (lustre {}) ---",
+            scheme.label(),
+            if slow_lustre { "slow" } else { "normal" }
+        );
 
         let w = client.create("/victim").await.expect("create");
         for piece in pool.stream(7, 64 << 20, 1 << 20) {

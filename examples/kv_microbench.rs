@@ -27,7 +27,10 @@ fn run(profile: TransportProfile) -> (f64, f64, f64) {
     let s = sim.clone();
     let out = sim.block_on(async move {
         // small-value latency
-        client.set(b"k", Bytes::from(vec![7u8; 4096]), 0, 0).await.unwrap();
+        client
+            .set(b"k", Bytes::from(vec![7u8; 4096]), 0, 0)
+            .await
+            .unwrap();
         let t0 = s.now();
         for _ in 0..100 {
             client.get(b"k").await.unwrap().unwrap();
@@ -44,7 +47,10 @@ fn run(profile: TransportProfile) -> (f64, f64, f64) {
         }
         let set_mbps = 50.0 * 0.5 * 1.048_576 / (s.now() - t1).as_secs_f64();
         // counters round-trip
-        client.set(b"ctr", Bytes::from_static(b"0"), 0, 0).await.unwrap();
+        client
+            .set(b"ctr", Bytes::from_static(b"0"), 0, 0)
+            .await
+            .unwrap();
         let t2 = s.now();
         for _ in 0..100 {
             client.incr(b"ctr", 1).await.unwrap();

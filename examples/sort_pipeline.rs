@@ -48,7 +48,9 @@ fn main() {
         );
 
         // Sort
-        let r = sortbench::sort(&tb.engine, &fs_for, &cfg).await.expect("sort");
+        let r = sortbench::sort(&tb.engine, &fs_for, &cfg)
+            .await
+            .expect("sort");
         println!(
             "sort: {:.3}s ({} maps, {} node-local, map phase {:.3}s)",
             r.sort_time.as_secs_f64(),
@@ -69,10 +71,7 @@ fn main() {
             for rec in data.chunks(SORT_RECORD_LEN) {
                 let key = rec[..10].to_vec();
                 if let Some(prev) = &last {
-                    assert!(
-                        *prev <= key,
-                        "output not globally sorted at partition {p}"
-                    );
+                    assert!(*prev <= key, "output not globally sorted at partition {p}");
                 }
                 last = Some(key);
                 total_records += 1;

@@ -25,10 +25,7 @@ fn main() {
         "system", "write MB/s", "read MB/s", "local GiB"
     );
     for kind in SystemKind::all_five() {
-        let tb = Testbed::build(
-            kind,
-            TestbedConfig::default(),
-        );
+        let tb = Testbed::build(kind, TestbedConfig::default());
         let pool = PayloadPool::standard();
         let cfg = cfg.clone();
         let sim = tb.sim.clone();

@@ -1,0 +1,69 @@
+//! Offline shim for `rayon`: `into_par_iter`/`par_iter` return the ordinary
+//! sequential iterators, so every sweep runs in deterministic order on one
+//! thread. The bench harness only uses rayon to fan out independent
+//! simulator cells; results are identical either way, just slower to
+//! produce. Containers for this repo cannot fetch the real crate.
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// The (sequential) iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// "Parallel" iteration — sequential here.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item: 'data;
+    /// The (sequential) iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// "Parallel" iteration over references — sequential here.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// What `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let owned: Vec<i32> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn ranges_fan_out() {
+        let squares: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -49,7 +49,10 @@ impl Args {
 
     fn num(&self, name: &str, default: u64) -> u64 {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not a number: {v}"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name}: not a number: {v}")))
+            })
             .unwrap_or(default)
     }
 }
@@ -243,7 +246,9 @@ fn usage() -> ! {
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = raw.first().cloned() else { usage() };
+    let Some(cmd) = raw.first().cloned() else {
+        usage()
+    };
     let args = Args::parse(&raw[1..]);
     match cmd.as_str() {
         "dfsio" => cmd_dfsio(&args),

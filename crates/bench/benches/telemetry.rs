@@ -1,0 +1,82 @@
+//! Criterion bench of the telemetry layer's host-time cost: the same
+//! burst-buffer read cell untraced vs traced (spans + Chrome export)
+//! vs with a metrics snapshot taken. The registry counters are always
+//! live (they are the instrumentation itself); this bench guards the
+//! claim that the *tracer* is near-zero cost when disabled — the
+//! untraced and traced variants should stay within a few percent.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bb_core::{BbConfig, BbDeployment, Scheme};
+use lustre::{LustreCluster, LustreConfig};
+use netsim::{Fabric, NetConfig, NodeId};
+use simkit::Sim;
+
+const FILE_SIZE: u64 = 8 << 20; // 16 chunks of 512 KiB
+
+enum Mode {
+    Untraced,
+    Traced,
+    TracedExported,
+    Snapshotted,
+}
+
+fn run_cell(mode: &Mode) -> u64 {
+    let sim = Sim::new();
+    if matches!(mode, Mode::Traced | Mode::TracedExported) {
+        sim.tracer().enable();
+    }
+    let fabric = Fabric::new(sim.clone(), 2, NetConfig::default());
+    let lustre = LustreCluster::deploy(&fabric, LustreConfig::default());
+    let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+    let cfg = BbConfig {
+        scheme: Scheme::AsyncLustre,
+        read_window: 8,
+        ..BbConfig::default()
+    };
+    let dep = BbDeployment::deploy(&fabric, lustre, &nodes, cfg);
+    let client = dep.client(NodeId(0));
+    let len = sim.block_on(async move {
+        let w = client.create("/bench").await.unwrap();
+        w.append(Bytes::from(vec![7u8; FILE_SIZE as usize]))
+            .await
+            .unwrap();
+        w.close().await.unwrap();
+        let rd = client.open("/bench").await.unwrap();
+        let data = rd.read_all().await.unwrap();
+        dep.shutdown();
+        data.len() as u64
+    });
+    match mode {
+        Mode::TracedExported => sim.tracer().export_chrome().len() as u64 + len,
+        Mode::Snapshotted => sim.metrics().snapshot().to_json().len() as u64 + len,
+        _ => len,
+    }
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Bytes(FILE_SIZE));
+    for (name, mode) in [
+        ("cell_untraced", Mode::Untraced),
+        ("cell_traced", Mode::Traced),
+        ("cell_traced_exported", Mode::TracedExported),
+        ("cell_snapshotted", Mode::Snapshotted),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(run_cell(&mode)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_telemetry
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Structural validator for `--metrics-json` snapshots (the CI gate):
+//! checks the schema marker, the presence of each subsystem's metric
+//! family, and — with `--expect-chunks N` — that the burst buffer's
+//! read-tier counters account for every chunk of the dataset exactly
+//! once.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics_check -- PATH [--expect-chunks N]
+//! ```
+//!
+//! Exits non-zero with a message on the first violation.
+
+use bench::telemetry::{counter_in_json, has_metric_prefix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .expect("usage: metrics_check PATH [--expect-chunks N]");
+    let expect_chunks: Option<u64> = args
+        .iter()
+        .position(|a| a == "--expect-chunks")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--expect-chunks takes an integer"));
+    let json = std::fs::read_to_string(path).expect("read snapshot");
+
+    let mut failures = Vec::new();
+    if !json.contains("\"schema\": \"rdma-bb.metrics.v1\"") {
+        failures.push("missing schema marker rdma-bb.metrics.v1".to_string());
+    }
+    // every instrumented subsystem must show up in a burst-buffer cell
+    for prefix in [
+        "bb.read.",
+        "bb.mgr.",
+        "rkv.server",
+        "rdma.",
+        "netsim.",
+        "lustre.",
+    ] {
+        if !has_metric_prefix(&json, prefix) {
+            failures.push(format!("no metric under prefix {prefix:?}"));
+        }
+    }
+    let tiers = [
+        "bb.read.tier_local",
+        "bb.read.tier_buffer",
+        "bb.read.tier_lustre",
+    ];
+    let sum: u64 = tiers
+        .iter()
+        .map(|n| counter_in_json(&json, n).unwrap_or(0))
+        .sum();
+    if let Some(expect) = expect_chunks {
+        if sum != expect {
+            failures.push(format!(
+                "read-tier counters sum to {sum}, expected {expect} dataset chunks"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "ok: {} — schema valid, all subsystem families present, tier sum {}",
+            path, sum
+        );
+    } else {
+        for f in &failures {
+            eprintln!("metrics_check: {f}");
+        }
+        std::process::exit(1);
+    }
+}

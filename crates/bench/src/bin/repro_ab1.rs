@@ -1,14 +1,15 @@
 //! AB1: transport/protocol ablation.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_ab1 [--quick]
+//! cargo run --release -p bench --bin repro_ab1 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::ablations;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = ablations::ab1_transport(quick);
+    let opts = RunOpts::parse();
+    let report = ablations::ab1_transport(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -18,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,14 +1,15 @@
 //! AB3: flusher-parallelism ablation.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_ab3 [--quick]
+//! cargo run --release -p bench --bin repro_ab3 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::ablations;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = ablations::ab3_flushers(quick);
+    let opts = RunOpts::parse();
+    let report = ablations::ab3_flushers(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -18,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

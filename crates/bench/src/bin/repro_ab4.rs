@@ -1,12 +1,14 @@
 //! AB4: placement-strategy ablation.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_ab4 [--quick]
+//! cargo run --release -p bench --bin repro_ab4 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::ablations;
+use bench::telemetry::RunOpts;
 
 fn main() {
+    let opts = RunOpts::parse();
     let report = ablations::ab4_placement();
     print!("{}", report.table.to_text());
     println!(
@@ -17,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -2,14 +2,15 @@
 //! aggregate read throughput.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_ab5 [--quick]
+//! cargo run --release -p bench --bin repro_ab5 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::ablations;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = ablations::ab5_read_window(quick);
+    let opts = RunOpts::parse();
+    let report = ablations::ab5_read_window(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -19,4 +20,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,0 +1,25 @@
+//! AB6: readahead-overlap trace — span-level evidence that the pipelined
+//! read path overlaps chunk fetches (the tracer demo; `--trace` writes a
+//! Perfetto-loadable Chrome trace of the pipelined read phase).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab6 [--quick] [--metrics-json PATH] [--trace PATH]
+//! ```
+
+use bench::experiments::ablations;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let opts = RunOpts::parse();
+    let report = ablations::ab6_readahead_trace(opts.quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+}

@@ -1,13 +1,15 @@
 //! E1: KV latency microbenchmark (RDMA vs IPoIB vs Ethernet).
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e1 [--quick]
+//! cargo run --release -p bench --bin repro_e1 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::micro;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let report = micro::e1_kv_latency();
+    let opts = RunOpts::parse();
+    let report = micro::e1_kv_latency(opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -17,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,14 +1,15 @@
-//! E11: throughput vs number of KV servers.
+//! E11: write throughput vs number of buffer servers.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e11 [--quick]
+//! cargo run --release -p bench --bin repro_e11 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::dfsio;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = dfsio::e11_kv_scaling(quick);
+    let opts = RunOpts::parse();
+    let report = dfsio::e11_kv_scaling(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -18,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,13 +1,15 @@
-//! E12: fault injection and recovery.
+//! E12: fault injection — availability and recovery.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e12 [--quick]
+//! cargo run --release -p bench --bin repro_e12 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::faults;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let report = faults::e12_fault_tolerance();
+    let opts = RunOpts::parse();
+    let report = faults::e12_fault_tolerance(opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -17,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

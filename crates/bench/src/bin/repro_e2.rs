@@ -1,14 +1,15 @@
-//! E2: KV throughput vs concurrent clients.
+//! E2: KV throughput scaling vs concurrent clients.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e2 [--quick]
+//! cargo run --release -p bench --bin repro_e2 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::micro;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = micro::e2_kv_throughput(quick);
+    let opts = RunOpts::parse();
+    let report = micro::e2_kv_throughput(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -18,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,15 +1,19 @@
 //! E4: TestDFSIO read throughput vs data size.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e4 [--quick]
+//! cargo run --release -p bench --bin repro_e4 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::dfsio;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = dfsio::e4_read(quick);
+    let opts = RunOpts::parse();
+    let report = dfsio::e4_read(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
+    if let Some(snap) = &report.metrics {
+        println!("{}", bench::experiments::jobs::buffer_hit_ratio_note(snap));
+    }
     println!(
         "paper shape: {}",
         if report.shape_holds {
@@ -18,4 +22,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,14 +1,15 @@
-//! E5: throughput vs cluster size.
+//! E5: TestDFSIO throughput vs cluster size.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e5 [--quick]
+//! cargo run --release -p bench --bin repro_e5 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::dfsio;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = dfsio::e5_cluster_scaling(quick);
+    let opts = RunOpts::parse();
+    let report = dfsio::e5_cluster_scaling(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -18,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

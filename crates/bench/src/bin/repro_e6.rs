@@ -1,14 +1,15 @@
-//! E6: RandomWriter execution time.
+//! E6: RandomWriter execution time vs data size.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e6 [--quick]
+//! cargo run --release -p bench --bin repro_e6 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::jobs;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = jobs::e6_randomwriter(quick);
+    let opts = RunOpts::parse();
+    let report = jobs::e6_randomwriter(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -18,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

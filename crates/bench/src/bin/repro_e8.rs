@@ -1,15 +1,19 @@
-//! E8: the three integration schemes compared.
+//! E8: the three integration schemes side by side.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e8 [--quick]
+//! cargo run --release -p bench --bin repro_e8 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::jobs;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = jobs::e8_schemes(quick);
+    let opts = RunOpts::parse();
+    let report = jobs::e8_schemes(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
+    if let Some(snap) = &report.metrics {
+        println!("{}", bench::experiments::jobs::buffer_hit_ratio_note(snap));
+    }
     println!(
         "paper shape: {}",
         if report.shape_holds {
@@ -18,4 +22,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

@@ -1,13 +1,15 @@
 //! E9: local storage requirement per system.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e9 [--quick]
+//! cargo run --release -p bench --bin repro_e9 [--quick] [--metrics-json PATH] [--trace PATH]
 //! ```
 
 use bench::experiments::faults;
+use bench::telemetry::RunOpts;
 
 fn main() {
-    let report = faults::e9_local_storage();
+    let opts = RunOpts::parse();
+    let report = faults::e9_local_storage(opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -17,4 +19,5 @@ fn main() {
             "DIVERGES"
         }
     );
+    opts.write(&report);
 }

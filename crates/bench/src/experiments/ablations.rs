@@ -9,9 +9,10 @@ use rkv::HashRing;
 use workloads::testdfsio::DfsioConfig;
 use workloads::{SystemKind, TestbedConfig};
 
-use crate::experiments::dfsio::{dfsio_cell, dfsio_cell_stats};
+use crate::experiments::dfsio::dfsio_cell_telemetry;
 use crate::experiments::ExpReport;
-use crate::table::{mbps, ratio, Table};
+use crate::table::{mbps, ratio, secs, Table};
+use crate::telemetry::{attach, capture_cell, CellTelemetry};
 
 fn base_dfsio(quick: bool) -> DfsioConfig {
     DfsioConfig {
@@ -23,7 +24,7 @@ fn base_dfsio(quick: bool) -> DfsioConfig {
 
 /// AB1: the same burst buffer over verbs / IPoIB / 10GigE, hybrid vs
 /// SEND-only protocol — isolating what RDMA buys.
-pub fn ab1_transport(quick: bool) -> ExpReport {
+pub fn ab1_transport(quick: bool, trace: bool) -> ExpReport {
     struct Variant {
         name: &'static str,
         profile: TransportProfile,
@@ -52,7 +53,7 @@ pub fn ab1_transport(quick: bool) -> ExpReport {
         },
     ];
     let dfsio = base_dfsio(quick);
-    let results: Vec<(usize, f64, f64)> = (0..variants.len())
+    let raw: Vec<(usize, f64, f64, Option<CellTelemetry>)> = (0..variants.len())
         .into_par_iter()
         .map(|i| {
             let v = &variants[i];
@@ -62,11 +63,23 @@ pub fn ab1_transport(quick: bool) -> ExpReport {
             // lift the client cap so transport differences show
             cfg.bb.client_write_rate = 3.0e9;
             cfg.bb.client_read_rate = 3.0e9;
-            let (w, r) = dfsio_cell(
+            let rep = i == 0;
+            let (w, r, _, cell) = dfsio_cell_telemetry(
                 SystemKind::Bb(bb_core::Scheme::AsyncLustre),
                 cfg,
                 dfsio.clone(),
+                rep && trace,
             );
+            (i, w, r, rep.then_some(cell))
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(usize, f64, f64)> = raw
+        .into_iter()
+        .map(|(i, w, r, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
             (i, w, r)
         })
         .collect();
@@ -83,15 +96,19 @@ pub fn ab1_transport(quick: bool) -> ExpReport {
         "RDMA verbs reads beat IPoIB by {} — the paper's core premise",
         ratio(verbs_r / ipoib_r)
     ));
-    ExpReport {
+    let mut report = ExpReport {
         id: "AB1",
         table: t,
         shape_holds: verbs_r > ipoib_r * 1.5,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// AB2: chunk-size sweep for the block→KV key schema.
-pub fn ab2_chunk_size(quick: bool) -> ExpReport {
+pub fn ab2_chunk_size(quick: bool, trace: bool) -> ExpReport {
     // the top size stays under the 1 MiB item limit (key + header fit too)
     const NEAR_MAX: u64 = (1 << 20) - (4 << 10);
     let sizes: &[u64] = if quick {
@@ -100,19 +117,31 @@ pub fn ab2_chunk_size(quick: bool) -> ExpReport {
         &[64 << 10, 128 << 10, 256 << 10, 512 << 10, NEAR_MAX]
     };
     let dfsio = base_dfsio(quick);
-    let results: Vec<(u64, f64, f64)> = sizes
+    let raw: Vec<(u64, f64, f64, Option<CellTelemetry>)> = sizes
         .par_iter()
         .map(|&chunk| {
             let mut cfg = TestbedConfig::default();
             cfg.bb.chunk_size = chunk;
             cfg.bb.client_write_rate = 3.0e9;
             cfg.bb.client_read_rate = 3.0e9;
-            let (w, r) = dfsio_cell(
+            let rep = chunk == 512 << 10;
+            let (w, r, _, cell) = dfsio_cell_telemetry(
                 SystemKind::Bb(bb_core::Scheme::AsyncLustre),
                 cfg,
                 dfsio.clone(),
+                rep && trace,
             );
-            (chunk, w, r)
+            (chunk, w, r, rep.then_some(cell))
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(u64, f64, f64)> = raw
+        .into_iter()
+        .map(|(c, w, r, cell)| {
+            if let Some(t) = cell {
+                telemetry = Some(t);
+            }
+            (c, w, r)
         })
         .collect();
     let mut t = Table::new(
@@ -133,26 +162,35 @@ pub fn ab2_chunk_size(quick: bool) -> ExpReport {
     // shape: the largest chunk should beat the smallest on writes
     let smallest = results.first().unwrap().1;
     let largest = results.last().unwrap().1;
-    ExpReport {
+    let mut report = ExpReport {
         id: "AB2",
         table: t,
         shape_holds: largest > smallest,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// AB3: persistence-manager flush parallelism vs time-to-durable.
-pub fn ab3_flushers(quick: bool) -> ExpReport {
+pub fn ab3_flushers(quick: bool, trace: bool) -> ExpReport {
     use workloads::{PayloadPool, Testbed};
     let counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
-    let results: Vec<(usize, f64)> = counts
+    let largest = *counts.last().unwrap();
+    let raw: Vec<(usize, f64, Option<CellTelemetry>)> = counts
         .par_iter()
         .map(|&n| {
+            let rep = n == largest;
             let mut cfg = TestbedConfig::default();
             cfg.bb.flusher_threads = n;
             let tb = Testbed::build(SystemKind::Bb(bb_core::Scheme::AsyncLustre), cfg);
+            if rep && trace {
+                tb.sim.tracer().enable();
+            }
             let pool = PayloadPool::standard();
             let sim = tb.sim.clone();
-            let t = sim.block_on(async move {
+            let (t, cell) = sim.block_on(async move {
                 let bb = tb.bb.as_ref().unwrap();
                 let client = bb.client(tb.nodes[0]);
                 // 16 files burst, then measure time until all durable
@@ -175,9 +213,20 @@ pub fn ab3_flushers(quick: bool) -> ExpReport {
                     client.wait_flushed(p).await.unwrap();
                 }
                 let dt = (tb.sim.now() - t0).as_secs_f64();
+                let cell = rep.then(|| capture_cell(&tb.sim));
                 tb.shutdown();
-                dt
+                (dt, cell)
             });
+            (n, t, cell)
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(usize, f64)> = raw
+        .into_iter()
+        .map(|(n, t, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
             (n, t)
         })
         .collect();
@@ -191,32 +240,53 @@ pub fn ab3_flushers(quick: bool) -> ExpReport {
     }
     t.note("more flush streams drain the buffer faster until Lustre saturates");
     let last = results.last().unwrap().1;
-    ExpReport {
+    let mut report = ExpReport {
         id: "AB3",
         table: t,
         shape_holds: last <= base * 1.01,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// AB5: read-window sweep on the E4 workload — how deep the pipelined
 /// tiered read path must run before the fabric egress saturates.
-pub fn ab5_read_window(quick: bool) -> ExpReport {
+pub fn ab5_read_window(quick: bool, trace: bool) -> ExpReport {
     let windows: &[usize] = if quick {
         &[1, 4, 8, 32]
     } else {
         &[1, 2, 4, 8, 16, 32]
     };
     let dfsio = base_dfsio(quick);
-    let results: Vec<(usize, f64, Option<bb_core::ReadStats>)> = windows
+    let raw: Vec<(
+        usize,
+        f64,
+        Option<bb_core::ReadStats>,
+        Option<CellTelemetry>,
+    )> = windows
         .par_iter()
         .map(|&w| {
             let mut cfg = TestbedConfig::default();
             cfg.bb.read_window = w;
-            let (_, r, stats) = dfsio_cell_stats(
+            let rep = w == 8;
+            let (_, r, stats, cell) = dfsio_cell_telemetry(
                 SystemKind::Bb(bb_core::Scheme::AsyncLustre),
                 cfg,
                 dfsio.clone(),
+                rep && trace,
             );
+            (w, r, stats, rep.then_some(cell))
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(usize, f64, Option<bb_core::ReadStats>)> = raw
+        .into_iter()
+        .map(|(w, r, stats, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
             (w, r, stats)
         })
         .collect();
@@ -262,11 +332,15 @@ pub fn ab5_read_window(quick: bool) -> ExpReport {
         ratio(w8 / base),
         TestbedConfig::default().bb.kv_servers
     ));
-    ExpReport {
+    let mut report = ExpReport {
         id: "AB5",
         table: t,
         shape_holds: monotone && w8 > base * 1.3,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// AB4: ketama consistent hashing vs modulo placement on membership change.
@@ -319,9 +393,126 @@ pub fn ab4_placement() -> ExpReport {
         ]);
     }
     t.note("consistent hashing moves ~1/n of keys; modulo reshuffles most of the keyspace");
+    // AB4 is a pure hashing study: no simulation, so no telemetry.
     ExpReport {
         id: "AB4",
         table: t,
         shape_holds: shape,
+        metrics: None,
+        trace: None,
     }
+}
+
+/// One AB6 cell: write the E4-style dataset, then run the read phase
+/// with the tracer on. Returns the read throughput, the number of
+/// read-path fetch spans, their summed duration ("busy"), the length of
+/// their union on the virtual timeline ("wall"), and the cell
+/// telemetry with the Chrome trace attached. busy/wall > 1 is fetch
+/// concurrency — the overlap the readahead pipeline exists to create.
+fn traced_read_cell(read_window: usize, quick: bool) -> (f64, usize, u64, u64, CellTelemetry) {
+    use workloads::{PayloadPool, Testbed};
+    let mut cfg = TestbedConfig::default();
+    cfg.bb.read_window = read_window;
+    let dfsio = base_dfsio(quick);
+    let tb = Testbed::build(SystemKind::Bb(bb_core::Scheme::AsyncLustre), cfg);
+    let sim = tb.sim.clone();
+    sim.block_on(async move {
+        let fs_for = tb.fs_for();
+        let pool = PayloadPool::standard();
+        workloads::testdfsio::write(&tb.sim, &tb.nodes, &fs_for, &pool, &dfsio)
+            .await
+            .expect("write phase");
+        // trace only the read phase: the question is how fetches overlap
+        tb.sim.tracer().enable();
+        let r = workloads::testdfsio::read(&tb.sim, &tb.nodes, &fs_for, &pool, &dfsio, false)
+            .await
+            .expect("read phase");
+        tb.sim.tracer().disable();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        tb.sim.tracer().for_each_event(|e| {
+            if e.cat == "bb" && (e.name == "bb.run_group" || e.name == "bb.fetch_chunk") {
+                spans.push((e.ts_ns, e.ts_ns + e.dur_ns));
+            }
+        });
+        spans.sort_unstable();
+        let busy: u64 = spans.iter().map(|(a, b)| b - a).sum();
+        let mut wall = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for &(a, b) in &spans {
+            match &mut cur {
+                Some((_, ce)) if a <= *ce => *ce = (*ce).max(b),
+                _ => {
+                    if let Some((cs, ce)) = cur {
+                        wall += ce - cs;
+                    }
+                    cur = Some((a, b));
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            wall += ce - cs;
+        }
+        let cell = CellTelemetry {
+            snapshot: tb.sim.metrics().snapshot(),
+            trace: Some(tb.sim.tracer().export_chrome()),
+        };
+        tb.shutdown();
+        (r.aggregate.mb_per_sec(), spans.len(), busy, wall, cell)
+    })
+}
+
+/// AB6: the tracer demonstration — span-level evidence that the
+/// pipelined read path actually overlaps chunk fetches. The pipelined
+/// run's Chrome trace rides on the report (`repro_ab6 --trace out.json`
+/// then load in Perfetto).
+pub fn ab6_readahead_trace(quick: bool) -> ExpReport {
+    let variants: [(&str, usize); 2] = [("serial (window 1)", 1), ("pipelined (window 8)", 8)];
+    let results: Vec<(&str, f64, usize, u64, u64, CellTelemetry)> = variants
+        .par_iter()
+        .map(|&(label, w)| {
+            let (r, spans, busy, wall, cell) = traced_read_cell(w, quick);
+            (label, r, spans, busy, wall, cell)
+        })
+        .collect();
+    let mut t = Table::new(
+        "AB6: readahead overlap — read-phase fetch spans on the virtual timeline",
+        &[
+            "variant",
+            "read MB/s",
+            "fetch spans",
+            "busy (s)",
+            "wall (s)",
+            "overlap",
+        ],
+    );
+    let mut overlaps = Vec::new();
+    for (label, r, spans, busy, wall, _) in &results {
+        let overlap = *busy as f64 / (*wall).max(1) as f64;
+        overlaps.push(overlap);
+        t.row(vec![
+            (*label).into(),
+            mbps(*r),
+            spans.to_string(),
+            secs(*busy as f64 / 1e9),
+            secs(*wall as f64 / 1e9),
+            format!("{overlap:.2}x"),
+        ]);
+    }
+    let (serial_overlap, pipe_overlap) = (overlaps[0], overlaps[1]);
+    let (serial_r, pipe_r) = (results[0].1, results[1].1);
+    t.note(format!(
+        "overlap = concurrent fetch spans on the virtual timeline; window 1 keeps {serial_overlap:.1} in flight (the reader tasks alone), readahead raises that to {pipe_overlap:.1} and reads run {} faster",
+        ratio(pipe_r / serial_r)
+    ));
+    // the traced pipelined run is the representative cell
+    let telemetry = results.into_iter().nth(1).map(|(_, _, _, _, _, c)| c);
+    let mut report = ExpReport {
+        id: "AB6",
+        table: t,
+        shape_holds: pipe_overlap > serial_overlap * 1.1 && pipe_overlap > 1.2 && pipe_r > serial_r,
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }

@@ -8,6 +8,7 @@ use workloads::{PayloadPool, SystemKind, Testbed, TestbedConfig};
 
 use crate::experiments::ExpReport;
 use crate::table::{mbps, ratio, Table};
+use crate::telemetry::{attach, capture_cell, CellTelemetry};
 
 /// One DFSIO cell: (write MB/s, read MB/s) for a system at a total size.
 pub fn dfsio_cell(kind: SystemKind, config: TestbedConfig, cfg: DfsioConfig) -> (f64, f64) {
@@ -22,7 +23,24 @@ pub fn dfsio_cell_stats(
     config: TestbedConfig,
     cfg: DfsioConfig,
 ) -> (f64, f64, Option<bb_core::ReadStats>) {
+    let (w, r, stats, _) = dfsio_cell_telemetry(kind, config, cfg, false);
+    (w, r, stats)
+}
+
+/// The full-fat cell runner: numbers, read-path tier counters, and the
+/// cell simulation's telemetry (metrics snapshot + Chrome trace when
+/// `trace`). Every DFSIO-family experiment captures its representative
+/// cell through this.
+pub fn dfsio_cell_telemetry(
+    kind: SystemKind,
+    config: TestbedConfig,
+    cfg: DfsioConfig,
+    trace: bool,
+) -> (f64, f64, Option<bb_core::ReadStats>, CellTelemetry) {
     let tb = Testbed::build(kind, config);
+    if trace {
+        tb.sim.tracer().enable();
+    }
     let pool = PayloadPool::standard();
     let sim = tb.sim.clone();
     sim.block_on(async move {
@@ -38,8 +56,14 @@ pub fn dfsio_cell_stats(
             .await
             .expect("read phase");
         let stats = tb.bb.as_ref().map(|bb| bb.read_stats());
+        let cell = capture_cell(&tb.sim);
         tb.shutdown();
-        (w.aggregate.mb_per_sec(), r.aggregate.mb_per_sec(), stats)
+        (
+            w.aggregate.mb_per_sec(),
+            r.aggregate.mb_per_sec(),
+            stats,
+            cell,
+        )
     })
 }
 
@@ -60,21 +84,44 @@ fn dfsio_for_total(total: u64) -> DfsioConfig {
 }
 
 /// Full write+read sweep over the five systems (shared by E3 and E4).
+/// The representative cell — BB-Async at the largest size — also yields
+/// its telemetry (traced when `trace`).
 #[allow(clippy::type_complexity)]
-fn sweep(quick: bool) -> Vec<(u64, SystemKind, f64, f64, Option<bb_core::ReadStats>)> {
+fn sweep(
+    quick: bool,
+    trace: bool,
+) -> (
+    Vec<(u64, SystemKind, f64, f64, Option<bb_core::ReadStats>)>,
+    Option<CellTelemetry>,
+) {
     let sizes = size_sweep(quick);
+    let largest = *sizes.last().unwrap();
     let cells: Vec<(u64, SystemKind)> = sizes
         .iter()
         .flat_map(|&sz| SystemKind::all_five().into_iter().map(move |k| (sz, k)))
         .collect();
-    cells
+    let mut rows = Vec::new();
+    let mut telemetry = None;
+    for (sz, kind, w, r, stats, cell) in cells
         .into_par_iter()
         .map(|(sz, kind)| {
-            let (w, r, stats) =
-                dfsio_cell_stats(kind, TestbedConfig::default(), dfsio_for_total(sz));
-            (sz, kind, w, r, stats)
+            let rep = sz == largest && kind == SystemKind::Bb(bb_core::Scheme::AsyncLustre);
+            let (w, r, stats, cell) = dfsio_cell_telemetry(
+                kind,
+                TestbedConfig::default(),
+                dfsio_for_total(sz),
+                rep && trace,
+            );
+            (sz, kind, w, r, stats, rep.then_some(cell))
         })
-        .collect()
+        .collect::<Vec<_>>()
+    {
+        rows.push((sz, kind, w, r, stats));
+        if let Some(c) = cell {
+            telemetry = Some(c);
+        }
+    }
+    (rows, telemetry)
 }
 
 fn gb(sz: u64) -> String {
@@ -82,8 +129,8 @@ fn gb(sz: u64) -> String {
 }
 
 /// E3: TestDFSIO write throughput vs data size, five systems.
-pub fn e3_write(quick: bool) -> ExpReport {
-    let results = sweep(quick);
+pub fn e3_write(quick: bool, trace: bool) -> ExpReport {
+    let (results, telemetry) = sweep(quick, trace);
     let mut t = Table::new(
         "E3: TestDFSIO WRITE aggregate MB/s vs total data size (16 files, 16 nodes)",
         &[
@@ -132,16 +179,20 @@ pub fn e3_write(quick: bool) -> ExpReport {
         ratio(worst_vs_hdfs),
         ratio(worst_vs_lustre)
     ));
-    ExpReport {
+    let mut report = ExpReport {
         id: "E3",
         table: t,
         shape_holds: worst_vs_hdfs > 2.0 && worst_vs_lustre > 1.3,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// E4: TestDFSIO read throughput vs data size, five systems.
-pub fn e4_read(quick: bool) -> ExpReport {
-    let results = sweep(quick);
+pub fn e4_read(quick: bool, trace: bool) -> ExpReport {
+    let (results, telemetry) = sweep(quick, trace);
     let mut t = Table::new(
         "E4: TestDFSIO READ aggregate MB/s vs total data size (buffer-hot reads)",
         &["size", "HDFS", "Lustre", "BB-Async", "BB/HDFS", "BB/Lustre"],
@@ -201,16 +252,21 @@ pub fn e4_read(quick: bool) -> ExpReport {
         "paper: read gain up to 8x; measured best gain {}",
         ratio(best_gain)
     ));
-    ExpReport {
+    let mut report = ExpReport {
         id: "E4",
         table: t,
         shape_holds: best_gain > 4.0 && tiers_account,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// E5: write/read throughput vs cluster size.
-pub fn e5_cluster_scaling(quick: bool) -> ExpReport {
+pub fn e5_cluster_scaling(quick: bool, trace: bool) -> ExpReport {
     let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
+    let largest = *sizes.last().unwrap();
     let systems = [
         SystemKind::Hdfs,
         SystemKind::Lustre,
@@ -220,7 +276,7 @@ pub fn e5_cluster_scaling(quick: bool) -> ExpReport {
         .iter()
         .flat_map(|&n| systems.into_iter().map(move |k| (n, k)))
         .collect();
-    let results: Vec<(usize, SystemKind, f64, f64)> = cells
+    let raw: Vec<(usize, SystemKind, f64, f64, Option<CellTelemetry>)> = cells
         .into_par_iter()
         .map(|(nodes, kind)| {
             let cfg = TestbedConfig {
@@ -233,8 +289,19 @@ pub fn e5_cluster_scaling(quick: bool) -> ExpReport {
                 file_size: 128 << 20,
                 ..DfsioConfig::default()
             };
-            let (w, r) = dfsio_cell(kind, cfg, dfsio);
-            (nodes, kind, w, r)
+            let rep = nodes == largest && kind == SystemKind::Bb(bb_core::Scheme::AsyncLustre);
+            let (w, r, _, cell) = dfsio_cell_telemetry(kind, cfg, dfsio, rep && trace);
+            (nodes, kind, w, r, rep.then_some(cell))
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(usize, SystemKind, f64, f64)> = raw
+        .into_iter()
+        .map(|(n, k, w, r, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
+            (n, k, w, r)
         })
         .collect();
     let mut t = Table::new(
@@ -269,17 +336,22 @@ pub fn e5_cluster_scaling(quick: bool) -> ExpReport {
         ]);
     }
     t.note("HDFS scales with spindles; Lustre is fixed infrastructure; the buffer's advantage widens with cluster size");
-    ExpReport {
+    let mut report = ExpReport {
         id: "E5",
         table: t,
         shape_holds: bb_wins_at_largest,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// E11: write throughput vs number of KV (burst-buffer) servers.
-pub fn e11_kv_scaling(quick: bool) -> ExpReport {
+pub fn e11_kv_scaling(quick: bool, trace: bool) -> ExpReport {
     let counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
-    let results: Vec<(usize, f64)> = counts
+    let largest = *counts.last().unwrap();
+    let raw: Vec<(usize, f64, Option<CellTelemetry>)> = counts
         .par_iter()
         .map(|&servers| {
             let mut cfg = TestbedConfig::default();
@@ -294,8 +366,24 @@ pub fn e11_kv_scaling(quick: bool) -> ExpReport {
                 file_size: 64 << 20,
                 ..DfsioConfig::default()
             };
-            let (w, _) = dfsio_cell(SystemKind::Bb(bb_core::Scheme::AsyncLustre), cfg, dfsio);
-            (servers, w)
+            let rep = servers == largest;
+            let (w, _, _, cell) = dfsio_cell_telemetry(
+                SystemKind::Bb(bb_core::Scheme::AsyncLustre),
+                cfg,
+                dfsio,
+                rep && trace,
+            );
+            (servers, w, rep.then_some(cell))
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(usize, f64)> = raw
+        .into_iter()
+        .map(|(n, w, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
+            (n, w)
         })
         .collect();
     let mut t = Table::new(
@@ -309,9 +397,13 @@ pub fn e11_kv_scaling(quick: bool) -> ExpReport {
     let last = results.last().unwrap();
     let shape_holds = last.1 / base > (last.0 as f64) * 0.4;
     t.note("throughput scales with buffer servers until the fabric/flush path binds");
-    ExpReport {
+    let mut report = ExpReport {
         id: "E11",
         table: t,
         shape_holds,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }

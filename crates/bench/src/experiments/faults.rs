@@ -6,20 +6,26 @@ use workloads::{PayloadPool, SystemKind, Testbed, TestbedConfig};
 
 use crate::experiments::ExpReport;
 use crate::table::Table;
+use crate::telemetry::{attach, capture_cell, CellTelemetry};
 
 /// E9: node-local storage consumed per system for the same dataset.
-pub fn e9_local_storage() -> ExpReport {
+pub fn e9_local_storage(trace: bool) -> ExpReport {
     let data: u64 = 512 << 20;
     let mut t = Table::new(
         "E9: node-local storage consumed for a 512 MiB dataset",
         &["system", "local bytes", "multiple of data"],
     );
     let mut shape = true;
+    let mut telemetry = None;
     for kind in SystemKind::all_five() {
+        let rep = kind == SystemKind::Bb(Scheme::HybridLocality);
         let tb = Testbed::build(kind, TestbedConfig::default());
+        if rep && trace {
+            tb.sim.tracer().enable();
+        }
         let pool = PayloadPool::standard();
         let sim = tb.sim.clone();
-        let used = sim.block_on(async move {
+        let (used, cell) = sim.block_on(async move {
             let fs_for = tb.fs_for();
             let w = fs_for(tb.nodes[0])
                 .create("/e9/data")
@@ -31,9 +37,13 @@ pub fn e9_local_storage() -> ExpReport {
             w.close().await.expect("close");
             tb.drain_flush(&["/e9/data".into()]).await;
             let used = tb.local_storage_used();
+            let cell = rep.then(|| capture_cell(&tb.sim));
             tb.shutdown();
-            used
+            (used, cell)
         });
+        if let Some(c) = cell {
+            telemetry = Some(c);
+        }
         let mult = used as f64 / data as f64;
         let expect = match kind {
             SystemKind::Hdfs => 3.0,
@@ -49,15 +59,19 @@ pub fn e9_local_storage() -> ExpReport {
         ]);
     }
     t.note("paper: the buffered schemes eliminate (or reduce to one replica) the local storage HDFS demands");
-    ExpReport {
+    let mut report = ExpReport {
         id: "E9",
         table: t,
         shape_holds: shape,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// E12: kill storage nodes mid-experiment and report what survives.
-pub fn e12_fault_tolerance() -> ExpReport {
+pub fn e12_fault_tolerance(trace: bool) -> ExpReport {
     let mut t = Table::new(
         "E12: fault injection — availability and recovery",
         &["scenario", "outcome", "detail"],
@@ -106,8 +120,12 @@ pub fn e12_fault_tolerance() -> ExpReport {
     }
 
     // --- scenario 2: BB-Async, buffer dies with a deep flush queue ---
+    // (the representative cell: the crash path exercises the manager's
+    // loss accounting)
+    let telemetry;
     {
-        let (state, lost) = bb_crash(Scheme::AsyncLustre, true);
+        let ((state, lost), cell) = bb_crash_telemetry(Scheme::AsyncLustre, true, true, trace);
+        telemetry = cell;
         let ok = state == FileState::Lost && lost > 0;
         shape &= ok;
         t.row(vec![
@@ -142,20 +160,37 @@ pub fn e12_fault_tolerance() -> ExpReport {
     }
 
     t.note("paper: the sync scheme trades write speed for a closed fault window; async risks only not-yet-flushed data");
-    ExpReport {
+    let mut report = ExpReport {
         id: "E12",
         table: t,
         shape_holds: shape,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// Write 256 MiB, crash every KV server at close, report (state, chunks lost).
 fn bb_crash(scheme: Scheme, slow_lustre: bool) -> (FileState, u64) {
+    let (out, _) = bb_crash_telemetry(scheme, slow_lustre, false, false);
+    out
+}
+
+fn bb_crash_telemetry(
+    scheme: Scheme,
+    slow_lustre: bool,
+    capture: bool,
+    trace: bool,
+) -> ((FileState, u64), Option<CellTelemetry>) {
     let mut cfg = TestbedConfig::default();
     if slow_lustre {
         cfg.lustre.ost_rate = 5e6;
     }
     let tb = Testbed::build(SystemKind::Bb(scheme), cfg);
+    if trace {
+        tb.sim.tracer().enable();
+    }
     let pool = PayloadPool::standard();
     let sim = tb.sim.clone();
     sim.block_on(async move {
@@ -175,7 +210,8 @@ fn bb_crash(scheme: Scheme, slow_lustre: bool) -> (FileState, u64) {
         }
         let state = client.wait_flushed("/e12/bb").await.unwrap();
         let lost = bb.manager.stats().chunks_lost;
+        let cell = capture.then(|| capture_cell(&tb.sim));
         tb.shutdown();
-        (state, lost)
+        ((state, lost), cell)
     })
 }

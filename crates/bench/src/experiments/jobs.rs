@@ -12,9 +12,18 @@ use workloads::{PayloadPool, SystemKind, Testbed, TestbedConfig};
 
 use crate::experiments::ExpReport;
 use crate::table::{mbps, ratio, secs, Table};
+use crate::telemetry::{attach, capture_cell, CellTelemetry};
 
-fn run_randomwriter(kind: SystemKind, bytes_per_node: u64) -> f64 {
+fn run_randomwriter(
+    kind: SystemKind,
+    bytes_per_node: u64,
+    capture: bool,
+    trace: bool,
+) -> (f64, Option<CellTelemetry>) {
     let tb = Testbed::build(kind, TestbedConfig::default());
+    if trace {
+        tb.sim.tracer().enable();
+    }
     let pool = PayloadPool::standard();
     let cfg = RandomWriterConfig {
         bytes_per_node,
@@ -26,13 +35,14 @@ fn run_randomwriter(kind: SystemKind, bytes_per_node: u64) -> f64 {
         let r = randomwriter::run(&tb.sim, &tb.nodes, &fs_for, &pool, &cfg)
             .await
             .expect("randomwriter");
+        let cell = capture.then(|| capture_cell(&tb.sim));
         tb.shutdown();
-        r.elapsed.as_secs_f64()
+        (r.elapsed.as_secs_f64(), cell)
     })
 }
 
 /// E6: RandomWriter execution time vs data size.
-pub fn e6_randomwriter(quick: bool) -> ExpReport {
+pub fn e6_randomwriter(quick: bool, trace: bool) -> ExpReport {
     let sizes: &[u64] = if quick {
         &[64 << 20, 128 << 20]
     } else {
@@ -42,9 +52,24 @@ pub fn e6_randomwriter(quick: bool) -> ExpReport {
         .iter()
         .flat_map(|&sz| SystemKind::all_five().into_iter().map(move |k| (sz, k)))
         .collect();
-    let results: Vec<(u64, SystemKind, f64)> = cells
+    let largest = *sizes.last().unwrap();
+    let raw: Vec<(u64, SystemKind, f64, Option<CellTelemetry>)> = cells
         .into_par_iter()
-        .map(|(sz, kind)| (sz, kind, run_randomwriter(kind, sz)))
+        .map(|(sz, kind)| {
+            let rep = sz == largest && kind == SystemKind::Bb(Scheme::AsyncLustre);
+            let (dt, cell) = run_randomwriter(kind, sz, rep, rep && trace);
+            (sz, kind, dt, cell)
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(u64, SystemKind, f64)> = raw
+        .into_iter()
+        .map(|(sz, k, dt, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
+            (sz, k, dt)
+        })
         .collect();
     let mut t = Table::new(
         "E6: RandomWriter execution time (s) vs bytes per node (16 nodes)",
@@ -82,15 +107,32 @@ pub fn e6_randomwriter(quick: bool) -> ExpReport {
         ]);
     }
     t.note("paper: the buffered design ingests bulk writes fastest");
-    ExpReport {
+    let mut report = ExpReport {
         id: "E6",
         table: t,
         shape_holds: shape,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 fn run_sort(kind: SystemKind, data_size: u64) -> (f64, usize, usize) {
+    let (out, _) = run_sort_telemetry(kind, data_size, false, false);
+    out
+}
+
+fn run_sort_telemetry(
+    kind: SystemKind,
+    data_size: u64,
+    capture: bool,
+    trace: bool,
+) -> ((f64, usize, usize), Option<CellTelemetry>) {
     let tb = Testbed::build(kind, TestbedConfig::default());
+    if trace {
+        tb.sim.tracer().enable();
+    }
     let pool = PayloadPool::standard();
     let cfg = SortConfig {
         data_size,
@@ -104,13 +146,14 @@ fn run_sort(kind: SystemKind, data_size: u64) -> (f64, usize, usize) {
         let r = sortbench::generate_and_sort(&tb.engine, &tb.nodes, &fs_for, &pool, &cfg)
             .await
             .expect("sort");
+        let cell = capture.then(|| capture_cell(&tb.sim));
         tb.shutdown();
-        (r.sort_time.as_secs_f64(), r.local_maps, r.maps)
+        ((r.sort_time.as_secs_f64(), r.local_maps, r.maps), cell)
     })
 }
 
 /// E7: Sort execution time vs data size.
-pub fn e7_sort(quick: bool) -> ExpReport {
+pub fn e7_sort(quick: bool, trace: bool) -> ExpReport {
     let sizes: &[u64] = if quick {
         &[512 << 20, 1 << 30]
     } else {
@@ -129,9 +172,24 @@ pub fn e7_sort(quick: bool) -> ExpReport {
             .map(move |k| (sz, k))
         })
         .collect();
-    let results: Vec<(u64, SystemKind, f64)> = cells
+    let largest = *sizes.last().unwrap();
+    let raw: Vec<(u64, SystemKind, f64, Option<CellTelemetry>)> = cells
         .into_par_iter()
-        .map(|(sz, kind)| (sz, kind, run_sort(kind, sz).0))
+        .map(|(sz, kind)| {
+            let rep = sz == largest && kind == SystemKind::Bb(Scheme::AsyncLustre);
+            let ((dt, _, _), cell) = run_sort_telemetry(kind, sz, rep, rep && trace);
+            (sz, kind, dt, cell)
+        })
+        .collect();
+    let mut telemetry = None;
+    let results: Vec<(u64, SystemKind, f64)> = raw
+        .into_iter()
+        .map(|(sz, k, dt, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
+            (sz, k, dt)
+        })
         .collect();
     let mut t = Table::new(
         "E7: Sort execution time (s) vs data size (16 nodes, 16 reducers)",
@@ -179,15 +237,19 @@ pub fn e7_sort(quick: bool) -> ExpReport {
         best_vs_lustre * 100.0,
         best_vs_hdfs * 100.0
     ));
-    ExpReport {
+    let mut report = ExpReport {
         id: "E7",
         table: t,
         shape_holds: best_vs_hdfs > 0.05 && best_vs_lustre > 0.05,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// E8: the three schemes side by side on write, read, and sort.
-pub fn e8_schemes(quick: bool) -> ExpReport {
+pub fn e8_schemes(quick: bool, trace: bool) -> ExpReport {
     let total: u64 = if quick { 1 << 30 } else { 2 << 30 };
     let dfsio = DfsioConfig {
         files: 16,
@@ -195,14 +257,33 @@ pub fn e8_schemes(quick: bool) -> ExpReport {
         ..DfsioConfig::default()
     };
     let schemes = Scheme::all();
-    let io: Vec<(Scheme, f64, f64, Option<bb_core::ReadStats>)> = schemes
+    type SchemeCell = (
+        Scheme,
+        f64,
+        f64,
+        Option<bb_core::ReadStats>,
+        Option<CellTelemetry>,
+    );
+    let raw: Vec<SchemeCell> = schemes
         .into_par_iter()
         .map(|s| {
-            let (w, r, stats) = crate::experiments::dfsio::dfsio_cell_stats(
+            let rep = s == Scheme::AsyncLustre;
+            let (w, r, stats, cell) = crate::experiments::dfsio::dfsio_cell_telemetry(
                 SystemKind::Bb(s),
                 TestbedConfig::default(),
                 dfsio.clone(),
+                rep && trace,
             );
+            (s, w, r, stats, rep.then_some(cell))
+        })
+        .collect();
+    let mut telemetry = None;
+    let io: Vec<(Scheme, f64, f64, Option<bb_core::ReadStats>)> = raw
+        .into_iter()
+        .map(|(s, w, r, stats, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
             (s, w, r, stats)
         })
         .collect();
@@ -256,26 +337,56 @@ pub fn e8_schemes(quick: bool) -> ExpReport {
         "async write is {} of sync write — the price of closing the fault window",
         ratio(aw / sw)
     ));
-    ExpReport {
+    if let Some(cell) = &telemetry {
+        t.note(buffer_hit_ratio_note(&cell.snapshot));
+    }
+    let mut report = ExpReport {
         id: "E8",
         table: t,
         shape_holds: aw > sw,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
+}
+
+/// Satellite footer: buffer-tier hit ratio across every KV server,
+/// sourced from the registry snapshot (`rkv.server{N}.gets` / `.hits`).
+pub fn buffer_hit_ratio_note(snapshot: &simkit::telemetry::Snapshot) -> String {
+    let gets = snapshot.sum_matching("rkv.server", ".gets");
+    let hits = snapshot.sum_matching("rkv.server", ".hits");
+    let evictions = snapshot.sum_matching("rkv.server", ".evictions");
+    format!(
+        "buffer tier (registry): {hits}/{gets} GET hits = {:.1}% hit ratio, {evictions} evictions",
+        hits as f64 / (gets as f64).max(1.0) * 100.0
+    )
 }
 
 /// E10: I/O-intensive workloads — WordCount, Grep, and a SWIM trace.
-pub fn e10_io_intensive(quick: bool) -> ExpReport {
+pub fn e10_io_intensive(quick: bool, trace: bool) -> ExpReport {
     let systems = [
         SystemKind::Hdfs,
         SystemKind::Lustre,
         SystemKind::Bb(Scheme::AsyncLustre),
     ];
-    let rows: Vec<(SystemKind, f64, f64, f64)> = systems
+    let raw: Vec<(SystemKind, f64, f64, f64, Option<CellTelemetry>)> = systems
         .into_par_iter()
         .map(|kind| {
+            let rep = matches!(kind, SystemKind::Bb(_));
             let (wc, grep) = run_text_jobs(kind, if quick { 256 << 20 } else { 512 << 20 });
-            let swim = run_swim(kind, if quick { 8 } else { 16 });
-            (kind, wc, grep, swim)
+            let (swim, cell) = run_swim(kind, if quick { 8 } else { 16 }, rep, rep && trace);
+            (kind, wc, grep, swim, cell)
+        })
+        .collect();
+    let mut telemetry = None;
+    let rows: Vec<(SystemKind, f64, f64, f64)> = raw
+        .into_iter()
+        .map(|(k, wc, grep, swim, cell)| {
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
+            (k, wc, grep, swim)
         })
         .collect();
     let mut t = Table::new(
@@ -297,11 +408,15 @@ pub fn e10_io_intensive(quick: bool) -> ExpReport {
     let hdfs = rows.iter().find(|r| r.0 == SystemKind::Hdfs).unwrap();
     let shape = bb.3 < hdfs.3 && bb.1 <= hdfs.1 * 1.05;
     t.note("paper: the buffered design significantly benefits I/O-intensive workloads vs both baselines");
-    ExpReport {
+    let mut report = ExpReport {
         id: "E10",
         table: t,
         shape_holds: shape,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 fn run_text_jobs(kind: SystemKind, text_size: u64) -> (f64, f64) {
@@ -353,8 +468,16 @@ fn run_text_jobs(kind: SystemKind, text_size: u64) -> (f64, f64) {
     })
 }
 
-fn run_swim(kind: SystemKind, jobs: usize) -> f64 {
+fn run_swim(
+    kind: SystemKind,
+    jobs: usize,
+    capture: bool,
+    trace: bool,
+) -> (f64, Option<CellTelemetry>) {
     let tb = Testbed::build(kind, TestbedConfig::default());
+    if trace {
+        tb.sim.tracer().enable();
+    }
     let pool = PayloadPool::standard();
     let cfg = SwimConfig {
         jobs,
@@ -368,7 +491,8 @@ fn run_swim(kind: SystemKind, jobs: usize) -> f64 {
         let r = swim::run(&tb.engine, &tb.nodes, &fs_for, &pool, &cfg)
             .await
             .expect("swim");
+        let cell = capture.then(|| capture_cell(&tb.sim));
         tb.shutdown();
-        r.makespan.as_secs_f64()
+        (r.makespan.as_secs_f64(), cell)
     })
 }

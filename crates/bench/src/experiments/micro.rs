@@ -12,6 +12,7 @@ use simkit::Sim;
 
 use crate::experiments::ExpReport;
 use crate::table::Table;
+use crate::telemetry::{attach, capture_cell, CellTelemetry};
 
 fn transports() -> [TransportProfile; 3] {
     [
@@ -22,8 +23,19 @@ fn transports() -> [TransportProfile; 3] {
 }
 
 /// Measure one (transport, value size) cell: mean set and get latency.
-fn latency_cell(profile: TransportProfile, value_size: usize, reps: usize) -> (f64, f64) {
+/// The representative cell (verbs, 4 KiB) passes `capture` to keep its
+/// telemetry; `trace` additionally records spans.
+fn latency_cell(
+    profile: TransportProfile,
+    value_size: usize,
+    reps: usize,
+    capture: bool,
+    trace: bool,
+) -> (f64, f64, Option<CellTelemetry>) {
     let sim = Sim::new();
+    if trace {
+        sim.tracer().enable();
+    }
     let fabric = Fabric::new(sim.clone(), 2, NetConfig::default());
     let stack = RdmaStack::with_profile(fabric, profile);
     let server = KvServer::new(Rc::clone(&stack), NodeId(0), KvServerConfig::default());
@@ -55,12 +67,13 @@ fn latency_cell(profile: TransportProfile, value_size: usize, reps: usize) -> (f
         let get_lat = (s.now() - t1).as_secs_f64() / reps as f64;
         (set_lat, get_lat)
     });
+    let cell = capture.then(|| capture_cell(&sim));
     sim.reset();
-    out
+    (out.0, out.1, cell)
 }
 
 /// E1: set/get latency vs value size across transports.
-pub fn e1_kv_latency() -> ExpReport {
+pub fn e1_kv_latency(trace: bool) -> ExpReport {
     // the largest value stays under memcached's 1 MiB item limit
     // (key + header + value must fit the top slab class)
     let sizes = [
@@ -86,10 +99,15 @@ pub fn e1_kv_latency() -> ExpReport {
     );
     let mut verbs_small_get = 0.0;
     let mut ipoib_small_get = 0.0;
+    let mut telemetry = None;
     for &size in &sizes {
         let mut cells = vec![human_size(size)];
         for (ti, profile) in transports().iter().enumerate() {
-            let (set_s, get_s) = latency_cell(*profile, size, 30);
+            let rep = size == 4 << 10 && ti == 0;
+            let (set_s, get_s, cell) = latency_cell(*profile, size, 30, rep, rep && trace);
+            if let Some(c) = cell {
+                telemetry = Some(c);
+            }
             if size == 4 << 10 {
                 if ti == 0 {
                     verbs_small_get = get_s;
@@ -108,15 +126,19 @@ pub fn e1_kv_latency() -> ExpReport {
         "verbs beats IPoIB by {speedup:.1}x on 4 KiB gets (paper: RDMA-Memcached ≫ IPoIB-memcached)"
     ));
     let shape_holds = speedup > 2.0;
-    ExpReport {
+    let mut report = ExpReport {
         id: "E1",
         table: t,
         shape_holds,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
 /// E2: aggregate throughput vs concurrent clients.
-pub fn e2_kv_throughput(quick: bool) -> ExpReport {
+pub fn e2_kv_throughput(quick: bool, trace: bool) -> ExpReport {
     let client_counts: &[usize] = if quick {
         &[1, 4, 16]
     } else {
@@ -128,8 +150,14 @@ pub fn e2_kv_throughput(quick: bool) -> ExpReport {
     );
     let mut first_get = 0.0;
     let mut last_get = 0.0;
+    let mut telemetry = None;
     for &n in client_counts {
-        let (get_kops, set_kops) = throughput_cell(n, 4 << 10, if quick { 150 } else { 400 });
+        let rep = n == *client_counts.last().unwrap();
+        let (get_kops, set_kops, cell) =
+            throughput_cell(n, 4 << 10, if quick { 150 } else { 400 }, rep, rep && trace);
+        if let Some(c) = cell {
+            telemetry = Some(c);
+        }
         if first_get == 0.0 {
             first_get = get_kops;
         }
@@ -147,15 +175,28 @@ pub fn e2_kv_throughput(quick: bool) -> ExpReport {
         client_counts[0],
         client_counts[client_counts.len() - 1]
     ));
-    ExpReport {
+    let mut report = ExpReport {
         id: "E2",
         table: t,
         shape_holds: scaling > client_counts.len() as f64 / 2.0,
-    }
+        metrics: None,
+        trace: None,
+    };
+    attach(&mut report, telemetry);
+    report
 }
 
-fn throughput_cell(clients: usize, value_size: usize, ops_per_client: usize) -> (f64, f64) {
+fn throughput_cell(
+    clients: usize,
+    value_size: usize,
+    ops_per_client: usize,
+    capture: bool,
+    trace: bool,
+) -> (f64, f64, Option<CellTelemetry>) {
     let sim = Sim::new();
+    if trace {
+        sim.tracer().enable();
+    }
     let fabric = Fabric::new(sim.clone(), clients + 2, NetConfig::default());
     let stack = RdmaStack::new(fabric);
     // two servers so multi-client runs are not a single-NIC measurement
@@ -208,8 +249,9 @@ fn throughput_cell(clients: usize, value_size: usize, ops_per_client: usize) -> 
             total_ops / set_secs.max(1e-12) / 1e3,
         )
     });
+    let cell = capture.then(|| capture_cell(&sim));
     sim.reset();
-    out
+    (out.0, out.1, cell)
 }
 
 fn human_size(n: usize) -> String {

@@ -12,52 +12,62 @@ pub mod micro;
 
 use crate::table::Table;
 
-/// An experiment's rendered output plus its paper-shape verdict.
+/// An experiment's rendered output plus its paper-shape verdict and the
+/// telemetry of its representative cell.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB5`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB6`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
     /// Whether the paper-reported shape held in this run.
     pub shape_holds: bool,
+    /// Metrics snapshot of the representative cell (`None` only for
+    /// experiments with no simulation, e.g. AB4's pure hashing study).
+    pub metrics: Option<simkit::telemetry::Snapshot>,
+    /// Chrome trace-event JSON of the representative cell, when it ran
+    /// with tracing requested.
+    pub trace: Option<String>,
 }
 
-/// Run every experiment in order.
+/// Run every experiment in order (untraced; each report still carries
+/// its representative cell's metrics snapshot).
 pub fn run_all(quick: bool) -> Vec<ExpReport> {
     let mut out = Vec::new();
     println!(">>> E1: KV latency microbenchmark");
-    out.push(micro::e1_kv_latency());
+    out.push(micro::e1_kv_latency(false));
     println!(">>> E2: KV throughput scaling");
-    out.push(micro::e2_kv_throughput(quick));
+    out.push(micro::e2_kv_throughput(quick, false));
     println!(">>> E3: TestDFSIO write");
-    out.push(dfsio::e3_write(quick));
+    out.push(dfsio::e3_write(quick, false));
     println!(">>> E4: TestDFSIO read");
-    out.push(dfsio::e4_read(quick));
+    out.push(dfsio::e4_read(quick, false));
     println!(">>> E5: cluster-size scaling");
-    out.push(dfsio::e5_cluster_scaling(quick));
+    out.push(dfsio::e5_cluster_scaling(quick, false));
     println!(">>> E6: RandomWriter");
-    out.push(jobs::e6_randomwriter(quick));
+    out.push(jobs::e6_randomwriter(quick, false));
     println!(">>> E7: Sort");
-    out.push(jobs::e7_sort(quick));
+    out.push(jobs::e7_sort(quick, false));
     println!(">>> E8: scheme comparison");
-    out.push(jobs::e8_schemes(quick));
+    out.push(jobs::e8_schemes(quick, false));
     println!(">>> E9: local storage requirement");
-    out.push(faults::e9_local_storage());
+    out.push(faults::e9_local_storage(false));
     println!(">>> E10: I/O-intensive workloads");
-    out.push(jobs::e10_io_intensive(quick));
+    out.push(jobs::e10_io_intensive(quick, false));
     println!(">>> E11: buffer-layer scaling");
-    out.push(dfsio::e11_kv_scaling(quick));
+    out.push(dfsio::e11_kv_scaling(quick, false));
     println!(">>> E12: fault tolerance");
-    out.push(faults::e12_fault_tolerance());
+    out.push(faults::e12_fault_tolerance(false));
     println!(">>> AB1: transport ablation");
-    out.push(ablations::ab1_transport(quick));
+    out.push(ablations::ab1_transport(quick, false));
     println!(">>> AB2: chunk-size ablation");
-    out.push(ablations::ab2_chunk_size(quick));
+    out.push(ablations::ab2_chunk_size(quick, false));
     println!(">>> AB3: flusher-parallelism ablation");
-    out.push(ablations::ab3_flushers(quick));
+    out.push(ablations::ab3_flushers(quick, false));
     println!(">>> AB4: placement ablation");
     out.push(ablations::ab4_placement());
     println!(">>> AB5: read-window ablation");
-    out.push(ablations::ab5_read_window(quick));
+    out.push(ablations::ab5_read_window(quick, false));
+    println!(">>> AB6: readahead-overlap trace");
+    out.push(ablations::ab6_readahead_trace(quick));
     out
 }

@@ -11,5 +11,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod telemetry;
 
 pub use table::Table;

@@ -1,0 +1,163 @@
+//! Harness-side telemetry plumbing: the `--metrics-json` / `--trace`
+//! flags shared by every `repro_*` binary, representative-cell capture,
+//! and the tiny JSON reader `metrics_check` and the tests use to
+//! validate snapshots without a JSON dependency.
+//!
+//! Experiment sweeps run one [`Sim`] per cell, so a suite-wide registry
+//! cannot exist; instead each experiment captures the snapshot (and,
+//! when asked, the Chrome trace) of its *representative* cell — the one
+//! its headline claim is about (e.g. BB-Async at the largest size for
+//! E4) — and attaches it to the [`ExpReport`].
+
+use std::path::PathBuf;
+
+use simkit::telemetry::Snapshot;
+use simkit::Sim;
+
+use crate::experiments::ExpReport;
+
+/// Telemetry captured from one experiment cell.
+pub struct CellTelemetry {
+    /// The cell simulation's full metrics snapshot.
+    pub snapshot: Snapshot,
+    /// Chrome trace-event JSON, when the cell ran with its tracer on.
+    pub trace: Option<String>,
+}
+
+/// Freeze `sim`'s registry (and export its trace if the tracer is on).
+/// Call just before the cell's shutdown, after the measured phases.
+pub fn capture_cell(sim: &Sim) -> CellTelemetry {
+    let snapshot = sim.metrics().snapshot();
+    let trace = if sim.tracer().is_enabled() {
+        Some(sim.tracer().export_chrome())
+    } else {
+        None
+    };
+    CellTelemetry { snapshot, trace }
+}
+
+/// Attach `cell` to a report (the last step of each experiment fn).
+pub fn attach(report: &mut ExpReport, cell: Option<CellTelemetry>) {
+    if let Some(c) = cell {
+        report.metrics = Some(c.snapshot);
+        report.trace = c.trace;
+    }
+}
+
+/// Command-line options every `repro_*` binary understands.
+pub struct RunOpts {
+    /// Shrink sweeps for CI-speed runs (`--quick`).
+    pub quick: bool,
+    /// Write the representative cell's metrics snapshot here
+    /// (`--metrics-json PATH`).
+    pub metrics_json: Option<PathBuf>,
+    /// Trace the representative cell and write Chrome trace-event JSON
+    /// here (`--trace PATH`).
+    pub trace: Option<PathBuf>,
+}
+
+impl RunOpts {
+    /// Parse from the process arguments. Unknown flags are ignored so
+    /// binaries with extra options can layer on top.
+    pub fn parse() -> RunOpts {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parse from an explicit argument list (tests).
+    pub fn from_args(args: Vec<String>) -> RunOpts {
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+        };
+        RunOpts {
+            quick: args.iter().any(|a| a == "--quick"),
+            metrics_json: value_of("--metrics-json"),
+            trace: value_of("--trace"),
+        }
+    }
+
+    /// Whether the experiment should run its representative cell traced.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Write the report's telemetry to the requested paths.
+    pub fn write(&self, report: &ExpReport) {
+        if let Some(path) = &self.metrics_json {
+            match &report.metrics {
+                Some(snap) => {
+                    std::fs::write(path, snap.to_json()).expect("write metrics json");
+                    println!("wrote metrics snapshot: {}", path.display());
+                }
+                None => println!(
+                    "note: {} captures no metrics snapshot (no simulation cell)",
+                    report.id
+                ),
+            }
+        }
+        if let Some(path) = &self.trace {
+            match &report.trace {
+                Some(json) => {
+                    std::fs::write(path, json).expect("write trace json");
+                    println!("wrote Chrome trace: {}", path.display());
+                }
+                None => println!("note: {} produced no trace (no simulation cell)", report.id),
+            }
+        }
+    }
+}
+
+/// Read a counter's value out of a snapshot JSON file produced by
+/// [`Snapshot::to_json`] — a format-pinned scan, not a JSON parser,
+/// which is exactly the point: it double-checks the emitted layout.
+pub fn counter_in_json(json: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\": {{\"type\": \"counter\", \"value\": ");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest.find(['}', ','])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Whether the snapshot JSON contains any metric whose name starts with
+/// `prefix`.
+pub fn has_metric_prefix(json: &str, prefix: &str) -> bool {
+    json.contains(&format!("\"{prefix}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse() {
+        let o = RunOpts::from_args(
+            ["--quick", "--metrics-json", "m.json", "--trace", "t.json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert!(o.quick);
+        assert_eq!(
+            o.metrics_json.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert!(o.trace_enabled());
+        let o = RunOpts::from_args(vec![]);
+        assert!(!o.quick && o.metrics_json.is_none() && !o.trace_enabled());
+    }
+
+    #[test]
+    fn counter_scan_reads_emitted_layout() {
+        let r = simkit::telemetry::Registry::default();
+        r.counter("bb.read.tier_buffer").add(42);
+        r.counter("z.other").add(7);
+        let json = r.snapshot().to_json();
+        assert_eq!(counter_in_json(&json, "bb.read.tier_buffer"), Some(42));
+        assert_eq!(counter_in_json(&json, "z.other"), Some(7));
+        assert_eq!(counter_in_json(&json, "missing"), None);
+        assert!(has_metric_prefix(&json, "bb.read."));
+        assert!(!has_metric_prefix(&json, "lustre."));
+    }
+}

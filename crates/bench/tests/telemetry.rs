@@ -1,0 +1,124 @@
+//! Telemetry determinism guarantees (DESIGN.md §Telemetry): same-seed
+//! runs emit byte-identical metrics snapshots and Chrome traces, a
+//! disabled tracer records nothing and perturbs nothing, and the
+//! exported trace is structurally valid for Perfetto (monotone `ts`).
+
+use bb_core::{BbConfig, BbDeployment, Scheme};
+use bytes::Bytes;
+use lustre::{LustreCluster, LustreConfig};
+use netsim::{Fabric, NetConfig, NodeId};
+use proptest::prelude::*;
+use simkit::Sim;
+
+struct CellRun {
+    metrics_json: String,
+    trace_json: Option<String>,
+    end_ns: u64,
+    events: usize,
+}
+
+/// One small burst-buffer cell: write `chunks` chunks, read them back
+/// through the pipelined tiered path, freeze the telemetry.
+fn run_cell(read_window: usize, chunks: u64, traced: bool) -> CellRun {
+    let sim = Sim::new();
+    if traced {
+        sim.tracer().enable();
+    }
+    let fabric = Fabric::new(sim.clone(), 2, NetConfig::default());
+    let lustre = LustreCluster::deploy(&fabric, LustreConfig::default());
+    let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+    let cfg = BbConfig {
+        scheme: Scheme::AsyncLustre,
+        read_window,
+        ..BbConfig::default()
+    };
+    let size = chunks * cfg.chunk_size;
+    let dep = BbDeployment::deploy(&fabric, lustre, &nodes, cfg);
+    let client = dep.client(NodeId(0));
+    let s = sim.clone();
+    let end_ns = sim.block_on(async move {
+        let w = client.create("/t").await.unwrap();
+        w.append(Bytes::from(vec![7u8; size as usize]))
+            .await
+            .unwrap();
+        w.close().await.unwrap();
+        let rd = client.open("/t").await.unwrap();
+        let data = rd.read_all().await.unwrap();
+        assert_eq!(data.len() as u64, size);
+        dep.shutdown();
+        s.now().as_nanos()
+    });
+    CellRun {
+        metrics_json: sim.metrics().snapshot().to_json(),
+        trace_json: traced.then(|| sim.tracer().export_chrome()),
+        end_ns,
+        events: sim.tracer().event_count(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Same seed (there is only the implicit seed: the program itself)
+    /// → byte-identical machine-readable outputs, whatever the
+    /// read-path shape.
+    #[test]
+    fn same_seed_runs_are_byte_identical(window in 1usize..=8, chunks in 1u64..=4) {
+        let a = run_cell(window, chunks, true);
+        let b = run_cell(window, chunks, true);
+        prop_assert_eq!(&a.metrics_json, &b.metrics_json);
+        prop_assert_eq!(&a.trace_json, &b.trace_json);
+        prop_assert_eq!(a.end_ns, b.end_ns);
+    }
+}
+
+/// A disabled tracer adds zero events and does not move virtual time or
+/// any metric relative to a traced run of the same program.
+#[test]
+fn disabled_tracer_is_inert() {
+    let off = run_cell(8, 3, false);
+    assert_eq!(off.events, 0, "disabled tracer must record nothing");
+    assert!(off.trace_json.is_none());
+    let on = run_cell(8, 3, true);
+    assert!(on.events > 0, "traced read path must record spans");
+    assert_eq!(
+        off.end_ns, on.end_ns,
+        "tracing must not perturb virtual time"
+    );
+    assert_eq!(off.metrics_json, on.metrics_json);
+}
+
+/// The exported trace is shaped for Perfetto: a `traceEvents` array of
+/// complete events whose `ts` stream (virtual µs) is monotone, and the
+/// read-tier counters account for every chunk exactly once.
+#[test]
+fn chrome_trace_is_perfetto_shaped_and_tiers_account() {
+    let chunks = 4u64;
+    let run = run_cell(8, chunks, true);
+    let trace = run.trace_json.unwrap();
+    assert!(trace.contains("\"traceEvents\":["));
+    assert!(trace.contains("\"ph\":\"X\""));
+    let mut last = f64::MIN;
+    let mut seen = 0;
+    for part in trace.split("\"ts\":").skip(1) {
+        let num: f64 = part
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("ts must be a number");
+        assert!(num >= last, "ts stream must be monotone");
+        last = num;
+        seen += 1;
+    }
+    assert!(seen > 0, "trace must contain events");
+
+    let tiers: u64 = [
+        "bb.read.tier_local",
+        "bb.read.tier_buffer",
+        "bb.read.tier_lustre",
+    ]
+    .iter()
+    .map(|n| bench::telemetry::counter_in_json(&run.metrics_json, n).unwrap_or(0))
+    .sum();
+    assert_eq!(tiers, chunks, "each chunk is served by exactly one tier");
+}

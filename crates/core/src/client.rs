@@ -78,6 +78,60 @@ impl ReadStats {
     }
 }
 
+/// The read-path counters as registered metrics (`bb.read.*`). [`ReadStats`]
+/// is now just the frozen view assembled by [`ReadCounters::snapshot`] — the
+/// live state lives in the simulation's registry, where `--metrics-json`
+/// snapshots see it alongside every other layer.
+pub(crate) struct ReadCounters {
+    pub(crate) tier_local: simkit::telemetry::Counter,
+    pub(crate) tier_buffer: simkit::telemetry::Counter,
+    pub(crate) tier_lustre: simkit::telemetry::Counter,
+    pub(crate) multi_gets: simkit::telemetry::Counter,
+    pub(crate) multi_get_keys: simkit::telemetry::Counter,
+    pub(crate) readahead_stalls: simkit::telemetry::Counter,
+    pub(crate) fills_started: simkit::telemetry::Counter,
+    pub(crate) fill_drops: simkit::telemetry::Counter,
+}
+
+impl ReadCounters {
+    pub(crate) fn register(m: &simkit::telemetry::Registry) -> ReadCounters {
+        ReadCounters {
+            tier_local: m.counter("bb.read.tier_local"),
+            tier_buffer: m.counter("bb.read.tier_buffer"),
+            tier_lustre: m.counter("bb.read.tier_lustre"),
+            multi_gets: m.counter("bb.read.multi_gets"),
+            multi_get_keys: m.counter("bb.read.multi_get_keys"),
+            readahead_stalls: m.counter("bb.read.readahead_stalls"),
+            fills_started: m.counter("bb.read.fills_started"),
+            fill_drops: m.counter("bb.read.fill_drops"),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ReadStats {
+        ReadStats {
+            tier_local: self.tier_local.get(),
+            tier_buffer: self.tier_buffer.get(),
+            tier_lustre: self.tier_lustre.get(),
+            multi_gets: self.multi_gets.get(),
+            multi_get_keys: self.multi_get_keys.get(),
+            readahead_stalls: self.readahead_stalls.get(),
+            fills_started: self.fills_started.get(),
+            fill_drops: self.fill_drops.get(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.tier_local.reset();
+        self.tier_buffer.reset();
+        self.tier_lustre.reset();
+        self.multi_gets.reset();
+        self.multi_get_keys.reset();
+        self.readahead_stalls.reset();
+        self.fills_started.reset();
+        self.fill_drops.reset();
+    }
+}
+
 /// A burst-buffer client bound to one compute node.
 pub struct BbClient {
     dep: Rc<BbDeployment>,
@@ -570,7 +624,7 @@ impl ReadCore {
         }
         match self.client.fill_gate.try_acquire() {
             Some(permit) => {
-                self.client.dep.bump_read_stats(|s| s.fills_started += 1);
+                self.client.dep.read_counters().fills_started.inc();
                 let kv = Rc::clone(&self.client.kv);
                 let key = chunk_key(file_id, seq);
                 let fill = data.clone();
@@ -579,7 +633,7 @@ impl ReadCore {
                     let _ = kv.set(&key, fill, 0, 0).await;
                 });
             }
-            None => self.client.dep.bump_read_stats(|s| s.fill_drops += 1),
+            None => self.client.dep.read_counters().fill_drops.inc(),
         }
     }
 
@@ -593,13 +647,14 @@ impl ReadCore {
         };
         let chunk_len = chunk_size.min(size - seq * chunk_size);
         let sim = self.client.dep.stack.sim().clone();
+        let _sp = sim.span("bb.fetch_chunk", "bb", self.client.node.0, seq);
         let read_cpu = simkit::dur::transfer(chunk_len, self.config().client_read_rate);
         // tier 0 (scheme C): node-local replica
         if self.has_local_replica(seq * chunk_size) {
             if let Some(r) = &self.hdfs_reader {
                 if let Ok(b) = r.read_at(seq * chunk_size, chunk_len).await {
                     sim.sleep(read_cpu).await;
-                    self.client.dep.bump_read_stats(|s| s.tier_local += 1);
+                    self.client.dep.read_counters().tier_local.inc();
                     return Ok(b);
                 }
             }
@@ -607,7 +662,7 @@ impl ReadCore {
         // tier 1: the buffer (RDMA GET from server DRAM)
         if let Ok(Some(v)) = self.client.kv.get(&chunk_key(file_id, seq)).await {
             sim.sleep(read_cpu).await;
-            self.client.dep.bump_read_stats(|s| s.tier_buffer += 1);
+            self.client.dep.read_counters().tier_buffer.inc();
             return Ok(v.data);
         }
         // tier 2: Lustre — only sound once the file is flushed
@@ -628,7 +683,7 @@ impl ReadCore {
         let lf = self.lustre_handle().await?;
         let data = lf.read_at(seq * chunk_size, chunk_len).await?;
         self.maybe_fill(file_id, seq, &data);
-        self.client.dep.bump_read_stats(|s| s.tier_lustre += 1);
+        self.client.dep.read_counters().tier_lustre.inc();
         Ok(data)
     }
 
@@ -742,6 +797,12 @@ impl ReadCore {
     /// release them, then charge the client-side CPU while the next
     /// group's wire phase proceeds, and finally publish the chunks.
     async fn run_group(self: Rc<Self>, seqs: Vec<u64>) {
+        let _sp =
+            self.client
+                .dep
+                .stack
+                .sim()
+                .span("bb.run_group", "bb", self.client.node.0, seqs[0]);
         let permit = self.fetch_gate.acquire_many(seqs.len()).await;
         let (results, cpu) = self.fetch_group(&seqs).await;
         drop(permit);
@@ -807,10 +868,9 @@ impl ReadCore {
                 .iter()
                 .filter_map(|k| self.client.kv.route(k).ok())
                 .collect();
-            self.client.dep.bump_read_stats(|st| {
-                st.multi_gets += servers.len() as u64;
-                st.multi_get_keys += keys.len() as u64;
-            });
+            let rc = self.client.dep.read_counters();
+            rc.multi_gets.add(servers.len() as u64);
+            rc.multi_get_keys.add(keys.len() as u64);
             let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
             match self.client.kv.multi_get(&refs).await {
                 Ok(vals) => {
@@ -818,7 +878,7 @@ impl ReadCore {
                         match v {
                             Some(val) => {
                                 cpu = cpu.max(simkit::dur::transfer(clen(s), rate));
-                                self.client.dep.bump_read_stats(|st| st.tier_buffer += 1);
+                                self.client.dep.read_counters().tier_buffer.inc();
                                 out.insert(s, Ok(val.data));
                             }
                             None => misses.push(s),
@@ -836,7 +896,7 @@ impl ReadCore {
         for (s, h) in local {
             match h.await {
                 Some(b) => {
-                    self.client.dep.bump_read_stats(|st| st.tier_local += 1);
+                    self.client.dep.read_counters().tier_local.inc();
                     out.insert(s, Ok(b));
                 }
                 None => {
@@ -891,7 +951,7 @@ impl ReadCore {
                                         let rel = ((s - s0) * chunk_size) as usize;
                                         let b = data.slice(rel..rel + clen(s) as usize);
                                         self.maybe_fill(file_id, s, &b);
-                                        self.client.dep.bump_read_stats(|st| st.tier_lustre += 1);
+                                        self.client.dep.read_counters().tier_lustre.inc();
                                         out.insert(s, Ok(b));
                                     }
                                 }
@@ -926,7 +986,7 @@ impl ReadCore {
         }
         let slot = self.inflight.borrow().get(&seq).map(Rc::clone);
         if let Some(slot) = slot {
-            self.client.dep.bump_read_stats(|s| s.readahead_stalls += 1);
+            self.client.dep.read_counters().readahead_stalls.inc();
             let handle = slot.borrow_mut().take();
             if let Some(h) = handle {
                 h.await;

@@ -165,8 +165,9 @@ pub struct BbDeployment {
     /// The namespace + persistence manager.
     pub manager: Rc<BbManager>,
     /// Read-path tier/batch counters, aggregated across every client of
-    /// this deployment (single-threaded simulation, so a plain RefCell).
-    read_stats: std::cell::RefCell<ReadStats>,
+    /// this deployment — live state in the simulation's metrics registry
+    /// (`bb.read.*`), [`ReadStats`] is its frozen view.
+    read: client::ReadCounters,
 }
 
 impl BbDeployment {
@@ -226,6 +227,7 @@ impl BbDeployment {
             Rc::clone(&lustre),
             config,
         );
+        let read = client::ReadCounters::register(fabric.sim().metrics());
         Rc::new(BbDeployment {
             config,
             stack,
@@ -233,7 +235,7 @@ impl BbDeployment {
             lustre,
             hdfs_local,
             manager,
-            read_stats: std::cell::RefCell::new(ReadStats::default()),
+            read,
         })
     }
 
@@ -267,16 +269,16 @@ impl BbDeployment {
     /// Snapshot of the read-path counters accumulated since deployment
     /// (or the last [`BbDeployment::reset_read_stats`]).
     pub fn read_stats(&self) -> ReadStats {
-        self.read_stats.borrow().clone()
+        self.read.snapshot()
     }
 
     /// Zero the read-path counters (per-phase accounting in experiments).
     pub fn reset_read_stats(&self) {
-        *self.read_stats.borrow_mut() = ReadStats::default();
+        self.read.reset();
     }
 
-    pub(crate) fn bump_read_stats(&self, f: impl FnOnce(&mut ReadStats)) {
-        f(&mut self.read_stats.borrow_mut());
+    pub(crate) fn read_counters(&self) -> &client::ReadCounters {
+        &self.read
     }
 
     /// Stop background loops (scheme-C overlay heartbeats) so simulations

@@ -231,6 +231,38 @@ pub struct MgrStats {
     pub watermark_stalls: u64,
 }
 
+/// The manager/flusher counters as registered metrics (`bb.mgr.*`);
+/// [`MgrStats`] is the frozen view assembled by [`MgrCounters::snapshot`].
+pub(crate) struct MgrCounters {
+    chunks_flushed: simkit::telemetry::Counter,
+    bytes_flushed: simkit::telemetry::Counter,
+    chunks_direct: simkit::telemetry::Counter,
+    chunks_lost: simkit::telemetry::Counter,
+    watermark_stalls: simkit::telemetry::Counter,
+}
+
+impl MgrCounters {
+    fn register(m: &simkit::telemetry::Registry) -> MgrCounters {
+        MgrCounters {
+            chunks_flushed: m.counter("bb.mgr.chunks_flushed"),
+            bytes_flushed: m.counter("bb.mgr.bytes_flushed"),
+            chunks_direct: m.counter("bb.mgr.chunks_direct"),
+            chunks_lost: m.counter("bb.mgr.chunks_lost"),
+            watermark_stalls: m.counter("bb.mgr.watermark_stalls"),
+        }
+    }
+
+    fn snapshot(&self) -> MgrStats {
+        MgrStats {
+            chunks_flushed: self.chunks_flushed.get(),
+            bytes_flushed: self.bytes_flushed.get(),
+            chunks_direct: self.chunks_direct.get(),
+            chunks_lost: self.chunks_lost.get(),
+            watermark_stalls: self.watermark_stalls.get(),
+        }
+    }
+}
+
 type FlushWaiters = RefCell<HashMap<u64, Vec<ReplyHandle<Result<FileState, BbError>>>>>;
 
 /// The manager process.
@@ -248,7 +280,7 @@ pub struct BbManager {
     credit_waiters: RefCell<VecDeque<ReplyHandle<Result<(), BbError>>>>,
     flush_waiters: FlushWaiters,
     flush_gate: Semaphore,
-    stats: RefCell<MgrStats>,
+    stats: MgrCounters,
 }
 
 impl BbManager {
@@ -295,7 +327,7 @@ impl BbManager {
             credit_waiters: RefCell::new(VecDeque::new()),
             flush_waiters: RefCell::new(HashMap::new()),
             flush_gate: Semaphore::new(config.flusher_threads.max(1)),
-            stats: RefCell::new(MgrStats::default()),
+            stats: MgrCounters::register(fabric.sim().metrics()),
         });
         let mut rx = net.register(node, MGR_SERVICE);
         let sim = net.fabric().sim().clone();
@@ -321,7 +353,7 @@ impl BbManager {
 
     /// Counter snapshot.
     pub fn stats(&self) -> MgrStats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     /// Unflushed buffered bytes (flow-control pressure).
@@ -353,7 +385,7 @@ impl BbManager {
                 if self.unflushed.get() <= self.watermark {
                     reply.send(Ok(()), 16);
                 } else {
-                    self.stats.borrow_mut().watermark_stalls += 1;
+                    self.stats.watermark_stalls.inc();
                     self.credit_waiters.borrow_mut().push_back(reply);
                 }
             }
@@ -577,20 +609,24 @@ impl BbManager {
                     let lfile = Rc::clone(&lfile);
                     inflight.push(sim.spawn(async move {
                         let _gate = this.flush_gate.acquire().await;
+                        let _sp =
+                            this.net
+                                .fabric()
+                                .sim()
+                                .span("bb.flush_chunk", "bb", this.node.0, seq);
                         let key = chunk_key(file_id, seq);
                         let got = this.kv.get(&key).await;
                         let ok = match got {
                             Ok(Some(v)) => {
                                 let r = lfile.write_at(seq * chunk_size, v.data).await.is_ok();
                                 if r {
-                                    let mut st = this.stats.borrow_mut();
-                                    st.chunks_flushed += 1;
-                                    st.bytes_flushed += len;
+                                    this.stats.chunks_flushed.inc();
+                                    this.stats.bytes_flushed.add(len);
                                 }
                                 r
                             }
                             _ => {
-                                this.stats.borrow_mut().chunks_lost += 1;
+                                this.stats.chunks_lost.inc();
                                 false
                             }
                         };
@@ -605,7 +641,7 @@ impl BbManager {
                         let _gate = this.flush_gate.acquire().await;
                         let ok = lfile.write_at(seq * chunk_size, data).await.is_ok();
                         if ok {
-                            this.stats.borrow_mut().chunks_direct += 1;
+                            this.stats.chunks_direct.inc();
                         }
                         ok
                     }));

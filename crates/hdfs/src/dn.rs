@@ -98,6 +98,8 @@ pub struct DataNode {
     hb_running: Rc<Cell<bool>>,
     blocks_received: Cell<u64>,
     replications_done: Cell<u64>,
+    read_bytes: simkit::telemetry::Counter,
+    write_bytes: simkit::telemetry::Counter,
 }
 
 impl DataNode {
@@ -125,6 +127,12 @@ impl DataNode {
             hb_running: Rc::new(Cell::new(true)),
             blocks_received: Cell::new(0),
             replications_done: Cell::new(0),
+            read_bytes: sim
+                .metrics()
+                .counter(format!("hdfs.dn{}.read_bytes", node.0)),
+            write_bytes: sim
+                .metrics()
+                .counter(format!("hdfs.dn{}.write_bytes", node.0)),
         });
         // data-traffic loop: handle each message concurrently (the disk
         // device serializes at the channel)
@@ -291,6 +299,7 @@ impl DataNode {
                 downstream,
                 reply,
             } => {
+                self.write_bytes.add(data.len() as u64);
                 let r = self.write_packet(block, offset, data, downstream).await;
                 reply.send(r, 16);
             }
@@ -309,6 +318,7 @@ impl DataNode {
                 len,
                 reply,
             } => {
+                self.read_bytes.add(len);
                 let r = self
                     .store
                     .read_at_opts(block.0, offset, len, offset == 0)

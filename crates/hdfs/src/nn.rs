@@ -234,9 +234,30 @@ impl NameNode {
         });
         let mut rx = net.register(node, NN_SERVICE);
         let sim = net.fabric().sim().clone();
+        let ops = sim.metrics().counter("hdfs.nn.ops");
+        // namespace gauges piggyback on NnStats via sampled metrics
+        for (name, pick) in [
+            ("hdfs.nn.files", 0usize),
+            ("hdfs.nn.blocks", 1),
+            ("hdfs.nn.under_replicated", 2),
+            ("hdfs.nn.replications_issued", 3),
+        ] {
+            let weak = Rc::downgrade(&nn);
+            sim.metrics().sampled(name, move || {
+                let s = weak.upgrade().map(|n| n.stats()).unwrap_or_default();
+                simkit::telemetry::MetricValue::Counter(match pick {
+                    0 => s.files,
+                    1 => s.blocks,
+                    2 => s.under_replicated,
+                    _ => s.replications_issued,
+                })
+            });
+        }
         let this = Rc::clone(&nn);
         sim.clone().spawn(async move {
             while let Ok(env) = rx.recv().await {
+                let _sp = sim.span("nn.op", "hdfs", this.node.0, 0);
+                ops.inc();
                 sim.sleep(this.config.nn_service).await;
                 this.handle(env.msg);
             }

@@ -127,9 +127,12 @@ impl Mds {
         });
         let mut rx = net.register(node, MDS_SERVICE);
         let sim = net.fabric().sim().clone();
+        let ops = sim.metrics().counter("lustre.mds.ops");
         let this = Rc::clone(&mds);
         sim.clone().spawn(async move {
             while let Ok(env) = rx.recv().await {
+                let _sp = sim.span("mds.op", "lustre", this.node.0, 0);
+                ops.inc();
                 sim.sleep(this.config.mds_service).await;
                 this.handle(env.msg);
             }

@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use netsim::{NodeId, ReplyHandle, Switchboard};
+use simkit::telemetry::{Counter, Gauge};
 use storesim::{Disk, DiskParams, ObjectStore, StoreError};
 
 use crate::LustreConfig;
@@ -51,11 +52,22 @@ pub enum OssMsg {
 /// Mailbox service name for OSS data traffic.
 pub const OSS_SERVICE: &str = "lustre-oss";
 
+/// Per-OSS registered metrics (`lustre.oss{index}.*`).
+struct OssMetrics {
+    read_ops: Counter,
+    read_bytes: Counter,
+    write_ops: Counter,
+    write_bytes: Counter,
+    queue_depth: Gauge,
+    queue_peak: Gauge,
+}
+
 /// One object storage server process with its OSTs.
 pub struct Oss {
     node: NodeId,
     index: usize,
     osts: Vec<Rc<ObjectStore>>,
+    metrics: OssMetrics,
 }
 
 impl Oss {
@@ -81,14 +93,37 @@ impl Oss {
                 ObjectStore::new(disk)
             })
             .collect();
-        let oss = Rc::new(Oss { node, index, osts });
+        let m = sim.metrics();
+        let prefix = format!("lustre.oss{index}");
+        let metrics = OssMetrics {
+            read_ops: m.counter(format!("{prefix}.read_ops")),
+            read_bytes: m.counter(format!("{prefix}.read_bytes")),
+            write_ops: m.counter(format!("{prefix}.write_ops")),
+            write_bytes: m.counter(format!("{prefix}.write_bytes")),
+            queue_depth: m.gauge(format!("{prefix}.queue_depth")),
+            queue_peak: m.gauge(format!("{prefix}.queue_peak")),
+        };
+        let oss = Rc::new(Oss {
+            node,
+            index,
+            osts,
+            metrics,
+        });
         let mut rx = net.register(node, OSS_SERVICE);
         let this = Rc::clone(&oss);
         sim.clone().spawn(async move {
             while let Ok(env) = rx.recv().await {
                 // concurrent handling: the OST device serializes
                 let this = Rc::clone(&this);
-                sim.spawn(async move { this.handle(env.msg).await });
+                sim.spawn(async move {
+                    let d = this.metrics.queue_depth.get() + 1;
+                    this.metrics.queue_depth.set(d);
+                    if d > this.metrics.queue_peak.get() {
+                        this.metrics.queue_peak.set(d);
+                    }
+                    this.handle(env.msg).await;
+                    this.metrics.queue_depth.add(-1);
+                });
             }
         });
         oss
@@ -123,6 +158,8 @@ impl Oss {
                 data,
                 reply,
             } => {
+                self.metrics.write_ops.inc();
+                self.metrics.write_bytes.add(data.len() as u64);
                 let r = self.osts[ost_slot].write_at(obj, offset, data).await;
                 reply.send(r, 64);
             }
@@ -133,6 +170,8 @@ impl Oss {
                 len,
                 reply,
             } => {
+                self.metrics.read_ops.inc();
+                self.metrics.read_bytes.add(len);
                 let r = self.osts[ost_slot].read_at(obj, offset, len).await;
                 let wire = match &r {
                     Ok(b) => b.len() as u64 + 64,

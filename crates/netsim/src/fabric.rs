@@ -12,6 +12,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use simkit::resource::FifoServer;
+use simkit::telemetry::{Counter, MetricValue};
 use simkit::{dur, Sim};
 
 use crate::params::{NetConfig, TransportProfile};
@@ -56,6 +57,8 @@ struct NodeState {
     up: bool,
     tx: Rc<FifoServer>,
     rx: Rc<FifoServer>,
+    tx_bytes: Counter,
+    rx_bytes: Counter,
 }
 
 /// Per-fabric transfer statistics.
@@ -92,6 +95,26 @@ impl Fabric {
         for _ in 0..n {
             fabric.add_node();
         }
+        // fabric-level totals piggyback on FabricStats via sampled metrics
+        // (weak capture: the registry lives inside the Sim this fabric holds)
+        let weak = Rc::downgrade(&fabric);
+        for (name, pick) in [
+            ("netsim.fabric.transfers", 0usize),
+            ("netsim.fabric.bytes", 1),
+            ("netsim.fabric.loopback_bytes", 2),
+            ("netsim.fabric.failed", 3),
+        ] {
+            let w = weak.clone();
+            sim.metrics().sampled(name, move || {
+                let v = w.upgrade().map(|f| f.stats()).unwrap_or_default();
+                MetricValue::Counter(match pick {
+                    0 => v.transfers,
+                    1 => v.bytes,
+                    2 => v.loopback_bytes,
+                    _ => v.failed,
+                })
+            });
+        }
         fabric
     }
 
@@ -121,6 +144,14 @@ impl Fabric {
                 self.config.nic_bandwidth,
                 std::time::Duration::ZERO,
             )),
+            tx_bytes: self
+                .sim
+                .metrics()
+                .counter(format!("netsim.link{}.tx_bytes", id.0)),
+            rx_bytes: self
+                .sim
+                .metrics()
+                .counter(format!("netsim.link{}.rx_bytes", id.0)),
         });
         id
     }
@@ -238,6 +269,10 @@ impl Fabric {
         let mut st = self.stats.borrow_mut();
         st.transfers += 1;
         st.bytes += bytes;
+        drop(st);
+        let nodes = self.nodes.borrow();
+        nodes[src.0 as usize].tx_bytes.add(bytes);
+        nodes[dst.0 as usize].rx_bytes.add(bytes);
         Ok(())
     }
 

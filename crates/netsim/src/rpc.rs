@@ -14,6 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use simkit::sync::{mpsc, oneshot};
+use simkit::telemetry::Counter;
 
 use crate::fabric::{Fabric, NetError, NodeId};
 use crate::params::TransportProfile;
@@ -62,15 +63,26 @@ pub struct Switchboard<M> {
     fabric: Rc<Fabric>,
     profile: TransportProfile,
     boxes: RefCell<HashMap<BoxKey, mpsc::Sender<Envelope<M>>>>,
+    msgs: Counter,
+    calls: Counter,
+    undeliverable: Counter,
 }
 
 impl<M: 'static> Switchboard<M> {
     /// Create a switchboard carrying messages of type `M` over `profile`.
+    /// All switchboards on one simulation share the `netsim.rpc.*` counters.
     pub fn new(fabric: Rc<Fabric>, profile: TransportProfile) -> Rc<Self> {
+        let m = fabric.sim().metrics();
+        let msgs = m.counter("netsim.rpc.msgs");
+        let calls = m.counter("netsim.rpc.calls");
+        let undeliverable = m.counter("netsim.rpc.undeliverable");
         Rc::new(Switchboard {
             fabric,
             profile,
             boxes: RefCell::new(HashMap::new()),
+            msgs,
+            calls,
+            undeliverable,
         })
     }
 
@@ -119,9 +131,15 @@ impl<M: 'static> Switchboard<M> {
             let boxes = self.boxes.borrow();
             boxes.get(&(dst, service)).cloned()
         };
-        let tx = tx.ok_or(RpcError::ServiceUnavailable)?;
-        tx.try_send(Envelope { from: src, msg })
-            .map_err(|_| RpcError::ServiceUnavailable)
+        let Some(tx) = tx else {
+            self.undeliverable.inc();
+            return Err(RpcError::ServiceUnavailable);
+        };
+        self.msgs.inc();
+        tx.try_send(Envelope { from: src, msg }).map_err(|_| {
+            self.undeliverable.inc();
+            RpcError::ServiceUnavailable
+        })
     }
 
     /// Fire-and-forget [`Switchboard::send`]: spawns the delivery and
@@ -150,6 +168,7 @@ impl<M: 'static> Switchboard<M> {
         req_bytes: u64,
         make: impl FnOnce(ReplyHandle<R>) -> M,
     ) -> Result<R, RpcError> {
+        self.calls.inc();
         let (tx, rx) = oneshot::channel();
         let handle = ReplyHandle {
             fabric: Rc::clone(&self.fabric),

@@ -26,7 +26,6 @@ impl Default for QpConfig {
 }
 
 pub(crate) struct QpShared {
-    #[allow(dead_code)]
     id: u64,
     connected: Cell<bool>,
 }
@@ -102,6 +101,12 @@ impl Qp {
     /// receive slots. Blocks while the peer's receive queue is full.
     pub async fn send(&self, data: Bytes) -> Result<(), RdmaError> {
         self.check_connected()?;
+        let _sp = self
+            .stack
+            .sim()
+            .span("qp.send", "rdma", self.local.0, self.shared.id);
+        self.stack.counters.send_posts.inc();
+        self.stack.counters.send_bytes.add(data.len() as u64);
         self.stack
             .fabric()
             .transfer(
@@ -124,7 +129,11 @@ impl Qp {
     pub async fn recv(&self) -> Result<Bytes, RdmaError> {
         let mut rx = self.rx.borrow_mut();
         let fut = rx.recv();
-        fut.await.map_err(|_| RdmaError::Disconnected)
+        let out = fut.await.map_err(|_| RdmaError::Disconnected);
+        if out.is_ok() {
+            self.stack.counters.recv_completions.inc();
+        }
+        out
     }
 
     /// One-sided RDMA WRITE of `data` into `dst` at `offset`: wire time plus
@@ -135,6 +144,12 @@ impl Qp {
         if end > dst.len {
             return Err(RdmaError::OutOfBounds { end, len: dst.len });
         }
+        let _sp = self
+            .stack
+            .sim()
+            .span("qp.write", "rdma", self.local.0, self.shared.id);
+        self.stack.counters.write_posts.inc();
+        self.stack.counters.write_bytes.add(data.len() as u64);
         self.stack
             .fabric()
             .transfer(
@@ -163,6 +178,12 @@ impl Qp {
         if end > src.len {
             return Err(RdmaError::OutOfBounds { end, len: src.len });
         }
+        let _sp = self
+            .stack
+            .sim()
+            .span("qp.read", "rdma", self.local.0, self.shared.id);
+        self.stack.counters.read_posts.inc();
+        self.stack.counters.read_bytes.add(len);
         // read request: a doorbell-sized message to the remote NIC
         self.stack
             .fabric()

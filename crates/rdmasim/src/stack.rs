@@ -8,6 +8,7 @@ use std::rc::Rc;
 
 use bytes::BytesMut;
 use simkit::sync::mpsc;
+use simkit::telemetry::Counter;
 use simkit::{dur, Sim};
 
 use netsim::{Fabric, NetError, NodeId, TransportProfile};
@@ -64,6 +65,38 @@ pub(crate) fn registration_time(bytes: u64) -> std::time::Duration {
     dur::us(5) + dur::ns(80 * pages)
 }
 
+/// Verbs-level counters registered under `rdma.*` on the simulation's
+/// metrics registry. One set per stack (all stacks on a sim share names,
+/// so the counters aggregate).
+pub(crate) struct RdmaCounters {
+    pub(crate) mr_registrations: Counter,
+    pub(crate) qp_connects: Counter,
+    pub(crate) send_posts: Counter,
+    pub(crate) send_bytes: Counter,
+    pub(crate) recv_completions: Counter,
+    pub(crate) write_posts: Counter,
+    pub(crate) write_bytes: Counter,
+    pub(crate) read_posts: Counter,
+    pub(crate) read_bytes: Counter,
+}
+
+impl RdmaCounters {
+    fn register(sim: &Sim) -> RdmaCounters {
+        let m = sim.metrics();
+        RdmaCounters {
+            mr_registrations: m.counter("rdma.mr_registrations"),
+            qp_connects: m.counter("rdma.qp_connects"),
+            send_posts: m.counter("rdma.send_posts"),
+            send_bytes: m.counter("rdma.send_bytes"),
+            recv_completions: m.counter("rdma.recv_completions"),
+            write_posts: m.counter("rdma.write_posts"),
+            write_bytes: m.counter("rdma.write_bytes"),
+            read_posts: m.counter("rdma.read_posts"),
+            read_bytes: m.counter("rdma.read_bytes"),
+        }
+    }
+}
+
 /// One fabric-wide RDMA stack. All queue pairs and memory regions hang off
 /// an instance of this.
 pub struct RdmaStack {
@@ -72,6 +105,7 @@ pub struct RdmaStack {
     regions: RefCell<HashMap<(NodeId, RKey), Rc<MrInner>>>,
     next_rkey: RefCell<u32>,
     next_qp: RefCell<u64>,
+    pub(crate) counters: RdmaCounters,
 }
 
 impl RdmaStack {
@@ -84,12 +118,14 @@ impl RdmaStack {
     /// transport ablation to run the *same* protocol over IPoIB/Ethernet
     /// timing.
     pub fn with_profile(fabric: Rc<Fabric>, profile: TransportProfile) -> Rc<RdmaStack> {
+        let counters = RdmaCounters::register(fabric.sim());
         Rc::new(RdmaStack {
             fabric,
             profile,
             regions: RefCell::new(HashMap::new()),
             next_rkey: RefCell::new(1),
             next_qp: RefCell::new(1),
+            counters,
         })
     }
 
@@ -111,6 +147,7 @@ impl RdmaStack {
     /// Register `bytes` of memory on `node`, charging registration time.
     /// The returned [`Mr`] exposes the rkey for one-sided access.
     pub async fn register(self: &Rc<Self>, node: NodeId, bytes: u64) -> Mr {
+        self.counters.mr_registrations.inc();
         self.sim().sleep(registration_time(bytes)).await;
         let rkey = {
             let mut k = self.next_rkey.borrow_mut();
@@ -164,6 +201,7 @@ impl RdmaStack {
         self.fabric.transfer(a, b, 256, &self.profile).await?;
         self.fabric.transfer(b, a, 256, &self.profile).await?;
         self.fabric.transfer(a, b, 64, &self.profile).await?;
+        self.counters.qp_connects.inc();
         let id = {
             let mut q = self.next_qp.borrow_mut();
             let v = *q;

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use simkit::dur;
+use simkit::telemetry::{HistogramMetric, MetricValue};
 
 use netsim::NodeId;
 use rdmasim::{Qp, QpConfig, RdmaError, RdmaStack};
@@ -41,6 +42,14 @@ impl Default for KvServerConfig {
     }
 }
 
+/// Per-server service-time histograms (`rkv.server{node}.*_ns`).
+struct ServiceHists {
+    get_ns: HistogramMetric,
+    set_ns: HistogramMetric,
+    multi_get_ns: HistogramMetric,
+    other_ns: HistogramMetric,
+}
+
 /// One KV server instance bound to a fabric node.
 pub struct KvServer {
     node: NodeId,
@@ -50,20 +59,57 @@ pub struct KvServer {
     connections: Cell<u64>,
     requests: Cell<u64>,
     proto_errors: Cell<u64>,
+    hists: ServiceHists,
 }
 
 impl KvServer {
     /// Create a server on `node` (no listener thread needed — connections
-    /// are established through [`KvServer::accept`]).
+    /// are established through [`KvServer::accept`]). Registers
+    /// `rkv.server{node}.*` metrics: service-time histograms plus sampled
+    /// store stats (hits/gets/sets/evictions/items/bytes).
     pub fn new(stack: Rc<RdmaStack>, node: NodeId, config: KvServerConfig) -> Rc<KvServer> {
+        let store = Rc::new(ShardedKv::new(config.shards, config.slab));
+        let m = stack.sim().metrics();
+        let prefix = format!("rkv.server{}", node.0);
+        let hists = ServiceHists {
+            get_ns: m.histogram(format!("{prefix}.get_ns")),
+            set_ns: m.histogram(format!("{prefix}.set_ns")),
+            multi_get_ns: m.histogram(format!("{prefix}.multi_get_ns")),
+            other_ns: m.histogram(format!("{prefix}.other_ns")),
+        };
+        // store stats as sampled metrics: the store keeps them anyway, so
+        // snapshots read them instead of double counting (weak capture —
+        // the registry must not keep the store alive)
+        for (suffix, pick) in [
+            ("gets", 0usize),
+            ("hits", 1),
+            ("sets", 2),
+            ("evictions", 3),
+            ("items", 4),
+            ("bytes", 5),
+        ] {
+            let weak = Rc::downgrade(&store);
+            m.sampled(format!("{prefix}.{suffix}"), move || {
+                let s = weak.upgrade().map(|s| s.stats()).unwrap_or_default();
+                MetricValue::Counter(match pick {
+                    0 => s.gets,
+                    1 => s.hits,
+                    2 => s.sets,
+                    3 => s.evictions,
+                    4 => s.items,
+                    _ => s.bytes,
+                })
+            });
+        }
         Rc::new(KvServer {
             node,
             stack,
-            store: Rc::new(ShardedKv::new(config.shards, config.slab)),
+            store,
             config,
             connections: Cell::new(0),
             requests: Cell::new(0),
             proto_errors: Cell::new(0),
+            hists,
         })
     }
 
@@ -117,8 +163,25 @@ impl KvServer {
             let resp = match Request::decode(frame) {
                 Ok(req) => {
                     self.requests.set(self.requests.get() + 1);
-                    self.stack.sim().sleep(self.config.proc_time).await;
-                    self.handle(&qp, req).await
+                    let (span_name, hist) = match &req {
+                        Request::Get { .. } => ("kv.get", &self.hists.get_ns),
+                        Request::Set { .. } => ("kv.set", &self.hists.set_ns),
+                        Request::MultiGet { .. } => ("kv.multi_get", &self.hists.multi_get_ns),
+                        _ => ("kv.other", &self.hists.other_ns),
+                    };
+                    let sim = self.stack.sim();
+                    let _sp = sim.span(span_name, "rkv", self.node.0, 0);
+                    let t0 = sim.now();
+                    sim.sleep(self.config.proc_time).await;
+                    let resp = self.handle(&qp, req).await;
+                    hist.record_ns(
+                        self.stack
+                            .sim()
+                            .now()
+                            .as_nanos()
+                            .saturating_sub(t0.as_nanos()),
+                    );
+                    resp
                 }
                 Err(ProtoError(_)) => {
                     self.proto_errors.set(self.proto_errors.get() + 1);

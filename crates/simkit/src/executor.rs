@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
+use crate::telemetry::{Registry, Span, SpanInner, Telemetry, Tracer};
 use crate::time::Time;
 
 type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
@@ -100,6 +101,7 @@ struct Inner {
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     live_tasks: Cell<usize>,
     events: Cell<u64>,
+    telemetry: Telemetry,
 }
 
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
@@ -130,6 +132,7 @@ impl Sim {
                 timers: RefCell::new(BinaryHeap::new()),
                 live_tasks: Cell::new(0),
                 events: Cell::new(0),
+                telemetry: Telemetry::default(),
             }),
         }
     }
@@ -150,6 +153,42 @@ impl Sim {
     #[inline]
     pub fn live_tasks(&self) -> usize {
         self.inner.live_tasks.get()
+    }
+
+    /// The simulation's metrics registry. Components register named
+    /// counters/gauges/histograms at spawn and bump the returned handles;
+    /// [`Registry::snapshot`](crate::telemetry::Registry::snapshot) freezes
+    /// them for reporting.
+    #[inline]
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.telemetry.registry
+    }
+
+    /// The simulation's span tracer (disabled by default; see
+    /// [`telemetry`](crate::telemetry)).
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.telemetry.tracer
+    }
+
+    /// Open a virtual-time span: records one Chrome-trace event from now
+    /// until the returned guard drops. When the tracer is disabled this
+    /// costs one boolean read and returns a no-op guard.
+    #[inline]
+    pub fn span(&self, name: &'static str, cat: &'static str, pid: u32, tid: u64) -> Span {
+        if !self.inner.telemetry.tracer.is_enabled() {
+            return Span::disabled();
+        }
+        Span {
+            inner: Some(SpanInner {
+                sim: self.clone(),
+                name,
+                cat,
+                pid,
+                tid,
+                start: self.now(),
+            }),
+        }
     }
 
     fn next_seq(&self) -> u64 {

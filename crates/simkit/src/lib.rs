@@ -36,6 +36,7 @@ pub mod future;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 /// Channel and synchronization primitives for simulated processes.

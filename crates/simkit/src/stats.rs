@@ -6,7 +6,7 @@ use std::time::Duration;
 
 /// Log₂-bucketed histogram over nanosecond samples. 64 buckets cover the
 /// full `u64` range; percentile queries interpolate within a bucket.
-#[derive(Clone)]
+#[derive(Clone, PartialEq)]
 pub struct Histogram {
     buckets: [u64; 64],
     count: u64,
@@ -53,7 +53,19 @@ impl Histogram {
     }
 
     /// Merge another histogram into this one.
+    ///
+    /// Correct in both empty-edge cases: merging into an empty `self`
+    /// adopts `other`'s min/max wholesale (the empty side's `u64::MAX` min
+    /// sentinel must not survive into an otherwise non-empty histogram),
+    /// and merging an empty `other` is a no-op.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
@@ -93,6 +105,13 @@ impl Histogram {
 
     /// Approximate percentile (`q` in 0..=100) with linear interpolation
     /// inside the matched log bucket.
+    ///
+    /// Accuracy note: the interpolated value is clamped to the observed
+    /// `[min, max]` range, so when every sample landed in a single bucket
+    /// any percentile falls within that range (and with one sample, equals
+    /// it exactly) rather than drifting to the bucket's nominal edges. The
+    /// error bound is the matched bucket's width — at most 2× the true
+    /// value for log₂ buckets. Returns [`Duration::ZERO`] when empty.
     pub fn percentile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
@@ -214,6 +233,59 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), Duration::from_nanos(10));
         assert_eq!(a.max(), Duration::from_nanos(1000));
+    }
+
+    #[test]
+    fn merge_into_empty_preserves_min() {
+        // empty self must not keep its u64::MAX min sentinel visible
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record_ns(500);
+        b.record_ns(700);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Duration::from_nanos(500));
+        assert_eq!(a.max(), Duration::from_nanos(700));
+        assert_eq!(a.mean(), Duration::from_nanos(600));
+    }
+
+    #[test]
+    fn merge_empty_other_is_noop() {
+        let mut a = Histogram::new();
+        a.record_ns(42);
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Duration::from_nanos(42));
+        assert_eq!(a.max(), Duration::from_nanos(42));
+    }
+
+    #[test]
+    fn merge_two_empties_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), Duration::ZERO);
+        assert_eq!(a.percentile(50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_bucket_percentiles_are_clamped() {
+        // all samples in one log bucket: percentiles must stay within
+        // [min, max], not drift to the bucket's nominal edges
+        let mut h = Histogram::new();
+        for ns in [1000u64, 1100, 1200] {
+            h.record_ns(ns);
+        }
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            let p = h.percentile(q);
+            assert!(p >= h.min() && p <= h.max(), "q={q} p={p:?}");
+        }
+        // degenerate single sample: every percentile is that sample
+        let mut one = Histogram::new();
+        one.record_ns(777);
+        assert_eq!(one.percentile(50.0), Duration::from_nanos(777));
+        assert_eq!(one.percentile(99.9), Duration::from_nanos(777));
     }
 
     #[test]

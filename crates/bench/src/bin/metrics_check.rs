@@ -5,8 +5,13 @@
 //! once.
 //!
 //! ```text
-//! cargo run --release -p bench --bin metrics_check -- PATH [--expect-chunks N]
+//! cargo run --release -p bench --bin metrics_check -- PATH \
+//!     [--expect-chunks N] [--require-prefix PREFIX]...
 //! ```
+//!
+//! `--require-prefix` (repeatable) demands at least one metric under the
+//! given name prefix — e.g. `--require-prefix kv.retry.` asserts a fault
+//! run actually exercised the retry path.
 //!
 //! Exits non-zero with a message on the first violation.
 
@@ -16,13 +21,30 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .expect("usage: metrics_check PATH [--expect-chunks N]");
+        .enumerate()
+        .filter(|(i, a)| {
+            // a bare arg is the snapshot path unless it is the value of
+            // the preceding flag
+            !a.starts_with("--")
+                && !matches!(
+                    i.checked_sub(1).and_then(|p| args.get(p)),
+                    Some(f) if f == "--expect-chunks" || f == "--require-prefix"
+                )
+        })
+        .map(|(_, a)| a)
+        .next()
+        .expect("usage: metrics_check PATH [--expect-chunks N] [--require-prefix PREFIX]...");
     let expect_chunks: Option<u64> = args
         .iter()
         .position(|a| a == "--expect-chunks")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--expect-chunks takes an integer"));
+    let required: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--require-prefix")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .collect();
     let json = std::fs::read_to_string(path).expect("read snapshot");
 
     let mut failures = Vec::new();
@@ -40,6 +62,11 @@ fn main() {
     ] {
         if !has_metric_prefix(&json, prefix) {
             failures.push(format!("no metric under prefix {prefix:?}"));
+        }
+    }
+    for prefix in &required {
+        if !has_metric_prefix(&json, prefix) {
+            failures.push(format!("no metric under required prefix {prefix:?}"));
         }
     }
     let tiers = [

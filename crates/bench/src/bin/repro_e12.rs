@@ -1,15 +1,20 @@
 //! E12: fault injection — availability and recovery.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_e12 [--quick] [--metrics-json PATH] [--trace PATH]
+//! cargo run --release -p bench --bin repro_e12 [--quick] [--metrics-json PATH] \
+//!     [--trace PATH] [--timeline PATH]
 //! ```
+//!
+//! `--timeline PATH` writes the representative cell's applied fault
+//! timeline (the recovery-trace artifact CI uploads).
 
 use bench::experiments::faults;
 use bench::telemetry::RunOpts;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = RunOpts::parse();
-    let report = faults::e12_fault_tolerance(opts.trace_enabled());
+    let (report, timeline) = faults::e12_with_artifacts(opts.quick, opts.trace_enabled());
     print!("{}", report.table.to_text());
     println!(
         "paper shape: {}",
@@ -20,4 +25,12 @@ fn main() {
         }
     );
     opts.write(&report);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &timeline).expect("write timeline");
+        println!("wrote recovery trace: {path}");
+    }
 }

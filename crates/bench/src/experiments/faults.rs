@@ -1,7 +1,18 @@
 //! E9/E12: the local-storage table and the fault-tolerance experiment.
+//!
+//! E12 drives a scripted [`FaultPlan`] against live burst-buffer
+//! deployments: KV servers crash (losing their volatile contents),
+//! restart empty, flap their links, or drop a fraction of transfers.
+//! [`run_fault_scenario`] is the reusable cell runner — the fault-matrix
+//! integration suite (`crates/bench/tests/faults.rs`) sweeps it across
+//! {scheme} × {scenario} × {replication} with per-combination invariants.
 
+use std::rc::Rc;
+use std::time::Duration;
+
+use bb_core::manager::chunk_key;
 use bb_core::{FileState, Scheme};
-use simkit::dur;
+use simkit::{dur, FaultEvent, FaultPlan};
 use workloads::{PayloadPool, SystemKind, Testbed, TestbedConfig};
 
 use crate::experiments::ExpReport;
@@ -70,8 +81,340 @@ pub fn e9_local_storage(trace: bool) -> ExpReport {
     report
 }
 
-/// E12: kill storage nodes mid-experiment and report what survives.
-pub fn e12_fault_tolerance(trace: bool) -> ExpReport {
+/// The four injected-fault shapes of the E12 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultScenario {
+    /// Crash the most-loaded KV server mid-write; it never comes back.
+    CrashOne,
+    /// Crash the most-loaded KV server mid-write, restart it (empty)
+    /// shortly after.
+    CrashRestart,
+    /// Flap the most-loaded KV server's link: 3 × (20 ms down / 50 ms
+    /// cycle) starting mid-write. No state is lost.
+    LinkFlap,
+    /// Drop 1 % of every transfer to or from any KV server for the whole
+    /// run (seeded draws — deterministic per plan seed).
+    RpcLoss,
+}
+
+impl FaultScenario {
+    /// All scenarios, matrix order.
+    pub fn all() -> [FaultScenario; 4] {
+        [
+            FaultScenario::CrashOne,
+            FaultScenario::CrashRestart,
+            FaultScenario::LinkFlap,
+            FaultScenario::RpcLoss,
+        ]
+    }
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultScenario::CrashOne => "crash one server",
+            FaultScenario::CrashRestart => "crash + restart",
+            FaultScenario::LinkFlap => "link flap",
+            FaultScenario::RpcLoss => "1% rpc loss",
+        }
+    }
+}
+
+/// One cell of the fault matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCase {
+    /// Burst-buffer scheme under test.
+    pub scheme: Scheme,
+    /// Injected fault shape.
+    pub scenario: FaultScenario,
+    /// KV replicas per chunk (`r`).
+    pub replication: usize,
+    /// Fault-plan RNG seed (drives probabilistic drops).
+    pub seed: u64,
+    /// Shrink the dataset for CI-speed runs.
+    pub quick: bool,
+}
+
+impl FaultCase {
+    /// A matrix cell with the default seed and quick sizing.
+    pub fn quick(scheme: Scheme, scenario: FaultScenario, replication: usize) -> FaultCase {
+        FaultCase {
+            scheme,
+            scenario,
+            replication,
+            seed: 0xE12,
+            quick: true,
+        }
+    }
+}
+
+/// What one fault-matrix cell observed.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// The workload driver finished before the virtual-time deadline
+    /// (the no-hang invariant).
+    pub converged: bool,
+    /// Final durability state (`None` when the driver did not converge).
+    pub state: Option<FileState>,
+    /// Chunks in the dataset.
+    pub chunks_total: u64,
+    /// Chunks the flusher declared lost (the data-loss window).
+    pub chunks_lost: u64,
+    /// Chunks persisted via the degraded direct path.
+    pub chunks_direct: u64,
+    /// Per-chunk read-back verifications attempted.
+    pub reads_total: u64,
+    /// Reads that returned the exact expected bytes.
+    pub reads_ok: u64,
+    /// `kv.retry.attempts` at end of run.
+    pub retry_attempts: u64,
+    /// `kv.failover.reads` at end of run.
+    pub failover_reads: u64,
+    /// Transfers dropped by the injected loss rules.
+    pub dropped_transfers: u64,
+    /// Server crash events delivered.
+    pub crashes: u64,
+    /// Virtual time from the last scripted fault until the workload
+    /// converged (recovery time; `None` without a scripted fault or
+    /// convergence).
+    pub recovery: Option<Duration>,
+    /// Virtual end-of-run instant.
+    pub end: simkit::Time,
+    /// The applied fault timeline (`FaultInjector::timeline_text`) — the
+    /// recovery-trace artifact.
+    pub timeline: String,
+    /// Full metrics snapshot JSON at end of run (byte-identical across
+    /// same-seed runs — the determinism contract).
+    pub metrics_json: String,
+}
+
+impl FaultOutcome {
+    /// Reads that failed or returned wrong bytes.
+    pub fn reads_failed(&self) -> u64 {
+        self.reads_total - self.reads_ok
+    }
+
+    /// Every byte of the dataset was read back intact.
+    pub fn data_intact(&self) -> bool {
+        self.converged && self.reads_ok == self.reads_total
+    }
+}
+
+struct ScenarioEnd {
+    state: FileState,
+    reads_ok: u64,
+    write_err: bool,
+    end: simkit::Time,
+}
+
+/// Run one fault-matrix cell: write a dataset through the buffer while
+/// the scripted fault plan fires, wait for the flusher's verdict, then
+/// read every chunk back and verify it byte-for-byte.
+pub fn run_fault_scenario(case: FaultCase) -> FaultOutcome {
+    run_fault_scenario_telemetry(case, false).0
+}
+
+/// [`run_fault_scenario`] plus the representative-cell telemetry capture
+/// (Chrome trace when `trace` is set).
+pub fn run_fault_scenario_telemetry(
+    case: FaultCase,
+    trace: bool,
+) -> (FaultOutcome, Option<CellTelemetry>) {
+    let chunk_size: u64 = 512 << 10;
+    let data: u64 = if case.quick { 16 << 20 } else { 48 << 20 };
+    let chunks_total = data / chunk_size;
+    // the write takes data / client_write_rate ≈ 0.3 s (quick) / 0.9 s;
+    // faults land mid-write so the flush queue is live when they hit
+    let fault_at = if case.quick {
+        dur::ms(150)
+    } else {
+        dur::ms(450)
+    };
+    let restart_at = fault_at + dur::ms(200);
+
+    let mut cfg = TestbedConfig {
+        compute_nodes: 4,
+        ..TestbedConfig::default()
+    };
+    cfg.bb.kv_replication = case.replication;
+    // slow, narrow Lustre: the flush drains over seconds, keeping the
+    // async fault window open across the injected faults
+    cfg.lustre.oss_count = 1;
+    cfg.lustre.osts_per_oss = 1;
+    cfg.lustre.stripe_count = 1;
+    cfg.lustre.ost_rate = 8e6;
+    let tb = Testbed::build(SystemKind::Bb(case.scheme), cfg);
+    if trace {
+        tb.sim.tracer().enable();
+    }
+    let bb = Rc::clone(tb.bb.as_ref().expect("bb testbed"));
+    let client = bb.client(tb.nodes[0]);
+
+    // Victim: the server owning the most chunk keys (ketama placement is
+    // uneven; crashing an unloaded server would exercise nothing). The
+    // first file created gets file_id 1.
+    let mut owned = vec![0u64; bb.kv_servers.len()];
+    for seq in 0..chunks_total {
+        if let Ok(idx) = client.kv().route(&chunk_key(1, seq)) {
+            owned[idx] += 1;
+        }
+    }
+    let victim_idx = (0..owned.len()).max_by_key(|&i| owned[i]).unwrap_or(0);
+    let victim = bb.kv_servers[victim_idx].node();
+
+    let mut plan = FaultPlan::new(case.seed);
+    let mut last_fault = Some(fault_at);
+    match case.scenario {
+        FaultScenario::CrashOne => {
+            plan = plan.at(fault_at, FaultEvent::Crash { node: victim.0 });
+        }
+        FaultScenario::CrashRestart => {
+            plan = plan
+                .at(fault_at, FaultEvent::Crash { node: victim.0 })
+                .at(restart_at, FaultEvent::Restart { node: victim.0 });
+            last_fault = Some(restart_at);
+        }
+        FaultScenario::LinkFlap => {
+            plan = plan.at(
+                fault_at,
+                FaultEvent::LinkFlap {
+                    node: victim.0,
+                    count: 3,
+                    down: dur::ms(20),
+                    period: dur::ms(50),
+                },
+            );
+            last_fault = Some(fault_at + dur::ms(50) * 3);
+        }
+        FaultScenario::RpcLoss => {
+            for s in &bb.kv_servers {
+                plan = plan
+                    .at(
+                        Duration::ZERO,
+                        FaultEvent::Loss {
+                            src: Some(s.node().0),
+                            dst: None,
+                            p: 0.01,
+                        },
+                    )
+                    .at(
+                        Duration::ZERO,
+                        FaultEvent::Loss {
+                            src: None,
+                            dst: Some(s.node().0),
+                            p: 0.01,
+                        },
+                    );
+            }
+            last_fault = None;
+        }
+    }
+    tb.sim.install_faults(plan);
+
+    let pool = PayloadPool::standard();
+    let expected: Rc<Vec<u8>> = Rc::new(
+        pool.stream(9, data, 1 << 20)
+            .iter()
+            .flat_map(|b| b.iter().copied())
+            .collect(),
+    );
+    let sim = tb.sim.clone();
+    let driver_client = Rc::clone(&client);
+    let driver_expected = Rc::clone(&expected);
+    let driver_sim = sim.clone();
+    let driver = sim.spawn(async move {
+        let sim = driver_sim;
+        let fail = |end| ScenarioEnd {
+            state: FileState::Lost,
+            reads_ok: 0,
+            write_err: true,
+            end,
+        };
+        let Ok(w) = driver_client.create("/e12/f").await else {
+            return fail(sim.now());
+        };
+        for piece in pool.stream(9, data, 1 << 20) {
+            if w.append(piece).await.is_err() {
+                return fail(sim.now());
+            }
+        }
+        if w.close().await.is_err() {
+            return fail(sim.now());
+        }
+        let state = driver_client
+            .wait_flushed("/e12/f")
+            .await
+            .unwrap_or(FileState::Lost);
+        let mut reads_ok = 0;
+        if let Ok(rd) = driver_client.open("/e12/f").await {
+            for seq in 0..chunks_total {
+                let off = seq * chunk_size;
+                let len = chunk_size.min(data - off);
+                if let Ok(b) = rd.read_at(off, len).await {
+                    if b[..] == driver_expected[off as usize..(off + len) as usize] {
+                        reads_ok += 1;
+                    }
+                }
+            }
+        }
+        ScenarioEnd {
+            state,
+            reads_ok,
+            write_err: false,
+            end: sim.now(),
+        }
+    });
+    let deadline = tb.sim.now() + dur::secs(120);
+    tb.sim.run_until(deadline);
+    let converged = driver.is_finished();
+    let finish = driver.try_take();
+
+    let cell = capture_cell(&tb.sim);
+    let metrics_json = cell.snapshot.to_json();
+    let crashes: u64 = bb
+        .kv_servers
+        .iter()
+        .map(|s| {
+            cell.snapshot
+                .counter(&format!("rkv.server{}.crashes", s.node().0))
+        })
+        .sum();
+    let mgr = bb.manager.stats();
+    let timeline = tb.sim.faults().timeline_text();
+    let end = finish.as_ref().map(|f| f.end).unwrap_or(deadline);
+    let recovery = match (&finish, last_fault) {
+        (Some(f), Some(at)) if !f.write_err => (f.end - simkit::Time::ZERO).checked_sub(at),
+        _ => None,
+    };
+    let outcome = FaultOutcome {
+        converged: converged && finish.as_ref().is_some_and(|f| !f.write_err),
+        state: finish.as_ref().map(|f| f.state),
+        chunks_total,
+        chunks_lost: mgr.chunks_lost,
+        chunks_direct: mgr.chunks_direct,
+        reads_total: chunks_total,
+        reads_ok: finish.as_ref().map(|f| f.reads_ok).unwrap_or(0),
+        retry_attempts: cell.snapshot.counter("kv.retry.attempts"),
+        failover_reads: cell.snapshot.counter("kv.failover.reads"),
+        dropped_transfers: cell.snapshot.counter("netsim.fabric.dropped"),
+        crashes,
+        recovery,
+        end,
+        timeline,
+        metrics_json,
+    };
+    tb.shutdown();
+    (outcome, Some(cell))
+}
+
+/// E12: scripted fault plans against every scheme — availability,
+/// recovery time, and the size of the data-loss window.
+pub fn e12_fault_tolerance(quick: bool, trace: bool) -> ExpReport {
+    e12_with_artifacts(quick, trace).0
+}
+
+/// [`e12_fault_tolerance`] plus the representative cell's recovery-trace
+/// timeline (the `--timeline` artifact of `repro_e12`).
+pub fn e12_with_artifacts(quick: bool, trace: bool) -> (ExpReport, String) {
     let mut t = Table::new(
         "E12: fault injection — availability and recovery",
         &["scenario", "outcome", "detail"],
@@ -119,47 +462,118 @@ pub fn e12_fault_tolerance(trace: bool) -> ExpReport {
         ]);
     }
 
-    // --- scenario 2: BB-Async, buffer dies with a deep flush queue ---
-    // (the representative cell: the crash path exercises the manager's
-    // loss accounting)
+    let case = |scheme, scenario, replication| FaultCase {
+        scheme,
+        scenario,
+        replication,
+        seed: 0xE12,
+        quick,
+    };
+    let row_label = |scheme: Scheme, scenario: FaultScenario, r: usize| {
+        format!("{}: {} (r={r})", scheme.label(), scenario.label())
+    };
+    let state_label = |o: &FaultOutcome| match o.state {
+        _ if !o.converged => "HUNG".to_string(),
+        Some(s) => format!("{s:?}"),
+        None => "write failed".to_string(),
+    };
+
+    // --- crash one server, r=1, all three schemes ---
+    for scheme in Scheme::all() {
+        let o = run_fault_scenario(case(scheme, FaultScenario::CrashOne, 1));
+        let ok = match scheme {
+            // async single-copy: losing the buffer node may lose exactly
+            // the unflushed window, never silently (failed reads are
+            // accounted by chunks_lost > 0)
+            Scheme::AsyncLustre => {
+                o.converged && (o.reads_failed() == 0 || o.chunks_lost > 0) && o.crashes == 1
+            }
+            // write-through: zero loss, every read served
+            Scheme::SyncLustre => o.converged && o.chunks_lost == 0 && o.data_intact(),
+            // locality scheme: node-local replica covers every read
+            Scheme::HybridLocality => o.converged && o.data_intact(),
+        };
+        shape &= ok;
+        t.row(vec![
+            row_label(scheme, FaultScenario::CrashOne, 1),
+            state_label(&o),
+            format!(
+                "{} of {} chunks lost; {}/{} reads ok; {} retries",
+                o.chunks_lost, o.chunks_total, o.reads_ok, o.reads_total, o.retry_attempts
+            ),
+        ]);
+    }
+
+    // --- crash one server with r=2: replication closes the window ---
+    {
+        let o = run_fault_scenario(case(Scheme::AsyncLustre, FaultScenario::CrashOne, 2));
+        let ok = o.converged && o.chunks_lost == 0 && o.data_intact() && o.failover_reads > 0;
+        shape &= ok;
+        t.row(vec![
+            row_label(Scheme::AsyncLustre, FaultScenario::CrashOne, 2),
+            state_label(&o),
+            format!(
+                "0 lost; {}/{} reads ok via {} failovers",
+                o.reads_ok, o.reads_total, o.failover_reads
+            ),
+        ]);
+    }
+
+    // --- crash + restart (the representative cell: full fault lifecycle) ---
+    let timeline;
     let telemetry;
     {
-        let ((state, lost), cell) = bb_crash_telemetry(Scheme::AsyncLustre, true, true, trace);
+        let (o, cell) = run_fault_scenario_telemetry(
+            case(Scheme::AsyncLustre, FaultScenario::CrashRestart, 1),
+            trace,
+        );
+        timeline = o.timeline.clone();
         telemetry = cell;
-        let ok = state == FileState::Lost && lost > 0;
+        let ok = o.converged && (o.reads_failed() == 0 || o.chunks_lost > 0) && o.crashes == 1;
         shape &= ok;
+        let rec = o.recovery.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
         t.row(vec![
-            "BB-Async: kill buffer, slow Lustre".into(),
-            format!("{state:?}"),
-            format!("{lost} unflushed chunks lost (the async fault window)"),
+            row_label(Scheme::AsyncLustre, FaultScenario::CrashRestart, 1),
+            state_label(&o),
+            format!(
+                "{} lost; recovered {rec:.1}s after restart (restarted server is empty)",
+                o.chunks_lost
+            ),
         ]);
     }
 
-    // --- scenario 3: BB-Sync, same crash ---
+    // --- link flap: retries absorb it, nothing is lost from the buffer ---
     {
-        let (state, lost) = bb_crash(Scheme::SyncLustre, true);
-        let ok = state == FileState::Flushed && lost == 0;
+        let o = run_fault_scenario(case(Scheme::AsyncLustre, FaultScenario::LinkFlap, 1));
+        let ok = o.converged && o.data_intact();
         shape &= ok;
         t.row(vec![
-            "BB-Sync: kill buffer, slow Lustre".into(),
-            format!("{state:?}"),
-            "write-through: every byte already durable".into(),
+            row_label(Scheme::AsyncLustre, FaultScenario::LinkFlap, 1),
+            state_label(&o),
+            format!(
+                "{}/{} reads ok; {} retries, {} direct writes rode out the flap",
+                o.reads_ok, o.reads_total, o.retry_attempts, o.chunks_direct
+            ),
         ]);
     }
 
-    // --- scenario 4: BB-Async with healthy Lustre (flush wins the race) ---
+    // --- 1% transfer loss: bounded backoff hides it completely ---
     {
-        let (state, lost) = bb_crash(Scheme::AsyncLustre, false);
-        let ok = state == FileState::Flushed && lost == 0;
+        let o = run_fault_scenario(case(Scheme::AsyncLustre, FaultScenario::RpcLoss, 1));
+        let ok = o.converged && o.chunks_lost == 0 && o.data_intact();
         shape &= ok;
         t.row(vec![
-            "BB-Async: kill buffer, healthy Lustre".into(),
-            format!("{state:?}"),
-            "flush completed before the crash".into(),
+            row_label(Scheme::AsyncLustre, FaultScenario::RpcLoss, 1),
+            state_label(&o),
+            format!(
+                "{} transfers dropped, {} retries, zero loss",
+                o.dropped_transfers, o.retry_attempts
+            ),
         ]);
     }
 
     t.note("paper: the sync scheme trades write speed for a closed fault window; async risks only not-yet-flushed data");
+    t.note("replication r=2 closes the async window too, at the cost of double buffer traffic");
     let mut report = ExpReport {
         id: "E12",
         table: t,
@@ -168,50 +582,5 @@ pub fn e12_fault_tolerance(trace: bool) -> ExpReport {
         trace: None,
     };
     attach(&mut report, telemetry);
-    report
-}
-
-/// Write 256 MiB, crash every KV server at close, report (state, chunks lost).
-fn bb_crash(scheme: Scheme, slow_lustre: bool) -> (FileState, u64) {
-    let (out, _) = bb_crash_telemetry(scheme, slow_lustre, false, false);
-    out
-}
-
-fn bb_crash_telemetry(
-    scheme: Scheme,
-    slow_lustre: bool,
-    capture: bool,
-    trace: bool,
-) -> ((FileState, u64), Option<CellTelemetry>) {
-    let mut cfg = TestbedConfig::default();
-    if slow_lustre {
-        cfg.lustre.ost_rate = 5e6;
-    }
-    let tb = Testbed::build(SystemKind::Bb(scheme), cfg);
-    if trace {
-        tb.sim.tracer().enable();
-    }
-    let pool = PayloadPool::standard();
-    let sim = tb.sim.clone();
-    sim.block_on(async move {
-        let bb = tb.bb.as_ref().unwrap();
-        let client = bb.client(tb.nodes[0]);
-        let w = client.create("/e12/bb").await.unwrap();
-        for piece in pool.stream(9, 256 << 20, 1 << 20) {
-            w.append(piece).await.unwrap();
-        }
-        w.close().await.unwrap();
-        if !slow_lustre {
-            // let the flusher finish first
-            let _ = client.wait_flushed("/e12/bb").await;
-        }
-        for s in &bb.kv_servers {
-            tb.fabric.set_up(s.node(), false);
-        }
-        let state = client.wait_flushed("/e12/bb").await.unwrap();
-        let lost = bb.manager.stats().chunks_lost;
-        let cell = capture.then(|| capture_cell(&tb.sim));
-        tb.shutdown();
-        ((state, lost), cell)
-    })
+    (report, timeline)
 }

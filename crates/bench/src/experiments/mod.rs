@@ -56,7 +56,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     println!(">>> E11: buffer-layer scaling");
     out.push(dfsio::e11_kv_scaling(quick, false));
     println!(">>> E12: fault tolerance");
-    out.push(faults::e12_fault_tolerance(false));
+    out.push(faults::e12_fault_tolerance(quick, false));
     println!(">>> AB1: transport ablation");
     out.push(ablations::ab1_transport(quick, false));
     println!(">>> AB2: chunk-size ablation");

@@ -1,0 +1,219 @@
+//! The fault matrix (DESIGN.md §6): every {scheme} × {injected fault}
+//! combination must converge under a virtual-time deadline, lose data
+//! only where the scheme's contract allows it, and behave exactly the
+//! same on every same-seed run.
+//!
+//! Invariants per combination:
+//! * **no hang** — the workload driver finishes before the deadline;
+//! * **sync = zero loss** — BB-Sync never loses a chunk and serves every
+//!   read, whatever the fault;
+//! * **r ≥ 2 closes the window** — replicated cells lose nothing across
+//!   a single-server crash;
+//! * **async loss is bounded and accounted** — a failed read implies
+//!   `chunks_lost > 0` (never silent);
+//! * **link faults lose nothing** — flaps and 1 % transfer loss are
+//!   absorbed by retry/backoff.
+
+use bb_core::Scheme;
+use bench::experiments::faults::{run_fault_scenario, FaultCase, FaultOutcome, FaultScenario};
+use proptest::prelude::*;
+
+fn run(scheme: Scheme, scenario: FaultScenario, replication: usize) -> FaultOutcome {
+    run_fault_scenario(FaultCase::quick(scheme, scenario, replication))
+}
+
+/// Matrix floor shared by every cell: the driver converged and the
+/// accounting is consistent.
+fn baseline(o: &FaultOutcome, label: &str) {
+    assert!(o.converged, "{label}: workload hung past the deadline");
+    assert!(
+        o.reads_ok <= o.reads_total,
+        "{label}: read accounting corrupt"
+    );
+    assert!(
+        o.reads_failed() == 0 || o.chunks_lost > 0,
+        "{label}: {} reads failed but no chunk was accounted lost",
+        o.reads_failed()
+    );
+}
+
+// --- {A, B, C} × crash-one-server -----------------------------------
+
+#[test]
+fn matrix_async_crash_one() {
+    let o = run(Scheme::AsyncLustre, FaultScenario::CrashOne, 1);
+    baseline(&o, "async/crash-one");
+    assert_eq!(o.crashes, 1, "exactly one server crash event");
+    // the crash mid-write with a deep flush queue must exhibit the
+    // paper's async fault window — and account for it
+    assert!(o.chunks_lost > 0, "fault window never opened");
+    assert!(o.chunks_lost < o.chunks_total, "lost more than the window");
+}
+
+#[test]
+fn matrix_sync_crash_one() {
+    let o = run(Scheme::SyncLustre, FaultScenario::CrashOne, 1);
+    baseline(&o, "sync/crash-one");
+    assert_eq!(o.chunks_lost, 0, "write-through must not lose chunks");
+    assert!(o.data_intact(), "sync reads must all be served");
+}
+
+#[test]
+fn matrix_hybrid_crash_one() {
+    let o = run(Scheme::HybridLocality, FaultScenario::CrashOne, 1);
+    baseline(&o, "hybrid/crash-one");
+    // the node-local replica covers every read even when buffer chunks died
+    assert!(o.data_intact(), "local replica must cover all reads");
+}
+
+// --- {A, B, C} × crash-then-restart ---------------------------------
+
+#[test]
+fn matrix_async_crash_restart() {
+    let o = run(Scheme::AsyncLustre, FaultScenario::CrashRestart, 1);
+    baseline(&o, "async/crash-restart");
+    assert_eq!(o.crashes, 1);
+    // the restarted server is empty: its unflushed chunks are the loss
+    // window, and recovery completes in bounded virtual time
+    let rec = o.recovery.expect("converged run reports recovery time");
+    assert!(
+        rec.as_secs_f64() < 60.0,
+        "recovery took {rec:?} — not bounded"
+    );
+}
+
+#[test]
+fn matrix_sync_crash_restart() {
+    let o = run(Scheme::SyncLustre, FaultScenario::CrashRestart, 1);
+    baseline(&o, "sync/crash-restart");
+    assert_eq!(o.chunks_lost, 0);
+    assert!(o.data_intact());
+}
+
+#[test]
+fn matrix_hybrid_crash_restart() {
+    let o = run(Scheme::HybridLocality, FaultScenario::CrashRestart, 1);
+    baseline(&o, "hybrid/crash-restart");
+    assert!(o.data_intact());
+}
+
+// --- {A, B, C} × link flap ------------------------------------------
+
+#[test]
+fn matrix_async_link_flap() {
+    let o = run(Scheme::AsyncLustre, FaultScenario::LinkFlap, 1);
+    baseline(&o, "async/link-flap");
+    // a flap loses no state: buffer contents survive, so every read is
+    // served even if some flush attempts had to wait out a down window
+    assert!(o.data_intact(), "link flap must not lose data");
+    assert!(o.retry_attempts > 0, "flap must exercise the retry path");
+}
+
+#[test]
+fn matrix_sync_link_flap() {
+    let o = run(Scheme::SyncLustre, FaultScenario::LinkFlap, 1);
+    baseline(&o, "sync/link-flap");
+    assert_eq!(o.chunks_lost, 0);
+    assert!(o.data_intact());
+}
+
+#[test]
+fn matrix_hybrid_link_flap() {
+    let o = run(Scheme::HybridLocality, FaultScenario::LinkFlap, 1);
+    baseline(&o, "hybrid/link-flap");
+    assert!(o.data_intact());
+}
+
+// --- {A, B, C} × 1% transfer loss -----------------------------------
+
+#[test]
+fn matrix_async_rpc_loss() {
+    let o = run(Scheme::AsyncLustre, FaultScenario::RpcLoss, 1);
+    baseline(&o, "async/rpc-loss");
+    assert_eq!(o.chunks_lost, 0, "1% loss must be absorbed by retries");
+    assert!(o.data_intact());
+}
+
+#[test]
+fn matrix_sync_rpc_loss() {
+    let o = run(Scheme::SyncLustre, FaultScenario::RpcLoss, 1);
+    baseline(&o, "sync/rpc-loss");
+    assert_eq!(o.chunks_lost, 0);
+    assert!(o.data_intact());
+}
+
+#[test]
+fn matrix_hybrid_rpc_loss() {
+    let o = run(Scheme::HybridLocality, FaultScenario::RpcLoss, 1);
+    baseline(&o, "hybrid/rpc-loss");
+    assert_eq!(o.chunks_lost, 0);
+    assert!(o.data_intact());
+}
+
+// --- replication closes the async window ----------------------------
+
+#[test]
+fn replication_survives_crash_without_loss() {
+    let o = run(Scheme::AsyncLustre, FaultScenario::CrashOne, 2);
+    baseline(&o, "async-r2/crash-one");
+    assert_eq!(o.chunks_lost, 0, "r=2 must close the fault window");
+    assert!(o.data_intact());
+    assert!(o.failover_reads > 0, "reads must have failed over");
+}
+
+#[test]
+fn replication_survives_crash_restart_without_loss() {
+    let o = run(Scheme::AsyncLustre, FaultScenario::CrashRestart, 2);
+    baseline(&o, "async-r2/crash-restart");
+    assert_eq!(o.chunks_lost, 0);
+    assert!(o.data_intact());
+}
+
+// --- determinism: same seed + plan ⇒ byte-identical run --------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Two runs of the same seeded fault plan produce byte-identical
+    /// metrics snapshots, identical applied-fault timelines, and the
+    /// same virtual end instant — all jitter comes from the plan's
+    /// seeded RNG, never the wall clock.
+    #[test]
+    fn same_seed_runs_are_byte_identical(seed in any::<u64>()) {
+        let case = FaultCase {
+            scheme: Scheme::AsyncLustre,
+            scenario: FaultScenario::RpcLoss,
+            replication: 1,
+            seed,
+            quick: true,
+        };
+        let a = run_fault_scenario(case);
+        let b = run_fault_scenario(case);
+        prop_assert!(a.converged && b.converged);
+        prop_assert_eq!(&a.metrics_json, &b.metrics_json, "metrics diverged for seed {}", seed);
+        prop_assert_eq!(&a.timeline, &b.timeline);
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.dropped_transfers, b.dropped_transfers);
+    }
+
+    /// The full crash/restart lifecycle replays identically: recovery
+    /// timeline and loss accounting are functions of (seed, plan) only.
+    #[test]
+    fn crash_recovery_timeline_is_deterministic(seed in any::<u64>()) {
+        let case = FaultCase {
+            scheme: Scheme::AsyncLustre,
+            scenario: FaultScenario::CrashRestart,
+            replication: 1,
+            seed,
+            quick: true,
+        };
+        let a = run_fault_scenario(case);
+        let b = run_fault_scenario(case);
+        prop_assert!(a.converged && b.converged);
+        prop_assert_eq!(&a.timeline, &b.timeline);
+        prop_assert_eq!(a.chunks_lost, b.chunks_lost);
+        prop_assert_eq!(a.reads_ok, b.reads_ok);
+        prop_assert_eq!(a.recovery, b.recovery);
+        prop_assert_eq!(&a.metrics_json, &b.metrics_json);
+    }
+}

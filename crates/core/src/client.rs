@@ -22,17 +22,24 @@ use crate::{BbConfig, BbDeployment, Scheme};
 
 /// KV client settings derived from the burst-buffer configuration.
 pub(crate) fn kv_client_config(cfg: &BbConfig) -> KvClientConfig {
+    let resilience = KvClientConfig {
+        replication: cfg.kv_replication.max(1),
+        op_timeout: cfg.kv_op_timeout,
+        max_retries: cfg.kv_retries,
+        backoff_base: cfg.kv_backoff,
+        ..KvClientConfig::default()
+    };
     if cfg.one_sided {
         KvClientConfig {
             buf_size: cfg.chunk_size.max(1 << 20),
-            ..KvClientConfig::default()
+            ..resilience
         }
     } else {
         // ablation: SEND-only protocol, everything inline
         KvClientConfig {
             pool_bufs: 0,
             inline_max: 4 << 20,
-            ..KvClientConfig::default()
+            ..resilience
         }
     }
 }
@@ -181,17 +188,45 @@ impl BbClient {
         &self.kv
     }
 
+    /// RPC to the persistence manager with bounded retry. Only
+    /// [`netsim::RpcError::Net`] is retried: a transport failure means the
+    /// request never reached the manager, so resending cannot double-apply
+    /// it. `NoReply`/`ServiceUnavailable` may follow a *processed* request
+    /// (e.g. a `ChunkReady` already enqueued) and surface immediately.
     async fn mgr_call<R: 'static>(
         &self,
         bytes: u64,
-        make: impl FnOnce(netsim::ReplyHandle<R>) -> MgrMsg,
+        make: impl Fn(netsim::ReplyHandle<R>) -> MgrMsg,
     ) -> Result<R, BbError> {
-        Ok(self
-            .dep
-            .manager
-            .net()
-            .call(self.node, self.dep.manager.node(), MGR_SERVICE, bytes, make)
-            .await?)
+        let cfg = &self.dep.config;
+        let sim = self.dep.stack.sim();
+        let mut attempt = 0u32;
+        loop {
+            let r = self
+                .dep
+                .manager
+                .net()
+                .call(
+                    self.node,
+                    self.dep.manager.node(),
+                    MGR_SERVICE,
+                    bytes,
+                    &make,
+                )
+                .await;
+            match r {
+                Ok(v) => return Ok(v),
+                Err(netsim::RpcError::Net(_)) if attempt < cfg.kv_retries => {
+                    let delay = cfg
+                        .kv_backoff
+                        .saturating_mul(1 << attempt.min(20))
+                        .min(Duration::from_millis(5));
+                    attempt += 1;
+                    sim.sleep(delay).await;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Create a file for writing through the buffer.
@@ -199,7 +234,7 @@ impl BbClient {
         let p = path.to_owned();
         let file_id = self
             .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Create {
-                path: p,
+                path: p.clone(),
                 reply,
             })
             .await??;
@@ -250,7 +285,7 @@ impl BbClient {
     async fn fetch_meta(&self, path: &str) -> Result<BbFileMeta, BbError> {
         let p = path.to_owned();
         self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::Open {
-            path: p,
+            path: p.clone(),
             reply,
         })
         .await?
@@ -271,7 +306,7 @@ impl BbClient {
         let p = path.to_owned();
         let meta = self
             .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Delete {
-                path: p,
+                path: p.clone(),
                 reply,
             })
             .await??;
@@ -310,7 +345,7 @@ impl BbClient {
     pub async fn list(&self, prefix: &str) -> Result<Vec<String>, BbError> {
         let p = prefix.to_owned();
         self.mgr_call(128 + prefix.len() as u64, |reply| MgrMsg::List {
-            prefix: p,
+            prefix: p.clone(),
             reply,
         })
         .await
@@ -320,7 +355,7 @@ impl BbClient {
     pub async fn wait_flushed(&self, path: &str) -> Result<FileState, BbError> {
         let p = path.to_owned();
         self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::WaitFlushed {
-            path: p,
+            path: p.clone(),
             reply,
         })
         .await?
@@ -449,7 +484,7 @@ impl BbWriter {
                                 .mgr_call(len + 64, |reply| MgrMsg::ChunkDirect {
                                     file_id,
                                     seq,
-                                    data: chunk,
+                                    data: chunk.clone(),
                                     reply,
                                 })
                                 .await??;

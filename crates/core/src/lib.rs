@@ -124,6 +124,16 @@ pub struct BbConfig {
     /// Use the hybrid one-sided protocol (RDMA READ/WRITE for payloads).
     /// `false` forces every payload inline through SEND/RECV (ablation).
     pub one_sided: bool,
+    /// KV replicas per chunk (`r`): chunks are written to the first `r`
+    /// distinct servers on the ring and reads fail over between them.
+    /// `1` reproduces the paper's single-copy buffer.
+    pub kv_replication: usize,
+    /// Per-attempt deadline on every KV operation.
+    pub kv_op_timeout: std::time::Duration,
+    /// Bounded retries per KV replica on transport errors/timeouts.
+    pub kv_retries: u32,
+    /// First retry backoff (doubles per retry, seeded jitter).
+    pub kv_backoff: std::time::Duration,
 }
 
 impl Default for BbConfig {
@@ -144,6 +154,10 @@ impl Default for BbConfig {
             client_read_rate: 1.0e9,
             transport: netsim::TransportProfile::verbs_qdr(),
             one_sided: true,
+            kv_replication: 1,
+            kv_op_timeout: std::time::Duration::from_secs(1),
+            kv_retries: 3,
+            kv_backoff: std::time::Duration::from_micros(100),
         }
     }
 }

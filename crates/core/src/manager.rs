@@ -615,7 +615,24 @@ impl BbManager {
                                 .sim()
                                 .span("bb.flush_chunk", "bb", this.node.0, seq);
                         let key = chunk_key(file_id, seq);
-                        let got = this.kv.get(&key).await;
+                        // A transport error is not proof of loss: the
+                        // replica set may be mid-crash/restart. Retry with
+                        // bounded backoff and only count the chunk lost on
+                        // a definitive miss (`Ok(None)`: every replica
+                        // answered, none had it) or retry exhaustion.
+                        let sim = this.net.fabric().sim().clone();
+                        let mut got = this.kv.get(&key).await;
+                        let mut attempt = 0u32;
+                        while got.is_err() && attempt < this.config.kv_retries + 3 {
+                            let delay = this
+                                .config
+                                .kv_backoff
+                                .saturating_mul(8 << attempt.min(20))
+                                .min(std::time::Duration::from_millis(10));
+                            attempt += 1;
+                            sim.sleep(delay).await;
+                            got = this.kv.get(&key).await;
+                        }
                         let ok = match got {
                             Ok(Some(v)) => {
                                 let r = lfile.write_at(seq * chunk_size, v.data).await.is_ok();

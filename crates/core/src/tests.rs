@@ -204,6 +204,44 @@ fn async_fault_window_loses_unflushed_data() {
 }
 
 #[test]
+fn inflight_flush_retries_across_buffer_outage() {
+    // Regression: a flush whose KV GET hits an unreachable server must
+    // retry after recovery instead of silently counting the chunk lost.
+    // Slow Lustre keeps the flush queue deep across the outage window.
+    let lcfg = LustreConfig {
+        oss_count: 1,
+        osts_per_oss: 1,
+        stripe_count: 1,
+        ost_rate: 2e6,
+        ..LustreConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, lcfg, BbConfig::default());
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let fabric = Rc::clone(&r.fabric);
+    let sim = r.sim.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/outage").await.unwrap();
+        w.append(pattern(8 << 20)).await.unwrap();
+        w.close().await.unwrap();
+        // transient outage right after close, healed 3 ms later — well
+        // inside the flusher's bounded retry budget
+        for s in &dep.kv_servers {
+            fabric.set_up(s.node(), false);
+        }
+        sim.sleep(std::time::Duration::from_millis(3)).await;
+        for s in &dep.kv_servers {
+            fabric.set_up(s.node(), true);
+        }
+        let st = client.wait_flushed("/outage").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        let stats = dep.manager.stats();
+        assert_eq!(stats.chunks_lost, 0, "outage flush silently dropped");
+        assert_eq!(stats.chunks_flushed, 16);
+    });
+}
+
+#[test]
 fn sync_scheme_survives_buffer_death() {
     let r = rig(2, Scheme::SyncLustre);
     let client = r.dep.client(NodeId(0));

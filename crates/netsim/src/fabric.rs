@@ -40,6 +40,10 @@ pub enum NetError {
     DstDown(NodeId),
     /// The node id does not exist in this fabric.
     UnknownNode(NodeId),
+    /// The transfer was dropped by an injected fault (lossy edge). The
+    /// time for the attempt was still charged, so retrying is safe and
+    /// costs what a real retransmit would.
+    Dropped,
 }
 
 impl fmt::Display for NetError {
@@ -48,6 +52,7 @@ impl fmt::Display for NetError {
             NetError::SrcDown(n) => write!(f, "source node {n} is down"),
             NetError::DstDown(n) => write!(f, "destination node {n} is down"),
             NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Dropped => write!(f, "transfer dropped by injected fault"),
         }
     }
 }
@@ -72,6 +77,8 @@ pub struct FabricStats {
     pub loopback_bytes: u64,
     /// Transfers rejected because an endpoint was down.
     pub failed: u64,
+    /// Transfers dropped by an injected loss fault.
+    pub dropped: u64,
 }
 
 /// A simulated cluster interconnect. Construct via [`Fabric::new`], then
@@ -103,6 +110,7 @@ impl Fabric {
             ("netsim.fabric.bytes", 1),
             ("netsim.fabric.loopback_bytes", 2),
             ("netsim.fabric.failed", 3),
+            ("netsim.fabric.dropped", 4),
         ] {
             let w = weak.clone();
             sim.metrics().sampled(name, move || {
@@ -111,10 +119,25 @@ impl Fabric {
                     0 => v.transfers,
                     1 => v.bytes,
                     2 => v.loopback_bytes,
-                    _ => v.failed,
+                    3 => v.failed,
+                    _ => v.dropped,
                 })
             });
         }
+        // fault-plan node events map onto port state: a crash or link loss
+        // takes the node's ports down, restart/link-up brings them back
+        // (weak capture — the injector outlives any one fabric)
+        let w = weak.clone();
+        sim.faults().on_node_event(move |ev| {
+            let Some(fabric) = w.upgrade() else { return };
+            let idx = ev.node as usize;
+            if idx >= fabric.len() {
+                return; // plan targets a node this fabric never had
+            }
+            use simkit::faultplan::NodeEventKind as K;
+            let up = matches!(ev.kind, K::Restart | K::LinkUp);
+            fabric.set_up(NodeId(ev.node), up);
+        });
         fabric
     }
 
@@ -240,12 +263,22 @@ impl Fabric {
                 return Err(e);
             }
         };
+        let fault = self.sim.faults().transfer_fault(src.0, dst.0);
         // effective serialization rate: the slower of the transport's
-        // payload bandwidth and the physical NIC
-        let rate = profile.bandwidth.min(self.config.nic_bandwidth);
+        // payload bandwidth and the physical NIC, derated by any injected
+        // slowdown on either endpoint
+        let rate = profile.bandwidth.min(self.config.nic_bandwidth) * fault.bandwidth_factor;
         let ser = dur::transfer(bytes, rate);
         let overhead = profile.per_msg_overhead;
-        let latency = profile.latency;
+        let latency = profile.latency + fault.extra_delay;
+        if fault.drop {
+            // lossy edge: the attempt still takes wire time before the
+            // sender learns nothing arrived (NACK-style, never a silent
+            // hang), but no payload moves and no NIC occupancy is charged
+            self.sim.sleep(overhead + latency).await;
+            self.stats.borrow_mut().dropped += 1;
+            return Err(NetError::Dropped);
+        }
         // TX and RX occupancy overlap (cut-through): run both concurrently.
         let sim = self.sim.clone();
         let rx_task = {
@@ -424,6 +457,82 @@ mod tests {
             })
         };
         assert!(t_ipoib.as_secs_f64() / t_verbs.as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    fn faultplan_crash_takes_ports_down_and_restart_restores() {
+        use simkit::faultplan::{FaultEvent, FaultPlan};
+        let (sim, fabric) = setup(2);
+        sim.install_faults(
+            FaultPlan::new(5)
+                .at(dur::ms(1), FaultEvent::Crash { node: 1 })
+                .at(dur::ms(3), FaultEvent::Restart { node: 1 }),
+        );
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        let s = sim.clone();
+        let (mid, late) = sim.block_on(async move {
+            s.sleep(dur::ms(2)).await;
+            let mid = f.transfer(NodeId(0), NodeId(1), 64, &p).await;
+            s.sleep(dur::ms(2)).await;
+            let late = f.transfer(NodeId(0), NodeId(1), 64, &p).await;
+            (mid, late)
+        });
+        assert_eq!(mid, Err(NetError::DstDown(NodeId(1))));
+        assert!(late.is_ok());
+    }
+
+    #[test]
+    fn lossy_edge_drops_deterministically_and_charges_time() {
+        use simkit::faultplan::{FaultEvent, FaultPlan};
+        let run = |seed: u64| {
+            let (sim, fabric) = setup(2);
+            sim.install_faults(FaultPlan::new(seed).at(
+                std::time::Duration::ZERO,
+                FaultEvent::Loss {
+                    src: None,
+                    dst: Some(1),
+                    p: 0.5,
+                },
+            ));
+            let f = Rc::clone(&fabric);
+            let outcomes = sim.block_on(async move {
+                let p = TransportProfile::verbs_qdr();
+                let mut v = Vec::new();
+                for _ in 0..32 {
+                    v.push(f.transfer(NodeId(0), NodeId(1), 64, &p).await.is_ok());
+                }
+                v
+            });
+            (outcomes, fabric.stats().dropped, sim.now())
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed must reproduce drop pattern and clock");
+        assert!(a.1 > 0, "p=0.5 over 32 transfers should drop some");
+        assert!(a.0.iter().any(|ok| *ok), "and let some through");
+    }
+
+    #[test]
+    fn degrade_slows_transfers() {
+        use simkit::faultplan::{FaultEvent, FaultPlan};
+        let time_with = |factor: f64| {
+            let (sim, fabric) = setup(2);
+            sim.install_faults(FaultPlan::new(0).at(
+                std::time::Duration::ZERO,
+                FaultEvent::Degrade { node: 1, factor },
+            ));
+            let f = Rc::clone(&fabric);
+            let s = sim.clone();
+            sim.block_on(async move {
+                let p = TransportProfile::verbs_qdr();
+                f.transfer(NodeId(0), NodeId(1), 8 << 20, &p).await.unwrap();
+                s.now().as_secs_f64()
+            })
+        };
+        let slow = time_with(0.25);
+        let fast = time_with(1.0);
+        assert!(slow / fast > 3.0, "slow {slow}, fast {fast}");
     }
 
     #[test]

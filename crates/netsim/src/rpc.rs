@@ -66,6 +66,7 @@ pub struct Switchboard<M> {
     msgs: Counter,
     calls: Counter,
     undeliverable: Counter,
+    dropped: Counter,
 }
 
 impl<M: 'static> Switchboard<M> {
@@ -76,6 +77,7 @@ impl<M: 'static> Switchboard<M> {
         let msgs = m.counter("netsim.rpc.msgs");
         let calls = m.counter("netsim.rpc.calls");
         let undeliverable = m.counter("netsim.rpc.undeliverable");
+        let dropped = m.counter("netsim.rpc.dropped");
         Rc::new(Switchboard {
             fabric,
             profile,
@@ -83,6 +85,7 @@ impl<M: 'static> Switchboard<M> {
             msgs,
             calls,
             undeliverable,
+            dropped,
         })
     }
 
@@ -124,9 +127,16 @@ impl<M: 'static> Switchboard<M> {
         wire_bytes: u64,
         msg: M,
     ) -> Result<(), RpcError> {
-        self.fabric
+        if let Err(e) = self
+            .fabric
             .transfer(src, dst, wire_bytes, &self.profile)
-            .await?;
+            .await
+        {
+            if e == NetError::Dropped {
+                self.dropped.inc();
+            }
+            return Err(e.into());
+        }
         let tx = {
             let boxes = self.boxes.borrow();
             boxes.get(&(dst, service)).cloned()

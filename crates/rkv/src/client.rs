@@ -5,6 +5,24 @@
 //! * larger SET payloads are staged in a pooled registered buffer and the
 //!   server RDMA-READs them (one round trip, zero-copy);
 //! * GETs hand the server a pooled buffer to RDMA-WRITE large values into.
+//!
+//! ## Resilience
+//!
+//! With [`KvClientConfig::replication`] > 1, every SET is written to the
+//! first `r` distinct servers clockwise from the key's ring position
+//! ([`HashRing::route_n`]) and succeeds only if *all* replicas stored it —
+//! a failed replicated SET tells the caller durability is not met, so the
+//! burst buffer can fall back to its direct-to-Lustre path. GETs read the
+//! primary and fail over to the remaining replicas; a miss is only
+//! definitive once every reachable replica has missed (a crashed-and-
+//! restarted primary comes back empty, so its miss proves nothing).
+//!
+//! Every exchange is bounded by [`KvClientConfig::op_timeout`] and retried
+//! up to [`KvClientConfig::max_retries`] times with exponential backoff.
+//! Backoff jitter is drawn from a [`SimRng`] seeded by the client's node id
+//! — never from wall clock — so runs are reproducible. Retries and
+//! failovers are counted in the `kv.retry.*` / `kv.failover.*` metric
+//! families (shared across all clients on one simulation).
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -14,6 +32,8 @@ use std::rc::Rc;
 use bytes::Bytes;
 use simkit::stats::Histogram;
 use simkit::sync::semaphore::Semaphore;
+use simkit::telemetry::Counter;
+use simkit::SimRng;
 
 use netsim::NodeId;
 use rdmasim::{Mr, Qp, RdmaError, RdmaStack};
@@ -36,6 +56,8 @@ pub enum ClientError {
     NoServers,
     /// The server reported a failed one-sided transfer.
     TransferFailed,
+    /// The operation exceeded [`KvClientConfig::op_timeout`].
+    Timeout,
 }
 
 impl fmt::Display for ClientError {
@@ -46,6 +68,7 @@ impl fmt::Display for ClientError {
             ClientError::Proto(e) => write!(f, "{e}"),
             ClientError::NoServers => f.write_str("no kv servers configured"),
             ClientError::TransferFailed => f.write_str("server-side transfer failed"),
+            ClientError::Timeout => f.write_str("kv operation timed out"),
         }
     }
 }
@@ -78,6 +101,20 @@ pub struct KvClientConfig {
     pub buf_size: u64,
     /// Virtual nodes per server on the hash ring.
     pub vnodes: u32,
+    /// Replicas per key (`r`): SETs go to the first `r` distinct servers
+    /// clockwise on the ring, GETs fail over across them. `1` = no
+    /// replication (capped at the server count).
+    pub replication: usize,
+    /// Per-attempt deadline; a timed-out exchange poisons its connection
+    /// (the abandoned response could desync the queue pair) and retries.
+    pub op_timeout: std::time::Duration,
+    /// Retries per replica after the first attempt (transport errors and
+    /// timeouts only — store-level errors are never retried).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: std::time::Duration,
+    /// Backoff ceiling.
+    pub backoff_max: std::time::Duration,
 }
 
 impl Default for KvClientConfig {
@@ -87,6 +124,11 @@ impl Default for KvClientConfig {
             pool_bufs: 4,
             buf_size: 1 << 20,
             vnodes: 160,
+            replication: 1,
+            op_timeout: std::time::Duration::from_secs(1),
+            max_retries: 3,
+            backoff_base: std::time::Duration::from_micros(100),
+            backoff_max: std::time::Duration::from_millis(5),
         }
     }
 }
@@ -167,11 +209,28 @@ pub struct KvClient {
     conns: RefCell<HashMap<usize, Rc<Conn>>>,
     pool: Rc<BufPool>,
     stats: RefCell<ClientStats>,
+    jitter: SimRng,
+    res: ResCounters,
+}
+
+/// `kv.retry.*` / `kv.failover.*` counters (get-or-create: every client on
+/// one simulation bumps the same instances).
+struct ResCounters {
+    retry_attempts: Counter,
+    retry_timeouts: Counter,
+    retry_exhausted: Counter,
+    failover_reads: Counter,
+    failover_exhausted: Counter,
 }
 
 struct Conn {
     qp: Qp,
     lock: Semaphore,
+    /// Set when an op timed out mid-exchange on this queue pair: the
+    /// abandoned response frame may still arrive, so the next frame read
+    /// could belong to the wrong request. Waiters re-check after acquiring
+    /// the serialization lock and reconnect instead of using it.
+    poisoned: Cell<bool>,
 }
 
 impl KvClient {
@@ -188,6 +247,14 @@ impl KvClient {
             .collect();
         let indices: Vec<usize> = (0..servers.len()).collect();
         let ring = HashRing::new(indices, &labels, config.vnodes.max(1));
+        let m = stack.sim().metrics();
+        let res = ResCounters {
+            retry_attempts: m.counter("kv.retry.attempts"),
+            retry_timeouts: m.counter("kv.retry.timeouts"),
+            retry_exhausted: m.counter("kv.retry.exhausted"),
+            failover_reads: m.counter("kv.failover.reads"),
+            failover_exhausted: m.counter("kv.failover.exhausted"),
+        };
         Rc::new(KvClient {
             node,
             stack: Rc::clone(&stack),
@@ -204,6 +271,10 @@ impl KvClient {
                 gate: Semaphore::new(config.pool_bufs.max(1)),
             }),
             stats: RefCell::new(ClientStats::default()),
+            // backoff jitter: seeded by node id, never wall clock, so a
+            // run is reproducible from (program, seeds) alone
+            jitter: SimRng::seed_from(0x6b76_7274 ^ u64::from(node.0)),
+            res,
         })
     }
 
@@ -230,6 +301,20 @@ impl KvClient {
         Ok(self.servers[self.route(key)?].node())
     }
 
+    /// The key's replica set: first `replication` distinct servers
+    /// clockwise on the ring; element 0 is the primary ([`KvClient::route`]).
+    pub fn replicas(&self, key: &[u8]) -> Result<Vec<usize>, ClientError> {
+        if self.servers.is_empty() {
+            return Err(ClientError::NoServers);
+        }
+        Ok(self
+            .ring
+            .route_n(key, self.config.replication.max(1))
+            .into_iter()
+            .copied()
+            .collect())
+    }
+
     /// Snapshot client metrics (by reference to avoid a histogram copy).
     pub fn with_stats<R>(&self, f: impl FnOnce(&ClientStats) -> R) -> R {
         f(&self.stats.borrow())
@@ -247,16 +332,22 @@ impl KvClient {
         let conn = Rc::new(Conn {
             qp,
             lock: Semaphore::new(1),
+            poisoned: Cell::new(false),
         });
         self.conns.borrow_mut().insert(server_idx, Rc::clone(&conn));
         Ok(conn)
     }
 
-    /// One request/response exchange on the key's server connection.
-    async fn exchange(&self, key: &[u8], req: Request) -> Result<Response, ClientError> {
-        let idx = self.route(key)?;
-        let conn = self.conn(idx).await?;
+    /// One request/response exchange on the connection to `server_idx`.
+    async fn exchange_at(&self, server_idx: usize, req: Request) -> Result<Response, ClientError> {
+        let conn = self.conn(server_idx).await?;
         let _serial = conn.lock.acquire().await;
+        if conn.poisoned.get() {
+            // an earlier op timed out mid-exchange on this qp; a stale
+            // response may be in flight, so the channel can't be trusted
+            self.drop_conn(server_idx, &conn);
+            return Err(ClientError::Rdma(RdmaError::Disconnected));
+        }
         let r = async {
             conn.qp.send(req.encode()).await?;
             let frame = conn.qp.recv().await?;
@@ -267,10 +358,94 @@ impl KvClient {
             Ok(frame) => Ok(Response::decode(frame)?),
             Err(e) => {
                 // connection is broken: drop it so the next op reconnects
-                self.conns.borrow_mut().remove(&idx);
+                self.drop_conn(server_idx, &conn);
                 Err(e.into())
             }
         }
+    }
+
+    /// Remove `conn` from the cache if it is still the cached entry for
+    /// `server_idx` (a reconnect may already have replaced it).
+    fn drop_conn(&self, server_idx: usize, conn: &Rc<Conn>) {
+        let mut conns = self.conns.borrow_mut();
+        if conns.get(&server_idx).is_some_and(|c| Rc::ptr_eq(c, conn)) {
+            conns.remove(&server_idx);
+        }
+    }
+
+    /// One deadline-bounded attempt. A timeout abandons the exchange
+    /// mid-flight, so the connection is poisoned and dropped.
+    async fn exchange_once(
+        &self,
+        server_idx: usize,
+        req: Request,
+    ) -> Result<Response, ClientError> {
+        let sim = self.stack.sim().clone();
+        match simkit::future::timeout(
+            &sim,
+            self.config.op_timeout,
+            self.exchange_at(server_idx, req),
+        )
+        .await
+        {
+            Some(r) => r,
+            None => {
+                self.res.retry_timeouts.inc();
+                if let Some(c) = self.conns.borrow().get(&server_idx) {
+                    c.poisoned.set(true);
+                }
+                self.conns.borrow_mut().remove(&server_idx);
+                Err(ClientError::Timeout)
+            }
+        }
+    }
+
+    /// Whether `e` is worth retrying: transport-level failures and
+    /// timeouts, never store-level outcomes.
+    fn retryable(e: &ClientError) -> bool {
+        matches!(
+            e,
+            ClientError::Rdma(_) | ClientError::Timeout | ClientError::TransferFailed
+        )
+    }
+
+    /// Exchange with bounded exponential backoff: up to `max_retries`
+    /// re-attempts on retryable errors, delay doubling from `backoff_base`
+    /// to `backoff_max`, jittered from the client's seeded RNG.
+    async fn exchange_retry(
+        &self,
+        server_idx: usize,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.exchange_once(server_idx, req.clone()).await {
+                Err(e) if Self::retryable(&e) => {
+                    if attempt >= self.config.max_retries {
+                        self.res.retry_exhausted.inc();
+                        return Err(e);
+                    }
+                    let exp = self
+                        .config
+                        .backoff_base
+                        .saturating_mul(1u32 << attempt.min(20));
+                    let delay = exp.min(self.config.backoff_max);
+                    // jitter in [0.5, 1.0) of the nominal delay
+                    let jittered = delay.mul_f64(0.5 + 0.5 * self.jitter.f64());
+                    attempt += 1;
+                    self.res.retry_attempts.inc();
+                    self.stack.sim().sleep(jittered).await;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Exchange with the key's primary server (retrying), used by the
+    /// single-copy ops that have no replicated semantics.
+    async fn exchange(&self, key: &[u8], req: Request) -> Result<Response, ClientError> {
+        let idx = self.route(key)?;
+        self.exchange_retry(idx, &req).await
     }
 
     fn use_one_sided(&self, len: usize) -> bool {
@@ -279,7 +454,11 @@ impl KvClient {
             && (len as u64) <= self.config.buf_size
     }
 
-    /// Store `value` under `key`. Returns the CAS token.
+    /// Store `value` under `key` on every replica. Returns the primary's
+    /// CAS token. Succeeds only if *all* `replication` replicas stored the
+    /// value — a partial write surfaces the first failure so the caller
+    /// knows the durability target was not met (surviving copies are still
+    /// readable via failover).
     pub async fn set(
         &self,
         key: &[u8],
@@ -288,69 +467,118 @@ impl KvClient {
         expire_at: u64,
     ) -> Result<u64, ClientError> {
         let t0 = self.stack.sim().now();
-        let resp = if self.use_one_sided(value.len()) {
+        let replicas = self.replicas(key)?;
+        // one staged buffer serves every replica: writes go out one at a
+        // time, and the server only READs during its own exchange
+        let buf = if self.use_one_sided(value.len()) {
             let buf = self.pool.acquire().await;
             buf.write_local(0, &value)?;
+            Some(buf)
+        } else {
+            None
+        };
+        let mut cas_out = None;
+        let mut first_err = None;
+        for idx in replicas {
             let req = Request::Set {
                 key: Bytes::copy_from_slice(key),
                 flags,
                 expire_at,
-                value: Carrier::Remote {
-                    src: buf.remote().into(),
-                    len: value.len() as u32,
+                value: match &buf {
+                    Some(b) => Carrier::Remote {
+                        src: b.remote().into(),
+                        len: value.len() as u32,
+                    },
+                    None => Carrier::Inline(value.clone()),
                 },
             };
-            self.exchange(key, req).await?
-            // buf drops back to the pool here
-        } else {
-            let req = Request::Set {
-                key: Bytes::copy_from_slice(key),
-                flags,
-                expire_at,
-                value: Carrier::Inline(value),
-            };
-            self.exchange(key, req).await?
-        };
+            match self.exchange_retry(idx, &req).await {
+                Ok(Response::Stored { cas }) => {
+                    cas_out.get_or_insert(cas);
+                }
+                Ok(other) => {
+                    first_err.get_or_insert(Self::unexpected(other));
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        drop(buf);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         let mut st = self.stats.borrow_mut();
         st.sets += 1;
         st.set_lat.record(self.stack.sim().now() - t0);
         drop(st);
-        match resp {
-            Response::Stored { cas } => Ok(cas),
-            other => Err(Self::unexpected(other)),
-        }
+        Ok(cas_out.expect("no error implies at least one Stored"))
     }
 
-    /// Fetch `key`. `Ok(None)` on miss.
-    pub async fn get(&self, key: &[u8]) -> Result<Option<Value>, ClientError> {
-        let t0 = self.stack.sim().now();
-        let result = if self.config.pool_bufs > 0 {
+    /// Fetch from one specific server (no failover).
+    async fn get_from(&self, server_idx: usize, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        if self.config.pool_bufs > 0 {
             let buf = self.pool.acquire().await;
             let req = Request::Get {
                 key: Bytes::copy_from_slice(key),
                 dst: Some(buf.remote().into()),
             };
-            match self.exchange(key, req).await? {
-                Response::ValueWritten { len, flags, cas } => Some(Value {
+            match self.exchange_retry(server_idx, &req).await? {
+                Response::ValueWritten { len, flags, cas } => Ok(Some(Value {
                     data: buf.read_local(0, len as u64)?,
                     flags,
                     cas,
-                }),
-                Response::Value { data, flags, cas } => Some(Value { data, flags, cas }),
-                Response::NotFound => None,
-                other => return Err(Self::unexpected(other)),
+                })),
+                Response::Value { data, flags, cas } => Ok(Some(Value { data, flags, cas })),
+                Response::NotFound => Ok(None),
+                other => Err(Self::unexpected(other)),
             }
         } else {
             let req = Request::Get {
                 key: Bytes::copy_from_slice(key),
                 dst: None,
             };
-            match self.exchange(key, req).await? {
-                Response::Value { data, flags, cas } => Some(Value { data, flags, cas }),
-                Response::NotFound => None,
-                other => return Err(Self::unexpected(other)),
+            match self.exchange_retry(server_idx, &req).await? {
+                Response::Value { data, flags, cas } => Ok(Some(Value { data, flags, cas })),
+                Response::NotFound => Ok(None),
+                other => Err(Self::unexpected(other)),
             }
-        };
+        }
+    }
+
+    /// Read-any with failover: try replicas in ring order, return the
+    /// first value found. A miss is only definitive once every replica has
+    /// been consulted (a crashed-and-restarted server reports misses for
+    /// keys it used to hold); `Err` only if every replica failed.
+    async fn get_failover(&self, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        let replicas = self.replicas(key)?;
+        let mut first_err = None;
+        let mut missed = false;
+        for (i, idx) in replicas.into_iter().enumerate() {
+            match self.get_from(idx, key).await {
+                Ok(Some(v)) => {
+                    if i > 0 {
+                        self.res.failover_reads.inc();
+                    }
+                    return Ok(Some(v));
+                }
+                Ok(None) => missed = true,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if missed {
+            return Ok(None);
+        }
+        self.res.failover_exhausted.inc();
+        Err(first_err.expect("no miss and no value implies an error"))
+    }
+
+    /// Fetch `key`. `Ok(None)` on miss (from every reachable replica).
+    pub async fn get(&self, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        let t0 = self.stack.sim().now();
+        let result = self.get_failover(key).await?;
         let mut st = self.stats.borrow_mut();
         st.gets += 1;
         if result.is_some() {
@@ -360,20 +588,36 @@ impl KvClient {
         Ok(result)
     }
 
-    /// Remove `key`; `Ok(true)` if it existed.
+    /// Remove `key` from every replica; `Ok(true)` if any replica held it.
+    /// An unreachable replica may keep a stale copy (reaped by expiry or
+    /// eviction); the delete still succeeds if any replica answered.
     pub async fn delete(&self, key: &[u8]) -> Result<bool, ClientError> {
-        match self
-            .exchange(
-                key,
-                Request::Delete {
-                    key: Bytes::copy_from_slice(key),
-                },
-            )
-            .await?
-        {
-            Response::Ok => Ok(true),
-            Response::NotFound => Ok(false),
-            other => Err(Self::unexpected(other)),
+        let replicas = self.replicas(key)?;
+        let req = Request::Delete {
+            key: Bytes::copy_from_slice(key),
+        };
+        let mut existed = false;
+        let mut any_ok = false;
+        let mut first_err = None;
+        for idx in replicas {
+            match self.exchange_retry(idx, &req).await {
+                Ok(Response::Ok) => {
+                    any_ok = true;
+                    existed = true;
+                }
+                Ok(Response::NotFound) => any_ok = true,
+                Ok(other) => {
+                    first_err.get_or_insert(Self::unexpected(other));
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match (any_ok, first_err) {
+            (true, _) => Ok(existed),
+            (false, Some(e)) => Err(e),
+            (false, None) => unreachable!("replicas is never empty"),
         }
     }
 
@@ -563,6 +807,24 @@ impl KvClient {
                 }
                 Err(e) => {
                     first_err.get_or_insert(e);
+                }
+            }
+        }
+        let r = self.config.replication.max(1).min(self.servers.len());
+        if r > 1 && (first_err.is_some() || out.iter().any(Option::is_none)) {
+            // batches only consulted primaries; a failed batch — or a miss
+            // against a possibly-restarted-empty primary — may still be
+            // served by a replica, so unresolved keys fall back to per-key
+            // failover reads
+            first_err = None;
+            for (pos, k) in keys.iter().enumerate() {
+                if out[pos].is_none() {
+                    match self.get_failover(k).await {
+                        Ok(v) => out[pos] = v,
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
                 }
             }
         }
@@ -915,6 +1177,146 @@ mod tests {
                 "multi_get ({batched:.2e}s) should be far cheaper than {sequential:.2e}s"
             );
         });
+    }
+
+    fn client_with(c: &Cluster, node: u32, config: KvClientConfig) -> Rc<KvClient> {
+        KvClient::new(Rc::clone(&c.stack), NodeId(node), c.servers.clone(), config)
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_lead_with_primary() {
+        let c = cluster(4, 1);
+        let cl = client_with(
+            &c,
+            4,
+            KvClientConfig {
+                replication: 3,
+                ..KvClientConfig::default()
+            },
+        );
+        for i in 0..100 {
+            let k = format!("key-{i}");
+            let reps = cl.replicas(k.as_bytes()).unwrap();
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], cl.route(k.as_bytes()).unwrap());
+            let mut uniq = reps.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must land on distinct servers");
+        }
+    }
+
+    #[test]
+    fn replicated_set_lands_on_all_replicas() {
+        let c = cluster(3, 1);
+        let cl = client_with(
+            &c,
+            3,
+            KvClientConfig {
+                replication: 2,
+                ..KvClientConfig::default()
+            },
+        );
+        let cl2 = Rc::clone(&cl);
+        c.sim.block_on(async move {
+            for i in 0..30 {
+                let k = format!("rk{i}");
+                cl2.set(k.as_bytes(), Bytes::from(vec![i as u8; 64]), 0, 0)
+                    .await
+                    .unwrap();
+            }
+        });
+        let total: u64 = c.servers.iter().map(|s| s.store().stats().items).sum();
+        assert_eq!(total, 60, "every key must be stored twice");
+    }
+
+    #[test]
+    fn reads_survive_single_server_crash_with_r2() {
+        let c = cluster(3, 1);
+        let cl = client_with(
+            &c,
+            3,
+            KvClientConfig {
+                replication: 2,
+                ..KvClientConfig::default()
+            },
+        );
+        let fabric = Rc::clone(c.stack.fabric());
+        let servers = c.servers.clone();
+        let sim = c.sim.clone();
+        sim.block_on(async move {
+            for i in 0..40 {
+                let k = format!("fk{i}");
+                cl.set(k.as_bytes(), Bytes::from(vec![i as u8; 128]), 0, 0)
+                    .await
+                    .unwrap();
+            }
+            // crash server 0 (primary for most of these keys): port down
+            // AND volatile contents lost
+            fabric.set_up(NodeId(0), false);
+            servers[0].store().clear();
+            for i in 0..40 {
+                let k = format!("fk{i}");
+                let v = cl
+                    .get(k.as_bytes())
+                    .await
+                    .unwrap()
+                    .expect("r=2 must serve every read through a single crash");
+                assert_eq!(v.data[0], i as u8);
+            }
+            // bring it back empty (restart): reads must STILL find every
+            // value via the surviving replica rather than trust the
+            // restarted server's miss
+            fabric.set_up(NodeId(0), true);
+            for i in 0..40 {
+                let k = format!("fk{i}");
+                assert!(cl.get(k.as_bytes()).await.unwrap().is_some());
+            }
+        });
+        let snap = c.sim.metrics().snapshot();
+        assert!(
+            snap.counter("kv.failover.reads") > 0,
+            "some reads must have failed over; snapshot: {}",
+            snap.to_json()
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_counted_and_deterministic() {
+        let run = || {
+            let c = cluster(1, 1);
+            let cl = client_with(
+                &c,
+                1,
+                KvClientConfig {
+                    max_retries: 2,
+                    ..KvClientConfig::default()
+                },
+            );
+            let fabric = Rc::clone(c.stack.fabric());
+            let sim = c.sim.clone();
+            let end = c.sim.block_on(async move {
+                fabric.set_up(NodeId(0), false);
+                let err = cl.get(b"k").await.unwrap_err();
+                assert!(matches!(err, ClientError::Rdma(_)));
+                sim.now()
+            });
+            let snap = c.sim.metrics().snapshot();
+            (
+                end,
+                snap.counter("kv.retry.attempts"),
+                snap.counter("kv.retry.exhausted"),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "retry timing/counters must be reproducible");
+        assert_eq!(a.1, 2, "two backoff retries configured");
+        assert_eq!(a.2, 1);
+        assert!(
+            a.0 > simkit::Time::ZERO,
+            "backoff must consume virtual time"
+        );
     }
 
     #[test]

@@ -101,6 +101,20 @@ impl KvServer {
                 })
             });
         }
+        // fault-plan crash on this node wipes the in-memory store (a
+        // restarted memcached comes back empty); link events leave state
+        // intact. Weak capture: the injector must not keep the store alive.
+        let crashes = m.counter(format!("{prefix}.crashes"));
+        let weak_store = Rc::downgrade(&store);
+        let node_idx = node.0;
+        stack.sim().faults().on_node_event(move |ev| {
+            if ev.node == node_idx && ev.kind == simkit::faultplan::NodeEventKind::Crash {
+                if let Some(store) = weak_store.upgrade() {
+                    store.clear();
+                    crashes.inc();
+                }
+            }
+        });
         Rc::new(KvServer {
             node,
             stack,

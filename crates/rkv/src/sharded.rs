@@ -146,6 +146,14 @@ impl ShardedKv {
         self.shard(key).lock().contains(key, now)
     }
 
+    /// See [`KvStore::clear`]. Shards are cleared one at a time (the whole
+    /// store is never locked at once, matching the per-shard locking rule).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+
     /// Aggregate counters across shards.
     pub fn stats(&self) -> KvStats {
         let mut out = KvStats::default();

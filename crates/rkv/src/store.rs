@@ -474,6 +474,15 @@ impl KvStore {
     pub fn keys(&self) -> Vec<Vec<u8>> {
         self.map.keys().map(|k| k.to_vec()).collect()
     }
+
+    /// Drop every item (models a process crash losing volatile memory).
+    /// Goes through [`KvStore::delete`] so slab and item/byte accounting
+    /// stay consistent; hit/miss counters are preserved.
+    pub fn clear(&mut self) {
+        for key in self.keys() {
+            self.delete(&key);
+        }
+    }
 }
 
 #[cfg(test)]

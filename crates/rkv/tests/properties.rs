@@ -197,6 +197,99 @@ proptest! {
         // reaching here without panic is the property
     }
 
+    /// Replication invariants on a live cluster: for arbitrary key sets
+    /// and r ∈ {1,2,3}, `KvClient::replicas` places each key on `r`
+    /// distinct servers, its first element is `route`'s primary, and a
+    /// replicated SET really stores `r` copies.
+    #[test]
+    fn replica_placement_invariants(
+        r in 1usize..=3,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..24), 1..24),
+    ) {
+        use std::rc::Rc;
+        let sim = simkit::Sim::new();
+        let fabric = netsim::Fabric::new(sim.clone(), 5, netsim::NetConfig::default());
+        let stack = rdmasim::RdmaStack::new(fabric);
+        let servers: Vec<_> = (0..4)
+            .map(|i| rkv::KvServer::new(Rc::clone(&stack), netsim::NodeId(i), rkv::KvServerConfig::default()))
+            .collect();
+        let cl = rkv::KvClient::new(
+            Rc::clone(&stack),
+            netsim::NodeId(4),
+            servers.clone(),
+            rkv::KvClientConfig { replication: r, ..rkv::KvClientConfig::default() },
+        );
+        let mut uniq = keys.clone();
+        uniq.sort();
+        uniq.dedup();
+        for k in &uniq {
+            let reps = cl.replicas(k).unwrap();
+            prop_assert_eq!(reps.len(), r);
+            prop_assert_eq!(reps[0], cl.route(k).unwrap());
+            let mut d = reps.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), r, "replicas must be distinct servers");
+        }
+        let cl2 = Rc::clone(&cl);
+        let store_keys = uniq.clone();
+        sim.block_on(async move {
+            for k in &store_keys {
+                cl2.set(k, Bytes::copy_from_slice(k), 0, 0).await.unwrap();
+            }
+        });
+        let copies: u64 = servers.iter().map(|s| s.store().stats().items).sum();
+        prop_assert_eq!(copies as usize, uniq.len() * r);
+        sim.reset();
+    }
+
+    /// Read-after-crash: with r ≥ 2, crashing (wiping + downing) any single
+    /// server still leaves every value readable through failover.
+    #[test]
+    fn read_after_single_crash_returns_everything(
+        r in 2usize..=3,
+        victim in 0u32..4,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..24), 1..16),
+    ) {
+        use std::rc::Rc;
+        let sim = simkit::Sim::new();
+        let fabric = netsim::Fabric::new(sim.clone(), 5, netsim::NetConfig::default());
+        let stack = rdmasim::RdmaStack::new(fabric);
+        let fabric = Rc::clone(stack.fabric());
+        let servers: Vec<_> = (0..4)
+            .map(|i| rkv::KvServer::new(Rc::clone(&stack), netsim::NodeId(i), rkv::KvServerConfig::default()))
+            .collect();
+        let cl = rkv::KvClient::new(
+            Rc::clone(&stack),
+            netsim::NodeId(4),
+            servers.clone(),
+            rkv::KvClientConfig { replication: r, ..rkv::KvClientConfig::default() },
+        );
+        let mut uniq = keys.clone();
+        uniq.sort();
+        uniq.dedup();
+        let store_keys = uniq.clone();
+        let victim_store = Rc::clone(servers[victim as usize].store());
+        let ok = sim.block_on(async move {
+            for k in &store_keys {
+                cl.set(k, Bytes::copy_from_slice(k), 0, 0).await.unwrap();
+            }
+            // crash the victim: volatile contents lost, ports down
+            victim_store.clear();
+            fabric.set_up(netsim::NodeId(victim), false);
+            for k in &store_keys {
+                let v = cl.get(k).await.unwrap();
+                match v {
+                    Some(v) if v.data[..] == k[..] => {}
+                    other => return Err(format!("key {k:?} lost after crash: {other:?}")),
+                }
+            }
+            Ok(())
+        });
+        prop_assert!(ok.is_ok(), "{}", ok.unwrap_err());
+        sim.reset();
+    }
+
     /// Ketama: routing is a pure function of the label set — rebuilding
     /// the ring gives identical placement, and every key routes somewhere
     /// valid.

@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
+use crate::faultplan::{FaultInjector, FaultPlan};
 use crate::telemetry::{Registry, Span, SpanInner, Telemetry, Tracer};
 use crate::time::Time;
 
@@ -102,6 +103,7 @@ struct Inner {
     live_tasks: Cell<usize>,
     events: Cell<u64>,
     telemetry: Telemetry,
+    faults: FaultInjector,
 }
 
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
@@ -133,6 +135,7 @@ impl Sim {
                 live_tasks: Cell::new(0),
                 events: Cell::new(0),
                 telemetry: Telemetry::default(),
+                faults: FaultInjector::default(),
             }),
         }
     }
@@ -169,6 +172,35 @@ impl Sim {
     #[inline]
     pub fn tracer(&self) -> &Tracer {
         &self.inner.telemetry.tracer
+    }
+
+    /// The simulation's fault injector. Components register node-event
+    /// hooks and poll per-transfer fault decisions; without an installed
+    /// [`FaultPlan`] everything reads as healthy.
+    #[inline]
+    pub fn faults(&self) -> &FaultInjector {
+        &self.inner.faults
+    }
+
+    /// Install a [`FaultPlan`]: reseed the injector from the plan, expand
+    /// flaps, and spawn the driver task that applies each event at its
+    /// scheduled offset from *now*. Installing a new plan clears the
+    /// previous plan's edge rules and timeline (a driver already in flight
+    /// keeps running — install at most one plan per simulation).
+    pub fn install_faults(&self, plan: FaultPlan) {
+        self.inner.faults.arm(plan.seed());
+        let events = plan.expand();
+        if events.is_empty() {
+            return;
+        }
+        let sim = self.clone();
+        let base = self.now();
+        self.spawn(async move {
+            for (offset, ev) in events {
+                sim.sleep_until(base + offset).await;
+                sim.inner.faults.apply(sim.now(), ev);
+            }
+        });
     }
 
     /// Open a virtual-time span: records one Chrome-trace event from now

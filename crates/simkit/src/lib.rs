@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod faultplan;
 pub mod future;
 pub mod resource;
 pub mod rng;
@@ -47,5 +48,6 @@ pub mod sync {
 }
 
 pub use executor::{JoinHandle, Sim, Sleep};
+pub use faultplan::{FaultEvent, FaultPlan, NodeEvent, NodeEventKind};
 pub use rng::{SimRng, Zipf};
 pub use time::{dur, Time};

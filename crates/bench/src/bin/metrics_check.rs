@@ -55,6 +55,9 @@ fn main() {
     for prefix in [
         "bb.read.",
         "bb.mgr.",
+        "bb.integrity.",
+        "bb.scrub.",
+        "bb.pressure.",
         "rkv.server",
         "rdma.",
         "netsim.",

@@ -1,0 +1,37 @@
+//! AB7: end-to-end integrity — corrupt at rest, scrub-repair, verified
+//! read-back.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab7 [--quick] [--metrics-json PATH] \
+//!     [--trace PATH] [--timeline PATH]
+//! ```
+//!
+//! `--timeline PATH` writes the applied corruption timeline (the scrub
+//! artifact CI uploads).
+
+use bench::experiments::integrity;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOpts::parse();
+    let (report, timeline) = integrity::ab7_with_artifacts(opts.quick, opts.trace_enabled());
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &timeline).expect("write timeline");
+        println!("wrote scrub timeline: {path}");
+    }
+}

@@ -95,16 +95,25 @@ pub enum FaultScenario {
     /// Drop 1 % of every transfer to or from any KV server for the whole
     /// run (seeded draws — deterministic per plan seed).
     RpcLoss,
+    /// Repeated at-rest corruption sweeps over every KV server: starting
+    /// mid-write, each resident value has a 1 % chance per sweep of one
+    /// silently flipped bit (seeded draws).
+    CorruptValues,
+    /// Corrupt 1 % of every transfer to or from any KV server in flight
+    /// for the whole run (seeded draws).
+    CorruptTransfers,
 }
 
 impl FaultScenario {
     /// All scenarios, matrix order.
-    pub fn all() -> [FaultScenario; 4] {
+    pub fn all() -> [FaultScenario; 6] {
         [
             FaultScenario::CrashOne,
             FaultScenario::CrashRestart,
             FaultScenario::LinkFlap,
             FaultScenario::RpcLoss,
+            FaultScenario::CorruptValues,
+            FaultScenario::CorruptTransfers,
         ]
     }
 
@@ -115,6 +124,8 @@ impl FaultScenario {
             FaultScenario::CrashRestart => "crash + restart",
             FaultScenario::LinkFlap => "link flap",
             FaultScenario::RpcLoss => "1% rpc loss",
+            FaultScenario::CorruptValues => "1% value corruption",
+            FaultScenario::CorruptTransfers => "1% transfer corruption",
         }
     }
 }
@@ -171,6 +182,16 @@ pub struct FaultOutcome {
     pub failover_reads: u64,
     /// Transfers dropped by the injected loss rules.
     pub dropped_transfers: u64,
+    /// Transfers corrupted in flight by the injected corruption rules.
+    pub corrupted_transfers: u64,
+    /// Resident values damaged by at-rest corruption sweeps.
+    pub corrupted_values: u64,
+    /// Checksum verification failures observed (`bb.integrity.checksum_fail`).
+    pub checksum_fails: u64,
+    /// Bad copies the background scrubber rewrote (`bb.scrub.repaired`).
+    pub scrub_repaired: u64,
+    /// Bad copies with no good source left (`bb.scrub.unrepairable`).
+    pub scrub_unrepairable: u64,
     /// Server crash events delivered.
     pub crashes: u64,
     /// Virtual time from the last scripted fault until the workload
@@ -307,6 +328,47 @@ pub fn run_fault_scenario_telemetry(
             }
             last_fault = None;
         }
+        FaultScenario::CorruptValues => {
+            // 20 sweeps, 50 ms apart, per server: enough seeded 1% draws
+            // over the resident set that some values reliably flip, while
+            // the flush queue and the read phase are both still live
+            let mut at = fault_at;
+            for _ in 0..20 {
+                for s in &bb.kv_servers {
+                    plan = plan.at(
+                        at,
+                        FaultEvent::CorruptValue {
+                            node: s.node().0,
+                            p: 0.01,
+                        },
+                    );
+                }
+                at += dur::ms(50);
+                last_fault = Some(at);
+            }
+        }
+        FaultScenario::CorruptTransfers => {
+            for s in &bb.kv_servers {
+                plan = plan
+                    .at(
+                        Duration::ZERO,
+                        FaultEvent::CorruptTransfer {
+                            src: Some(s.node().0),
+                            dst: None,
+                            p: 0.01,
+                        },
+                    )
+                    .at(
+                        Duration::ZERO,
+                        FaultEvent::CorruptTransfer {
+                            src: None,
+                            dst: Some(s.node().0),
+                            p: 0.01,
+                        },
+                    );
+            }
+            last_fault = None;
+        }
     }
     tb.sim.install_faults(plan);
 
@@ -363,8 +425,14 @@ pub fn run_fault_scenario_telemetry(
             end: sim.now(),
         }
     });
+    // step the clock in 1 s slices so the run stops as soon as the driver
+    // finishes instead of idling the background scrubber out to the full
+    // deadline (run-to-quiescence would never return with it ticking)
     let deadline = tb.sim.now() + dur::secs(120);
-    tb.sim.run_until(deadline);
+    while !driver.is_finished() && tb.sim.now() < deadline {
+        let step = (tb.sim.now() + dur::secs(1)).min(deadline);
+        crate::experiments::integrity::step_to(&tb.sim, step);
+    }
     let converged = driver.is_finished();
     let finish = driver.try_take();
 
@@ -376,6 +444,14 @@ pub fn run_fault_scenario_telemetry(
         .map(|s| {
             cell.snapshot
                 .counter(&format!("rkv.server{}.crashes", s.node().0))
+        })
+        .sum();
+    let corrupted_values: u64 = bb
+        .kv_servers
+        .iter()
+        .map(|s| {
+            cell.snapshot
+                .counter(&format!("rkv.server{}.corrupted", s.node().0))
         })
         .sum();
     let mgr = bb.manager.stats();
@@ -396,6 +472,11 @@ pub fn run_fault_scenario_telemetry(
         retry_attempts: cell.snapshot.counter("kv.retry.attempts"),
         failover_reads: cell.snapshot.counter("kv.failover.reads"),
         dropped_transfers: cell.snapshot.counter("netsim.fabric.dropped"),
+        corrupted_transfers: cell.snapshot.counter("rdma.corrupted"),
+        corrupted_values,
+        checksum_fails: cell.snapshot.counter("bb.integrity.checksum_fail"),
+        scrub_repaired: cell.snapshot.counter("bb.scrub.repaired"),
+        scrub_unrepairable: cell.snapshot.counter("bb.scrub.unrepairable"),
         crashes,
         recovery,
         end,

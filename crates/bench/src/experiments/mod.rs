@@ -7,6 +7,7 @@
 pub mod ablations;
 pub mod dfsio;
 pub mod faults;
+pub mod integrity;
 pub mod jobs;
 pub mod micro;
 
@@ -69,5 +70,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(ablations::ab5_read_window(quick, false));
     println!(">>> AB6: readahead-overlap trace");
     out.push(ablations::ab6_readahead_trace(quick));
+    println!(">>> AB7: integrity scrub-repair");
+    out.push(integrity::ab7_integrity(quick, false));
     out
 }

@@ -16,6 +16,7 @@ use simkit::JoinHandle;
 use hdfs::{HdfsClient, HdfsReader, HdfsWriter};
 use lustre::{LustreClient, LustreError, LustreFile};
 
+use crate::integrity;
 pub use crate::manager::BbError;
 use crate::manager::{chunk_key, lustre_path, BbFileMeta, FileState, MgrMsg, MGR_SERVICE};
 use crate::{BbConfig, BbDeployment, Scheme};
@@ -258,6 +259,8 @@ impl BbClient {
             window: Rc::new(Semaphore::new(self.dep.config.write_window.max(1))),
             pending: RefCell::new(Vec::new()),
             closed: Cell::new(false),
+            crcs: RefCell::new(Vec::new()),
+            degraded: Rc::new(Cell::new(false)),
         })
     }
 
@@ -377,6 +380,13 @@ pub struct BbWriter {
     window: Rc<Semaphore>,
     pending: RefCell<Vec<JoinHandle<ChunkResult>>>,
     closed: Cell<bool>,
+    /// Per-chunk CRC32C manifest, indexed by seq (sent with `Close`).
+    crcs: RefCell<Vec<u32>>,
+    /// Set when a manager ack carried the pressure flag: the writer
+    /// bypasses the buffer and writes through (`ChunkDirect`) until an
+    /// ack clears it (hysteresis lives in the manager). Shared with the
+    /// in-flight chunk tasks.
+    degraded: Rc<Cell<bool>>,
 }
 
 impl BbWriter {
@@ -431,6 +441,11 @@ impl BbWriter {
     async fn submit_chunk(&self, chunk: Bytes) {
         let seq = self.seq.get();
         self.seq.set(seq + 1);
+        // seal the chunk: its digest rides in the KV value's flags word,
+        // in the manager's manifest, and (at close) in the file metadata
+        let key = chunk_key(self.file_id, seq);
+        let crc = integrity::chunk_crc(&key, &chunk);
+        self.crcs.borrow_mut().push(crc);
         // client-side serialization cost (serial per writer)
         let sim = self.client.dep.stack.sim().clone();
         sim.sleep(simkit::dur::transfer(
@@ -443,10 +458,10 @@ impl BbWriter {
         let file_id = self.file_id;
         let lustre_file = self.lustre_file.clone();
         let chunk_size = self.client.dep.config.chunk_size;
+        let degraded = Rc::clone(&self.degraded);
         let sim = self.client.dep.stack.sim().clone();
         let handle = sim.clone().spawn(async move {
             let _permit = permit;
-            let key = chunk_key(file_id, seq);
             match client.dep.config.scheme {
                 Scheme::SyncLustre => {
                     // write-through: buffer PUT and Lustre write in
@@ -456,41 +471,61 @@ impl BbWriter {
                     let kv = Rc::clone(&client.kv);
                     let kv_chunk = chunk.clone();
                     let kv_task =
-                        sim.spawn(async move { kv.set(&key, kv_chunk, 0, 0).await.map(|_| ()) });
+                        sim.spawn(async move { kv.set(&key, kv_chunk, crc, 0).await.map(|_| ()) });
                     lf.write_at(seq * chunk_size, chunk).await?;
                     let _ = kv_task.await; // buffer errors are non-fatal here
                     Ok(())
                 }
                 Scheme::AsyncLustre | Scheme::HybridLocality => {
                     let len = chunk.len() as u64;
-                    match client.kv.set(&key, chunk.clone(), 0, 0).await {
-                        Ok(_) => {
-                            // notify the persistence manager; the ack is the
-                            // flow-control credit
-                            client
-                                .mgr_call(48, |reply| MgrMsg::ChunkReady {
-                                    file_id,
-                                    seq,
-                                    len,
-                                    reply,
-                                })
-                                .await??;
-                            Ok(())
+                    let buffered = if degraded.get() {
+                        // under pressure: skip the buffer entirely
+                        false
+                    } else {
+                        match client.kv.set(&key, chunk.clone(), crc, 0).await {
+                            // pin before acking so LRU pressure can never
+                            // silently evict the unflushed chunk; the
+                            // flusher unpins once it is safe in Lustre
+                            Ok(_) => match client.kv.pin(&key).await {
+                                Ok(true) => true,
+                                // evicted between set and pin (or a
+                                // replica refused): drop any partial pins
+                                // and write through instead
+                                _ => {
+                                    client.kv.unpin(&key).await;
+                                    false
+                                }
+                            },
+                            Err(_) => false,
                         }
-                        Err(_) => {
-                            // degraded path: buffer unavailable, persist
-                            // through the manager directly
-                            client
-                                .mgr_call(len + 64, |reply| MgrMsg::ChunkDirect {
-                                    file_id,
-                                    seq,
-                                    data: chunk.clone(),
-                                    reply,
-                                })
-                                .await??;
-                            Ok(())
-                        }
-                    }
+                    };
+                    let ack = if buffered {
+                        // notify the persistence manager; the ack is the
+                        // flow-control credit
+                        client
+                            .mgr_call(48, |reply| MgrMsg::ChunkReady {
+                                file_id,
+                                seq,
+                                len,
+                                crc,
+                                reply,
+                            })
+                            .await??
+                    } else {
+                        // degraded path: buffer unavailable or overloaded,
+                        // persist through the manager directly
+                        client
+                            .mgr_call(len + 64, |reply| MgrMsg::ChunkDirect {
+                                file_id,
+                                seq,
+                                data: chunk.clone(),
+                                crc,
+                                reply,
+                            })
+                            .await??
+                    };
+                    degraded.set(ack.pressure);
+                    Ok(())
                 }
             }
         });
@@ -532,10 +567,12 @@ impl BbWriter {
         }
         let file_id = self.file_id;
         let size = self.size.get();
+        let crcs = self.crcs.borrow().clone();
         self.client
-            .mgr_call(48, |reply| MgrMsg::Close {
+            .mgr_call(48 + 4 * crcs.len() as u64, |reply| MgrMsg::Close {
                 file_id,
                 size,
+                crcs: crcs.clone(),
                 reply,
             })
             .await??;
@@ -662,14 +699,32 @@ impl ReadCore {
                 self.client.dep.read_counters().fills_started.inc();
                 let kv = Rc::clone(&self.client.kv);
                 let key = chunk_key(file_id, seq);
+                let crc = integrity::chunk_crc(&key, data);
                 let fill = data.clone();
                 self.client.dep.stack.sim().spawn(async move {
                     let _permit = permit;
-                    let _ = kv.set(&key, fill, 0, 0).await;
+                    let _ = kv.set(&key, fill, crc, 0).await;
                 });
             }
             None => self.client.dep.read_counters().fill_drops.inc(),
         }
+    }
+
+    /// Verify a Lustre-tier chunk against the file's CRC manifest. Files
+    /// closed before the manifest existed (or still being written) have
+    /// no entry and pass unverified — same behaviour as the seed.
+    fn verify_lustre(&self, file_id: u64, seq: u64, data: &Bytes) -> Result<(), BbError> {
+        let crc = self.meta.borrow().chunk_crcs.get(seq as usize).copied();
+        if let Some(crc) = crc {
+            if integrity::chunk_crc(&chunk_key(file_id, seq), data) != crc {
+                self.client.dep.integrity_counters().checksum_fail.inc();
+                return Err(BbError::DataUnavailable {
+                    path: self.path.clone(),
+                    seq,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fetch one whole chunk via the serial tiered read path (the
@@ -694,8 +749,16 @@ impl ReadCore {
                 }
             }
         }
-        // tier 1: the buffer (RDMA GET from server DRAM)
-        if let Ok(Some(v)) = self.client.kv.get(&chunk_key(file_id, seq)).await {
+        // tier 1: the buffer (RDMA GET from server DRAM), checksum-
+        // verified — a corrupt copy fails over to the next replica (and
+        // is repaired in place), never reaches the caller
+        if let Ok(Some(v)) = integrity::get_verified(
+            &self.client.kv,
+            self.client.dep.integrity_counters(),
+            &chunk_key(file_id, seq),
+        )
+        .await
+        {
             sim.sleep(read_cpu).await;
             self.client.dep.read_counters().tier_buffer.inc();
             return Ok(v.data);
@@ -717,6 +780,7 @@ impl ReadCore {
         }
         let lf = self.lustre_handle().await?;
         let data = lf.read_at(seq * chunk_size, chunk_len).await?;
+        self.verify_lustre(file_id, seq, &data)?;
         self.maybe_fill(file_id, seq, &data);
         self.client.dep.read_counters().tier_lustre.inc();
         Ok(data)
@@ -907,14 +971,19 @@ impl ReadCore {
             rc.multi_gets.add(servers.len() as u64);
             rc.multi_get_keys.add(keys.len() as u64);
             let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let mut corrupt: Vec<u64> = Vec::new();
             match self.client.kv.multi_get(&refs).await {
                 Ok(vals) => {
-                    for (&s, v) in rest.iter().zip(vals) {
+                    for ((&s, key), v) in rest.iter().zip(&keys).zip(vals) {
                         match v {
-                            Some(val) => {
+                            Some(val) if integrity::chunk_crc(key, &val.data) == val.flags => {
                                 cpu = cpu.max(simkit::dur::transfer(clen(s), rate));
                                 self.client.dep.read_counters().tier_buffer.inc();
                                 out.insert(s, Ok(val.data));
+                            }
+                            Some(_) => {
+                                self.client.dep.integrity_counters().checksum_fail.inc();
+                                corrupt.push(s);
                             }
                             None => misses.push(s),
                         }
@@ -924,6 +993,26 @@ impl ReadCore {
                 // to the Lustre tier, matching the serial path's fallback
                 Err(_) => misses.extend(rest.iter().copied()),
             }
+            // a corrupt batched hit retries through the verified per-key
+            // path (replica failover + in-place repair) before degrading
+            // to the Lustre tier
+            for s in corrupt {
+                match integrity::get_verified(
+                    &self.client.kv,
+                    self.client.dep.integrity_counters(),
+                    &chunk_key(file_id, s),
+                )
+                .await
+                {
+                    Ok(Some(v)) => {
+                        cpu = cpu.max(simkit::dur::transfer(clen(s), rate));
+                        self.client.dep.read_counters().tier_buffer.inc();
+                        out.insert(s, Ok(v.data));
+                    }
+                    _ => misses.push(s),
+                }
+            }
+            misses.sort_unstable();
         }
 
         // join the tier-0 reads; a failed local read falls back to the
@@ -985,6 +1074,10 @@ impl ReadCore {
                                     for s in s0..=s1 {
                                         let rel = ((s - s0) * chunk_size) as usize;
                                         let b = data.slice(rel..rel + clen(s) as usize);
+                                        if let Err(e) = self.verify_lustre(file_id, s, &b) {
+                                            out.insert(s, Err(e));
+                                            continue;
+                                        }
                                         self.maybe_fill(file_id, s, &b);
                                         self.client.dep.read_counters().tier_lustre.inc();
                                         out.insert(s, Ok(b));

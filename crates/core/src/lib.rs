@@ -27,6 +27,7 @@
 
 pub mod client;
 pub mod fs;
+pub mod integrity;
 pub mod manager;
 
 use std::rc::Rc;
@@ -134,6 +135,22 @@ pub struct BbConfig {
     pub kv_retries: u32,
     /// First retry backoff (doubles per retry, seeded jitter).
     pub kv_backoff: std::time::Duration,
+    /// Background scrubber tick period (virtual time). Each tick verifies
+    /// checksums on up to [`BbConfig::scrub_batch`] resident chunks across
+    /// all replicas and repairs divergent copies. `Duration::ZERO`
+    /// disables the scrubber.
+    pub scrub_interval: std::time::Duration,
+    /// Chunks verified per scrubber tick.
+    pub scrub_batch: usize,
+    /// Overload high watermark: when unflushed buffered bytes exceed this
+    /// fraction of aggregate KV memory, write acks carry a pressure signal
+    /// and writers degrade to write-through-to-Lustre (per scheme, no
+    /// errors) instead of queueing behind the flusher.
+    pub bb_high_watermark: f64,
+    /// Overload low watermark: pressure clears (writers resume buffering)
+    /// once unflushed bytes drain below this fraction — hysteresis so the
+    /// write path does not flap around a single threshold.
+    pub bb_low_watermark: f64,
 }
 
 impl Default for BbConfig {
@@ -158,6 +175,10 @@ impl Default for BbConfig {
             kv_op_timeout: std::time::Duration::from_secs(1),
             kv_retries: 3,
             kv_backoff: std::time::Duration::from_micros(100),
+            scrub_interval: std::time::Duration::from_secs(1),
+            scrub_batch: 32,
+            bb_high_watermark: 0.75,
+            bb_low_watermark: 0.5,
         }
     }
 }
@@ -182,6 +203,9 @@ pub struct BbDeployment {
     /// this deployment — live state in the simulation's metrics registry
     /// (`bb.read.*`), [`ReadStats`] is its frozen view.
     read: client::ReadCounters,
+    /// Checksum-verification and repair counters (`bb.integrity.*`),
+    /// shared by every reader, the flusher, and the scrubber.
+    integrity: integrity::IntegrityCounters,
 }
 
 impl BbDeployment {
@@ -197,6 +221,10 @@ impl BbDeployment {
         assert!(config.kv_servers > 0, "need at least one KV server");
         assert!(config.chunk_size > 0);
         assert!(config.flush_watermark > 0.0 && config.flush_watermark <= 1.0);
+        assert!(
+            config.bb_low_watermark <= config.bb_high_watermark,
+            "pressure hysteresis needs low <= high"
+        );
         let stack = RdmaStack::with_profile(Rc::clone(fabric), config.transport);
         let kv_servers: Vec<Rc<KvServer>> = (0..config.kv_servers)
             .map(|_| {
@@ -209,6 +237,10 @@ impl BbDeployment {
                             mem_limit: config.kv_mem_per_server,
                             ..SlabConfig::default()
                         },
+                        // chunks arrive with their CRC32C in `flags`; the
+                        // server rejects transfers whose payload no longer
+                        // matches (BadDigest → client re-sends)
+                        verify_set_crc: true,
                         ..KvServerConfig::default()
                     },
                 )
@@ -242,6 +274,7 @@ impl BbDeployment {
             config,
         );
         let read = client::ReadCounters::register(fabric.sim().metrics());
+        let integrity = integrity::IntegrityCounters::register(fabric.sim().metrics());
         Rc::new(BbDeployment {
             config,
             stack,
@@ -250,6 +283,7 @@ impl BbDeployment {
             hdfs_local,
             manager,
             read,
+            integrity,
         })
     }
 
@@ -295,12 +329,17 @@ impl BbDeployment {
         &self.read
     }
 
-    /// Stop background loops (scheme-C overlay heartbeats) so simulations
-    /// can quiesce.
+    pub(crate) fn integrity_counters(&self) -> &integrity::IntegrityCounters {
+        &self.integrity
+    }
+
+    /// Stop background loops (scheme-C overlay heartbeats, the integrity
+    /// scrubber) so simulations can quiesce.
     pub fn shutdown(&self) {
         if let Some(h) = &self.hdfs_local {
             h.shutdown();
         }
+        self.manager.stop_scrub();
     }
 }
 

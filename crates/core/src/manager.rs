@@ -6,7 +6,7 @@
 //! back-pressures writers before unflushed data could face LRU pressure.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -21,6 +21,7 @@ use simkit::sync::semaphore::Semaphore;
 
 use lustre::{LustreCluster, LustreError};
 
+use crate::integrity::{self, IntegrityCounters};
 use crate::{BbConfig, Scheme};
 
 /// KV key for chunk `seq` of file `file_id`.
@@ -125,6 +126,19 @@ pub struct BbFileMeta {
     pub chunk_size: u64,
     /// Lustre backing path.
     pub lustre_path: String,
+    /// Per-chunk CRC32C manifest (`crc32c(chunk_key || data)`, indexed by
+    /// seq). Populated at close; readers verify Lustre-tier reads against
+    /// it. Empty while the file is still being written.
+    pub chunk_crcs: Vec<u32>,
+}
+
+/// Write acknowledgement carried by `ChunkReady`/`ChunkDirect` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// The buffer is above its overload high watermark: the writer should
+    /// degrade to write-through (`ChunkDirect`) until an ack clears the
+    /// flag again (below the low watermark — hysteresis).
+    pub pressure: bool,
 }
 
 /// Manager RPCs.
@@ -145,11 +159,14 @@ pub enum MgrMsg {
         seq: u64,
         /// Chunk length.
         len: u64,
+        /// CRC32C of `chunk_key || data` as sealed by the writer.
+        crc: u32,
         /// Reply channel (credit).
-        reply: ReplyHandle<Result<(), BbError>>,
+        reply: ReplyHandle<Result<WriteAck, BbError>>,
     },
-    /// Degraded path: the buffer rejected the chunk, so the raw data comes
-    /// to the manager, which persists it to Lustre directly.
+    /// Degraded path: the buffer rejected the chunk (or the writer is
+    /// under pressure), so the raw data comes to the manager, which
+    /// persists it to Lustre directly.
     ChunkDirect {
         /// File id.
         file_id: u64,
@@ -157,8 +174,10 @@ pub enum MgrMsg {
         seq: u64,
         /// Chunk payload.
         data: Bytes,
+        /// CRC32C of `chunk_key || data` as sealed by the writer.
+        crc: u32,
         /// Reply channel.
-        reply: ReplyHandle<Result<(), BbError>>,
+        reply: ReplyHandle<Result<WriteAck, BbError>>,
     },
     /// Seal a file. For async schemes the ack does not wait for the flush.
     Close {
@@ -166,6 +185,8 @@ pub enum MgrMsg {
         file_id: u64,
         /// Final size.
         size: u64,
+        /// Per-chunk CRC manifest, indexed by seq.
+        crcs: Vec<u32>,
         /// Reply channel.
         reply: ReplyHandle<Result<(), BbError>>,
     },
@@ -200,7 +221,7 @@ pub enum MgrMsg {
 }
 
 enum FlushItem {
-    Chunk { seq: u64, len: u64 },
+    Chunk { seq: u64, len: u64, crc: u32 },
     Direct { seq: u64, data: Bytes },
     Close { size: u64 },
 }
@@ -211,6 +232,7 @@ struct FileEntry {
     size: u64,
     state: FileState,
     flush_tx: Option<mpsc::Sender<FlushItem>>,
+    crcs: Vec<u32>,
 }
 
 /// Mailbox service name for the manager.
@@ -263,6 +285,40 @@ impl MgrCounters {
     }
 }
 
+/// Background-scrubber counters (`bb.scrub.*`).
+struct ScrubCounters {
+    scanned: simkit::telemetry::Counter,
+    repaired: simkit::telemetry::Counter,
+    unrepairable: simkit::telemetry::Counter,
+}
+
+impl ScrubCounters {
+    fn register(m: &simkit::telemetry::Registry) -> ScrubCounters {
+        ScrubCounters {
+            scanned: m.counter("bb.scrub.scanned"),
+            repaired: m.counter("bb.scrub.repaired"),
+            unrepairable: m.counter("bb.scrub.unrepairable"),
+        }
+    }
+}
+
+/// Overload (write-pressure) counters (`bb.pressure.*`).
+struct PressureCounters {
+    enter: simkit::telemetry::Counter,
+    exit: simkit::telemetry::Counter,
+    writethrough: simkit::telemetry::Counter,
+}
+
+impl PressureCounters {
+    fn register(m: &simkit::telemetry::Registry) -> PressureCounters {
+        PressureCounters {
+            enter: m.counter("bb.pressure.enter"),
+            exit: m.counter("bb.pressure.exit"),
+            writethrough: m.counter("bb.pressure.writethrough"),
+        }
+    }
+}
+
 type FlushWaiters = RefCell<HashMap<u64, Vec<ReplyHandle<Result<FileState, BbError>>>>>;
 
 /// The manager process.
@@ -277,10 +333,23 @@ pub struct BbManager {
     next_id: Cell<u64>,
     unflushed: Cell<u64>,
     watermark: u64,
-    credit_waiters: RefCell<VecDeque<ReplyHandle<Result<(), BbError>>>>,
+    /// Overload thresholds in unflushed bytes (hysteresis: pressure sets
+    /// above `high`, clears below `low`).
+    high: u64,
+    low: u64,
+    pressure: Cell<bool>,
+    credit_waiters: RefCell<VecDeque<ReplyHandle<Result<WriteAck, BbError>>>>,
     flush_waiters: FlushWaiters,
     flush_gate: Semaphore,
     stats: MgrCounters,
+    /// Chunk keys expected resident in the buffer, with their sealed CRCs:
+    /// `(file_id, seq) → crc`. The scrubber's work list.
+    resident: RefCell<BTreeMap<(u64, u64), u32>>,
+    scrub_cursor: Cell<(u64, u64)>,
+    scrub_stop: Cell<bool>,
+    scrub: ScrubCounters,
+    pressure_stats: PressureCounters,
+    integrity: IntegrityCounters,
 }
 
 impl BbManager {
@@ -310,9 +379,10 @@ impl BbManager {
             .item_footprint(item)
             .expect("chunk_size exceeds the KV item limit") as f64;
         let density = (config.chunk_size as f64 / footprint).min(1.0);
-        let watermark = ((config.kv_mem_per_server * config.kv_servers as u64) as f64
-            * config.flush_watermark
-            * density) as u64;
+        let usable = (config.kv_mem_per_server * config.kv_servers as u64) as f64 * density;
+        let watermark = (usable * config.flush_watermark) as u64;
+        let high = (usable * config.bb_high_watermark) as u64;
+        let low = (usable * config.bb_low_watermark) as u64;
         let mgr = Rc::new(BbManager {
             node,
             config,
@@ -324,10 +394,19 @@ impl BbManager {
             next_id: Cell::new(1),
             unflushed: Cell::new(0),
             watermark,
+            high,
+            low,
+            pressure: Cell::new(false),
             credit_waiters: RefCell::new(VecDeque::new()),
             flush_waiters: RefCell::new(HashMap::new()),
             flush_gate: Semaphore::new(config.flusher_threads.max(1)),
             stats: MgrCounters::register(fabric.sim().metrics()),
+            resident: RefCell::new(BTreeMap::new()),
+            scrub_cursor: Cell::new((0, 0)),
+            scrub_stop: Cell::new(false),
+            scrub: ScrubCounters::register(fabric.sim().metrics()),
+            pressure_stats: PressureCounters::register(fabric.sim().metrics()),
+            integrity: IntegrityCounters::register(fabric.sim().metrics()),
         });
         let mut rx = net.register(node, MGR_SERVICE);
         let sim = net.fabric().sim().clone();
@@ -338,7 +417,26 @@ impl BbManager {
                 this.handle(env.msg);
             }
         });
+        if config.scrub_interval > std::time::Duration::ZERO {
+            let sim = net.fabric().sim().clone();
+            let this = Rc::clone(&mgr);
+            sim.clone().spawn(async move {
+                loop {
+                    sim.sleep(this.config.scrub_interval).await;
+                    if this.scrub_stop.get() {
+                        break;
+                    }
+                    this.scrub_tick().await;
+                }
+            });
+        }
         mgr
+    }
+
+    /// Stop the background scrubber after its current tick (lets
+    /// simulations quiesce; called from [`crate::BbDeployment::shutdown`]).
+    pub fn stop_scrub(&self) {
+        self.scrub_stop.set(true);
     }
 
     /// Fabric node of the manager.
@@ -371,6 +469,7 @@ impl BbManager {
                 file_id,
                 seq,
                 len,
+                crc,
                 reply,
             } => {
                 let entry = self.by_id.borrow().get(&file_id).cloned();
@@ -378,12 +477,22 @@ impl BbManager {
                     reply.send(Err(BbError::NotFound(format!("file_id {file_id}"))), 16);
                     return;
                 };
+                self.resident.borrow_mut().insert((file_id, seq), crc);
                 self.unflushed.set(self.unflushed.get() + len);
                 if let Some(tx) = &entry.borrow().flush_tx {
-                    let _ = tx.try_send(FlushItem::Chunk { seq, len });
+                    let _ = tx.try_send(FlushItem::Chunk { seq, len, crc });
                 }
-                if self.unflushed.get() <= self.watermark {
-                    reply.send(Ok(()), 16);
+                if !self.pressure.get() && self.unflushed.get() > self.high {
+                    self.pressure.set(true);
+                    self.pressure_stats.enter.inc();
+                }
+                if self.pressure.get() {
+                    // overloaded: ack immediately with the pressure flag so
+                    // the writer degrades to write-through instead of
+                    // queueing more bytes behind the flusher
+                    reply.send(Ok(WriteAck { pressure: true }), 16);
+                } else if self.unflushed.get() <= self.watermark {
+                    reply.send(Ok(WriteAck { pressure: false }), 16);
                 } else {
                     self.stats.watermark_stalls.inc();
                     self.credit_waiters.borrow_mut().push_back(reply);
@@ -393,6 +502,7 @@ impl BbManager {
                 file_id,
                 seq,
                 data,
+                crc,
                 reply,
             } => {
                 let entry = self.by_id.borrow().get(&file_id).cloned();
@@ -400,11 +510,26 @@ impl BbManager {
                     reply.send(Err(BbError::NotFound(format!("file_id {file_id}"))), 16);
                     return;
                 };
+                // the direct path bypasses the KV tier's digest check, so
+                // verify here before the bytes can reach Lustre
+                if integrity::chunk_crc(&chunk_key(file_id, seq), &data) != crc {
+                    self.integrity.checksum_fail.inc();
+                    reply.send(Err(BbError::Kv(ClientError::TransferFailed)), 16);
+                    return;
+                }
+                if self.pressure.get() {
+                    self.pressure_stats.writethrough.inc();
+                }
                 let tx = entry.borrow().flush_tx.clone();
                 match tx {
                     Some(tx) => {
                         let _ = tx.try_send(FlushItem::Direct { seq, data });
-                        reply.send(Ok(()), 16);
+                        reply.send(
+                            Ok(WriteAck {
+                                pressure: self.pressure.get(),
+                            }),
+                            16,
+                        );
                     }
                     None => {
                         reply.send(Err(BbError::Busy("no flusher for this scheme".into())), 16);
@@ -414,6 +539,7 @@ impl BbManager {
             MgrMsg::Close {
                 file_id,
                 size,
+                crcs,
                 reply,
             } => {
                 let entry = self.by_id.borrow().get(&file_id).cloned();
@@ -424,6 +550,7 @@ impl BbManager {
                 {
                     let mut e = entry.borrow_mut();
                     e.size = size;
+                    e.crcs = crcs;
                     match e.flush_tx.take() {
                         Some(tx) => {
                             e.state = FileState::Closed;
@@ -431,8 +558,14 @@ impl BbManager {
                             // dropping tx closes the flusher's queue
                         }
                         None => {
-                            // sync scheme: the client already persisted
+                            // sync scheme: the client already persisted.
+                            // Its chunks never pass through ChunkReady, so
+                            // enrol them for scrubbing here.
                             e.state = FileState::Flushed;
+                            let mut resident = self.resident.borrow_mut();
+                            for (seq, crc) in e.crcs.iter().enumerate() {
+                                resident.insert((file_id, seq as u64), *crc);
+                            }
                         }
                     }
                 }
@@ -475,10 +608,12 @@ impl BbManager {
                             state: e.state,
                             chunk_size: self.config.chunk_size,
                             lustre_path: lustre_path(&e.path),
+                            chunk_crcs: e.crcs.clone(),
                         })
                     }
                 };
-                reply.send(r, 128);
+                let bytes = 128 + r.as_ref().map_or(0, |m| 4 * m.chunk_crcs.len() as u64);
+                reply.send(r, bytes);
             }
             MgrMsg::Delete { path, reply } => {
                 let busy = self
@@ -497,16 +632,20 @@ impl BbManager {
                     Some(e) => {
                         let e = e.borrow();
                         self.by_id.borrow_mut().remove(&e.file_id);
+                        let fid = e.file_id;
+                        self.resident.borrow_mut().retain(|(f, _), _| *f != fid);
                         Ok(BbFileMeta {
                             file_id: e.file_id,
                             size: e.size,
                             state: e.state,
                             chunk_size: self.config.chunk_size,
                             lustre_path: lustre_path(&e.path),
+                            chunk_crcs: e.crcs.clone(),
                         })
                     }
                 };
-                reply.send(r, 128);
+                let bytes = 128 + r.as_ref().map_or(0, |m| 4 * m.chunk_crcs.len() as u64);
+                reply.send(r, bytes);
             }
             MgrMsg::List { prefix, reply } => {
                 let mut v: Vec<String> = self
@@ -553,6 +692,7 @@ impl BbManager {
             size: 0,
             state: FileState::Writing,
             flush_tx,
+            crcs: Vec::new(),
         }));
         self.files
             .borrow_mut()
@@ -563,10 +703,19 @@ impl BbManager {
 
     fn release_credit(&self, len: u64) {
         self.unflushed.set(self.unflushed.get().saturating_sub(len));
+        if self.pressure.get() && self.unflushed.get() <= self.low {
+            self.pressure.set(false);
+            self.pressure_stats.exit.inc();
+        }
         let mut waiters = self.credit_waiters.borrow_mut();
         while self.unflushed.get() <= self.watermark {
             match waiters.pop_front() {
-                Some(reply) => reply.send(Ok(()), 16),
+                Some(reply) => reply.send(
+                    Ok(WriteAck {
+                        pressure: self.pressure.get(),
+                    }),
+                    16,
+                ),
                 None => break,
             }
         }
@@ -604,7 +753,7 @@ impl BbManager {
         let mut final_size = None;
         while let Ok(item) = rx.recv().await {
             match item {
-                FlushItem::Chunk { seq, len } => {
+                FlushItem::Chunk { seq, len, crc } => {
                     let this = Rc::clone(&self);
                     let lfile = Rc::clone(&lfile);
                     inflight.push(sim.spawn(async move {
@@ -619,9 +768,12 @@ impl BbManager {
                         // replica set may be mid-crash/restart. Retry with
                         // bounded backoff and only count the chunk lost on
                         // a definitive miss (`Ok(None)`: every replica
-                        // answered, none had it) or retry exhaustion.
+                        // answered, none had a *verifiable* copy) or retry
+                        // exhaustion. The read-back is checksum-verified so
+                        // a corrupt buffer copy can never reach Lustre.
                         let sim = this.net.fabric().sim().clone();
-                        let mut got = this.kv.get(&key).await;
+                        let mut got =
+                            integrity::get_verified(&this.kv, &this.integrity, &key).await;
                         let mut attempt = 0u32;
                         while got.is_err() && attempt < this.config.kv_retries + 3 {
                             let delay = this
@@ -631,10 +783,12 @@ impl BbManager {
                                 .min(std::time::Duration::from_millis(10));
                             attempt += 1;
                             sim.sleep(delay).await;
-                            got = this.kv.get(&key).await;
+                            got = integrity::get_verified(&this.kv, &this.integrity, &key).await;
                         }
                         let ok = match got {
-                            Ok(Some(v)) => {
+                            // `flags` must also match the manifest CRC the
+                            // writer declared for this seq
+                            Ok(Some(v)) if v.flags == crc => {
                                 let r = lfile.write_at(seq * chunk_size, v.data).await.is_ok();
                                 if r {
                                     this.stats.chunks_flushed.inc();
@@ -647,6 +801,8 @@ impl BbManager {
                                 false
                             }
                         };
+                        // flushed (or given up): lift the eviction pin
+                        this.kv.unpin(&key).await;
                         this.release_credit(len);
                         ok
                     }));
@@ -697,5 +853,137 @@ impl BbManager {
             entry.borrow_mut().state = FileState::Lost;
         }
         self.notify_flushed(file_id, FileState::Lost);
+    }
+
+    /// One scrubber round: verify up to `scrub_batch` resident chunks,
+    /// resuming from the cursor (round-robin over the key space so every
+    /// chunk is eventually visited regardless of churn).
+    async fn scrub_tick(self: &Rc<Self>) {
+        let batch: Vec<((u64, u64), u32)> = {
+            let resident = self.resident.borrow();
+            if resident.is_empty() {
+                return;
+            }
+            let cursor = self.scrub_cursor.get();
+            let mut out: Vec<_> = resident
+                .range(cursor..)
+                .take(self.config.scrub_batch.max(1))
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            let missing = self.config.scrub_batch.max(1) - out.len();
+            if missing > 0 {
+                out.extend(
+                    resident
+                        .range(..cursor)
+                        .take(missing)
+                        .map(|(k, v)| (*k, *v)),
+                );
+            }
+            out
+        };
+        if let Some(((fid, seq), _)) = batch.last() {
+            self.scrub_cursor.set((*fid, seq + 1));
+        }
+        for ((file_id, seq), crc) in batch {
+            self.scrub_one(file_id, seq, crc).await;
+        }
+    }
+
+    /// Verify one chunk across its replica set and repair divergent
+    /// copies. A missing copy is legal (LRU eviction); a copy that fails
+    /// its digest is rewritten from the first good replica, or from Lustre
+    /// when the file is already flushed. Corruption with no good copy
+    /// anywhere counts `bb.scrub.unrepairable` (the read path will surface
+    /// it loudly, never silently).
+    async fn scrub_one(&self, file_id: u64, seq: u64, crc: u32) {
+        let key = chunk_key(file_id, seq);
+        let Ok(replicas) = self.kv.replicas(&key) else {
+            return;
+        };
+        self.scrub.scanned.inc();
+        let mut good: Option<Bytes> = None;
+        let mut bad: Vec<usize> = Vec::new();
+        let mut present = 0usize;
+        let mut errors = 0usize;
+        for idx in replicas {
+            match self.kv.get_from(idx, &key).await {
+                Ok(Some(v)) => {
+                    present += 1;
+                    if integrity::chunk_crc(&key, &v.data) == crc {
+                        if good.is_none() {
+                            good = Some(v.data);
+                        }
+                    } else {
+                        self.integrity.checksum_fail.inc();
+                        bad.push(idx);
+                    }
+                }
+                Ok(None) => {}         // evicted: legal, not an integrity event
+                Err(_) => errors += 1, // replica unreachable: revisit next round
+            }
+        }
+        if present == 0 {
+            if errors == 0 {
+                // every replica definitively answered: the chunk has left
+                // the buffer, nothing remains to scrub
+                self.resident.borrow_mut().remove(&(file_id, seq));
+            }
+            return;
+        }
+        if bad.is_empty() {
+            return;
+        }
+        let good = match good {
+            Some(g) => Some(g),
+            None => self.lustre_chunk(file_id, seq, crc).await,
+        };
+        match good {
+            Some(data) => {
+                for idx in bad {
+                    if self
+                        .kv
+                        .set_to(idx, &key, data.clone(), crc, 0)
+                        .await
+                        .is_ok()
+                    {
+                        self.scrub.repaired.inc();
+                    }
+                }
+            }
+            None => {
+                // No authoritative copy right now. While the file is still
+                // flushing, the flusher's own verified read-back decides
+                // the chunk's fate — retry next round rather than jumping
+                // to a verdict. Once the file is terminal the damage is
+                // permanent: count it once and stop scanning the chunk.
+                let terminal = self.by_id.borrow().get(&file_id).is_none_or(|e| {
+                    matches!(e.borrow().state, FileState::Flushed | FileState::Lost)
+                });
+                if terminal {
+                    self.scrub.unrepairable.add(bad.len() as u64);
+                    self.resident.borrow_mut().remove(&(file_id, seq));
+                }
+            }
+        }
+    }
+
+    /// Fetch a chunk's bytes from the Lustre backing file for repair,
+    /// verifying against the manifest CRC. Only flushed files qualify (an
+    /// unflushed chunk has no authoritative copy outside the buffer).
+    async fn lustre_chunk(&self, file_id: u64, seq: u64, crc: u32) -> Option<Bytes> {
+        let entry = self.by_id.borrow().get(&file_id).cloned()?;
+        let (state, size, lpath) = {
+            let e = entry.borrow();
+            (e.state, e.size, lustre_path(&e.path))
+        };
+        if state != FileState::Flushed {
+            return None;
+        }
+        let chunk_size = self.config.chunk_size;
+        let len = chunk_size.min(size.checked_sub(seq * chunk_size)?);
+        let f = self.lustre_client.open(&lpath).await.ok()?;
+        let data = f.read_at(seq * chunk_size, len).await.ok()?;
+        let _ = f.close().await;
+        (integrity::chunk_crc(&chunk_key(file_id, seq), &data) == crc).then_some(data)
     }
 }

@@ -126,6 +126,7 @@ fn async_and_sync_have_zero_local_storage() {
 fn read_falls_back_to_lustre_after_buffer_eviction() {
     let r = rig(2, Scheme::AsyncLustre);
     let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
     let data = pattern(2 << 20);
     let expect = data.clone();
     r.sim.block_on(async move {
@@ -140,6 +141,7 @@ fn read_falls_back_to_lustre_after_buffer_eviction() {
         }
         let rd = client.open("/cold").await.unwrap();
         assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
     });
 }
 
@@ -165,6 +167,7 @@ fn degraded_write_path_when_buffer_is_down() {
         // reads skip the dead buffer and hit Lustre
         let rd = client.open("/degraded").await.unwrap();
         assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
     });
 }
 
@@ -200,6 +203,7 @@ fn async_fault_window_loses_unflushed_data() {
             Err(BbError::DataUnavailable { .. }) => {}
             other => panic!("expected DataUnavailable, got {other:?}"),
         }
+        dep.shutdown();
     });
 }
 
@@ -238,6 +242,7 @@ fn inflight_flush_retries_across_buffer_outage() {
         let stats = dep.manager.stats();
         assert_eq!(stats.chunks_lost, 0, "outage flush silently dropped");
         assert_eq!(stats.chunks_flushed, 16);
+        dep.shutdown();
     });
 }
 
@@ -259,6 +264,7 @@ fn sync_scheme_survives_buffer_death() {
         // every byte is already in Lustre: reads degrade, not fail
         let rd = client.open("/safe").await.unwrap();
         assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
     });
 }
 
@@ -295,6 +301,7 @@ fn watermark_backpressure_engages_without_data_loss() {
         assert_eq!(stats.chunks_lost, 0);
         let rd = client.open("/wm").await.unwrap();
         assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
     });
 }
 
@@ -314,6 +321,7 @@ fn delete_reaps_buffer_and_lustre() {
         assert_eq!(dep.buffered_bytes(), 0);
         assert_eq!(dep.lustre.stored_bytes(), 0);
         assert!(!client.exists("/del").await.unwrap());
+        dep.shutdown();
     });
 }
 
@@ -321,6 +329,7 @@ fn delete_reaps_buffer_and_lustre() {
 fn namespace_list_exists_create_conflict() {
     let r = rig(2, Scheme::AsyncLustre);
     let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
     r.sim.block_on(async move {
         for p in ["/dir/a", "/dir/b", "/other/c"] {
             let w = client.create(p).await.unwrap();
@@ -332,6 +341,7 @@ fn namespace_list_exists_create_conflict() {
             Err(BbError::Exists(_)) => {}
             other => panic!("expected Exists, got {other:?}"),
         }
+        dep.shutdown();
     });
 }
 
@@ -339,6 +349,7 @@ fn namespace_list_exists_create_conflict() {
 fn partial_chunk_tail_roundtrips() {
     let r = rig(2, Scheme::AsyncLustre);
     let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
     let n = (512 << 10) * 3 + 7777;
     let data = pattern(n);
     let expect = data.clone();
@@ -361,6 +372,7 @@ fn partial_chunk_tail_roundtrips() {
             client.kv().delete(&key).await.unwrap();
         }
         assert_eq!(lf.read_all().await.unwrap(), expect);
+        dep.shutdown();
     });
 }
 
@@ -391,8 +403,11 @@ fn populate_on_read_refills_the_buffer() {
         assert_eq!(dep.buffered_bytes(), 0);
         let rd = client.open("/rt").await.unwrap();
         assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
     });
-    // cache fills are spawned; drain the sim then check
+    // cache fills are spawned; drain the sim then check (stopping the
+    // scrubber first so the drain quiesces)
+    r.dep.shutdown();
     r.sim.run();
     assert!(
         r.dep.buffered_bytes() >= 1 << 20,
@@ -418,11 +433,169 @@ fn many_concurrent_writers_round_trip() {
             rd.read_all().await.unwrap() == data
         }));
     }
+    r.dep.shutdown();
     sim.run();
     for h in handles {
         assert!(h.try_take().unwrap(), "a writer's data did not round-trip");
     }
     assert_eq!(r.dep.lustre.stored_bytes(), 8 * (3 << 20));
+}
+
+#[test]
+fn unflushed_chunks_survive_memory_pressure() {
+    // Regression for the async-scheme silent-loss hole: the KV tier is
+    // filled well past its memory limit before the (slow) flush can
+    // complete. Unflushed chunks are pinned against LRU eviction, so the
+    // slab refuses new inserts instead of dropping dirty data; the writer
+    // falls back to write-through for the overflow. Nothing may surface
+    // as a clean NotFound at flush time.
+    let lcfg = LustreConfig {
+        oss_count: 1,
+        osts_per_oss: 1,
+        stripe_count: 1,
+        ost_rate: 4e6, // 4 MB/s: the buffer fills long before the flush drains
+        ..LustreConfig::default()
+    };
+    let bcfg = BbConfig {
+        kv_servers: 1,
+        kv_mem_per_server: 8 << 20,
+        flush_watermark: 1.0,
+        // park the pressure watermarks out of reach: this test exercises
+        // the pin-vs-eviction line of defence, not graceful degradation
+        bb_high_watermark: 8.0,
+        bb_low_watermark: 1.0,
+        ..BbConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, lcfg, bcfg);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let data = pattern(24 << 20); // 3x the buffer
+    let expect = data.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/pinned").await.unwrap();
+        w.append(data).await.unwrap();
+        w.close().await.unwrap();
+        let st = client.wait_flushed("/pinned").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        let stats = dep.manager.stats();
+        assert_eq!(
+            stats.chunks_lost, 0,
+            "an unflushed chunk was silently evicted under memory pressure"
+        );
+        // the overflow had to go somewhere: write-through, not loss
+        assert!(
+            stats.chunks_direct > 0,
+            "slab overflow never hit the direct path"
+        );
+        let rd = client.open("/pinned").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
+    });
+}
+
+#[test]
+fn pressure_watermarks_degrade_to_writethrough_with_hysteresis() {
+    // Crossing the high watermark must flip the write path to
+    // write-through (bb.pressure.enter, bb.pressure.writethrough); once
+    // the flusher drains below the low watermark the buffer re-engages
+    // (bb.pressure.exit). No bytes are lost either way.
+    let lcfg = LustreConfig {
+        oss_count: 1,
+        osts_per_oss: 1,
+        stripe_count: 1,
+        ost_rate: 8e6,
+        ..LustreConfig::default()
+    };
+    let bcfg = BbConfig {
+        kv_servers: 1,
+        kv_mem_per_server: 32 << 20,
+        flush_watermark: 0.95, // keep credit stalls out of the way
+        bb_high_watermark: 0.5,
+        bb_low_watermark: 0.25,
+        ..BbConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, lcfg, bcfg);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let data = pattern(48 << 20);
+    let expect = data.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/hyst").await.unwrap();
+        w.append(data).await.unwrap();
+        w.close().await.unwrap();
+        let st = client.wait_flushed("/hyst").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        assert_eq!(dep.manager.stats().chunks_lost, 0);
+        let rd = client.open("/hyst").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
+    });
+    let m = r.sim.metrics().snapshot();
+    assert!(
+        m.counter("bb.pressure.enter") >= 1,
+        "pressure never engaged"
+    );
+    assert!(
+        m.counter("bb.pressure.writethrough") >= 1,
+        "pressure engaged but no chunk took the write-through path"
+    );
+    assert!(
+        m.counter("bb.pressure.exit") >= 1,
+        "pressure never released after the flusher drained"
+    );
+}
+
+#[test]
+fn scrubber_repairs_corrupted_replicas_in_place() {
+    // Corrupt every buffered copy of a flushed file, then let the
+    // background scrubber run: it must detect the damage via checksums
+    // and rewrite good bytes (sourced from Lustre) over the bad copies,
+    // leaving nothing unrepairable and the buffer serving correct data.
+    let bcfg = BbConfig {
+        kv_servers: 2,
+        kv_replication: 2,
+        ..BbConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, LustreConfig::default(), bcfg);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    let data = pattern(2 << 20); // 4 chunks
+    let expect = data.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/scrub").await.unwrap();
+        w.append(data).await.unwrap();
+        w.close().await.unwrap();
+        client.wait_flushed("/scrub").await.unwrap();
+        // flip one byte in every resident value on every server
+        let mut hit = 0;
+        for s in &dep.kv_servers {
+            hit += s.store().corrupt_resident(|len| Some((len / 2, 0x40)));
+        }
+        assert_eq!(hit, 8, "expected 4 chunks x 2 replicas corrupted");
+        // several scrub intervals: one batch covers all 4 resident chunks
+        sim.sleep(std::time::Duration::from_secs(4)).await;
+        let m = sim.metrics().snapshot();
+        assert!(
+            m.counter("bb.integrity.checksum_fail") >= 8,
+            "scrubber did not notice the corruption"
+        );
+        assert_eq!(
+            m.counter("bb.scrub.repaired"),
+            8,
+            "every corrupted copy should be rewritten in place"
+        );
+        assert_eq!(m.counter("bb.scrub.unrepairable"), 0);
+        // the buffer itself now serves good bytes again
+        let rd = client.open("/scrub").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
+    });
+    assert_eq!(
+        r.dep.read_stats().tier_buffer,
+        4,
+        "repaired chunks should be served from the buffer, not Lustre"
+    );
 }
 
 #[test]

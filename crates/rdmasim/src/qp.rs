@@ -97,6 +97,26 @@ impl Qp {
         }
     }
 
+    /// Apply any active in-transit corruption rule for the `src → dst`
+    /// payload: returns `data` with one byte flipped when the injector
+    /// fires, untouched (and uncopied) otherwise.
+    fn corrupted(&self, src: NodeId, dst: NodeId, data: Bytes) -> Bytes {
+        match self
+            .stack
+            .sim()
+            .faults()
+            .corrupt_transfer(src.0, dst.0, data.len() as u64)
+        {
+            None => data,
+            Some((offset, mask)) => {
+                self.stack.sim().metrics().counter("rdma.corrupted").inc();
+                let mut v = data.to_vec();
+                v[offset as usize] ^= mask;
+                Bytes::from(v)
+            }
+        }
+    }
+
     /// Two-sided SEND: transfers `data` and consumes one of the peer's
     /// receive slots. Blocks while the peer's receive queue is full.
     pub async fn send(&self, data: Bytes) -> Result<(), RdmaError> {
@@ -116,6 +136,7 @@ impl Qp {
                 self.stack.profile(),
             )
             .await?;
+        let data = self.corrupted(self.local, self.remote, data);
         self.tx
             .send(data)
             .await
@@ -159,6 +180,7 @@ impl Qp {
                 self.stack.profile(),
             )
             .await?;
+        let data = self.corrupted(self.local, dst.node, data);
         let region = self.stack.lookup(dst.node, dst.rkey)?;
         let mut buf = region.buf.borrow_mut();
         if end > buf.len() as u64 {
@@ -195,14 +217,17 @@ impl Qp {
             .transfer(src.node, self.local, len, self.stack.profile())
             .await?;
         let region = self.stack.lookup(src.node, src.rkey)?;
-        let buf = region.buf.borrow();
-        if end > buf.len() as u64 {
-            return Err(RdmaError::OutOfBounds {
-                end,
-                len: buf.len() as u64,
-            });
-        }
-        Ok(Bytes::copy_from_slice(&buf[offset as usize..end as usize]))
+        let data = {
+            let buf = region.buf.borrow();
+            if end > buf.len() as u64 {
+                return Err(RdmaError::OutOfBounds {
+                    end,
+                    len: buf.len() as u64,
+                });
+            }
+            Bytes::copy_from_slice(&buf[offset as usize..end as usize])
+        };
+        Ok(self.corrupted(src.node, self.local, data))
     }
 }
 

@@ -400,12 +400,17 @@ impl KvClient {
         }
     }
 
-    /// Whether `e` is worth retrying: transport-level failures and
-    /// timeouts, never store-level outcomes.
+    /// Whether `e` is worth retrying: transport-level failures, timeouts
+    /// and malformed frames (a transfer-corrupted response decodes to
+    /// garbage; a fresh exchange of an idempotent op is safe), never
+    /// store-level outcomes.
     fn retryable(e: &ClientError) -> bool {
         matches!(
             e,
-            ClientError::Rdma(_) | ClientError::Timeout | ClientError::TransferFailed
+            ClientError::Rdma(_)
+                | ClientError::Timeout
+                | ClientError::TransferFailed
+                | ClientError::Proto(_)
         )
     }
 
@@ -446,6 +451,27 @@ impl KvClient {
     async fn exchange(&self, key: &[u8], req: Request) -> Result<Response, ClientError> {
         let idx = self.route(key)?;
         self.exchange_retry(idx, &req).await
+    }
+
+    /// Exchange a store-family request, re-sending (bounded) when the
+    /// server rejects the payload with [`Response::BadDigest`] — the
+    /// payload was damaged in flight and the client still holds the good
+    /// copy, so a re-send is the repair.
+    async fn store_exchange(
+        &self,
+        server_idx: usize,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        let mut tries = 0u32;
+        loop {
+            match self.exchange_retry(server_idx, req).await {
+                Ok(Response::BadDigest) if tries < self.config.max_retries => {
+                    tries += 1;
+                    self.res.retry_attempts.inc();
+                }
+                r => return r,
+            }
+        }
     }
 
     fn use_one_sided(&self, len: usize) -> bool {
@@ -492,7 +518,7 @@ impl KvClient {
                     None => Carrier::Inline(value.clone()),
                 },
             };
-            match self.exchange_retry(idx, &req).await {
+            match self.store_exchange(idx, &req).await {
                 Ok(Response::Stored { cas }) => {
                     cas_out.get_or_insert(cas);
                 }
@@ -515,8 +541,14 @@ impl KvClient {
         Ok(cas_out.expect("no error implies at least one Stored"))
     }
 
-    /// Fetch from one specific server (no failover).
-    async fn get_from(&self, server_idx: usize, key: &[u8]) -> Result<Option<Value>, ClientError> {
+    /// Fetch from one specific server (no failover). Used internally for
+    /// failover reads and externally by integrity checkers that need to
+    /// inspect each replica's copy independently.
+    pub async fn get_from(
+        &self,
+        server_idx: usize,
+        key: &[u8],
+    ) -> Result<Option<Value>, ClientError> {
         if self.config.pool_bufs > 0 {
             let buf = self.pool.acquire().await;
             let req = Request::Get {
@@ -586,6 +618,87 @@ impl KvClient {
         }
         st.get_lat.record(self.stack.sim().now() - t0);
         Ok(result)
+    }
+
+    /// Store `value` on one specific server, bypassing ring routing — the
+    /// scrub/repair path uses this to overwrite a single divergent replica
+    /// in place. Returns the server's CAS token.
+    pub async fn set_to(
+        &self,
+        server_idx: usize,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+    ) -> Result<u64, ClientError> {
+        let buf = if self.use_one_sided(value.len()) {
+            let buf = self.pool.acquire().await;
+            buf.write_local(0, &value)?;
+            Some(buf)
+        } else {
+            None
+        };
+        let req = Request::Set {
+            key: Bytes::copy_from_slice(key),
+            flags,
+            expire_at,
+            value: match &buf {
+                Some(b) => Carrier::Remote {
+                    src: b.remote().into(),
+                    len: value.len() as u32,
+                },
+                None => Carrier::Inline(value.clone()),
+            },
+        };
+        let resp = self.store_exchange(server_idx, &req).await;
+        drop(buf);
+        match resp? {
+            Response::Stored { cas } => Ok(cas),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Pin `key` against LRU eviction on every replica. `Ok(true)` iff
+    /// every replica holds and pinned the key; `Ok(false)` if any replica
+    /// no longer has it (the caller's durability expectation is not met).
+    pub async fn pin(&self, key: &[u8]) -> Result<bool, ClientError> {
+        let replicas = self.replicas(key)?;
+        let req = Request::Pin {
+            key: Bytes::copy_from_slice(key),
+        };
+        let mut all = true;
+        let mut first_err = None;
+        for idx in replicas {
+            match self.exchange_retry(idx, &req).await {
+                Ok(Response::Ok) => {}
+                Ok(Response::NotFound) => all = false,
+                Ok(other) => {
+                    first_err.get_or_insert(Self::unexpected(other));
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(all)
+    }
+
+    /// Best-effort unpin of `key` on every replica. Errors and misses are
+    /// swallowed: the only purpose is to let the LRU reclaim the item, and
+    /// an unreachable replica will reap it by eviction anyway.
+    pub async fn unpin(&self, key: &[u8]) {
+        let Ok(replicas) = self.replicas(key) else {
+            return;
+        };
+        let req = Request::Unpin {
+            key: Bytes::copy_from_slice(key),
+        };
+        for idx in replicas {
+            let _ = self.exchange_retry(idx, &req).await;
+        }
     }
 
     /// Remove `key` from every replica; `Ok(true)` if any replica held it.
@@ -882,6 +995,7 @@ impl KvClient {
             Response::TooLarge => KvError::TooLarge.into(),
             Response::OutOfMemory => KvError::OutOfMemory.into(),
             Response::TransferFailed => ClientError::TransferFailed,
+            Response::BadDigest => ClientError::TransferFailed,
             _ => ClientError::Proto(ProtoError("unexpected response variant")),
         }
     }
@@ -1317,6 +1431,51 @@ mod tests {
             a.0 > simkit::Time::ZERO,
             "backoff must consume virtual time"
         );
+    }
+
+    #[test]
+    fn digest_verification_rejects_mismatch_accepts_good() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), 2, NetConfig::default());
+        let stack = RdmaStack::new(fabric);
+        let server = KvServer::new(
+            Rc::clone(&stack),
+            NodeId(0),
+            KvServerConfig {
+                verify_set_crc: true,
+                ..KvServerConfig::default()
+            },
+        );
+        let cl = KvClient::new(
+            Rc::clone(&stack),
+            NodeId(1),
+            vec![server],
+            KvClientConfig::default(),
+        );
+        sim.block_on(async move {
+            let data = Bytes::from(vec![1u8; 100]);
+            let good = crate::checksum::crc32c_pair(b"k", &data);
+            cl.set(b"k", data.clone(), good, 0).await.unwrap();
+            assert_eq!(&cl.get(b"k").await.unwrap().unwrap().data[..], &data[..]);
+            // a digest that doesn't match the payload is rejected, and the
+            // bounded re-send loop eventually surfaces TransferFailed
+            let err = cl.set(b"k2", data, good ^ 1, 0).await.unwrap_err();
+            assert_eq!(err, ClientError::TransferFailed);
+            assert!(cl.get(b"k2").await.unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn pin_protocol_round_trips() {
+        let c = cluster(2, 1);
+        let cl = client(&c, 2);
+        c.sim.block_on(async move {
+            cl.set(b"pk", Bytes::from_static(b"v"), 0, 0).await.unwrap();
+            assert!(cl.pin(b"pk").await.unwrap(), "live key must pin");
+            assert!(!cl.pin(b"absent").await.unwrap(), "missing key can't pin");
+            cl.unpin(b"pk").await;
+            cl.unpin(b"absent").await; // best-effort, no panic
+        });
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod client;
 pub mod hash;
 pub mod proto;
@@ -26,6 +27,7 @@ pub mod sharded;
 pub mod slab;
 pub mod store;
 
+pub use checksum::{crc32c, crc32c_pair};
 pub use client::{KvClient, KvClientConfig};
 pub use hash::{fnv1a, HashRing};
 pub use server::{KvServer, KvServerConfig};

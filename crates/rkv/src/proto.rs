@@ -190,6 +190,16 @@ pub enum Request {
         /// Keys, in reply order.
         keys: Vec<Bytes>,
     },
+    /// Exempt a key from LRU eviction (burst-buffer unflushed chunks).
+    Pin {
+        /// Item key.
+        key: Bytes,
+    },
+    /// Lift a [`Request::Pin`], making the key evictable again.
+    Unpin {
+        /// Item key.
+        key: Bytes,
+    },
 }
 
 /// Server → client results.
@@ -246,6 +256,10 @@ pub enum Response {
         /// Per-key results.
         values: Vec<Option<(Bytes, u32, u64)>>,
     },
+    /// Store rejected: the payload digest did not match the declared
+    /// checksum (`flags`). The value was NOT stored; the client should
+    /// re-send from its good copy.
+    BadDigest,
 }
 
 const TAG_GET: u8 = 1;
@@ -261,6 +275,8 @@ const TAG_DECR: u8 = 10;
 const TAG_APPEND: u8 = 11;
 const TAG_PREPEND: u8 = 12;
 const TAG_MULTI_GET: u8 = 13;
+const TAG_PIN: u8 = 14;
+const TAG_UNPIN: u8 = 15;
 
 const RTAG_VALUE: u8 = 1;
 const RTAG_VALUE_WRITTEN: u8 = 2;
@@ -276,6 +292,7 @@ const RTAG_STATS: u8 = 11;
 const RTAG_COUNTER: u8 = 12;
 const RTAG_NON_NUMERIC: u8 = 13;
 const RTAG_MULTI_VALUES: u8 = 14;
+const RTAG_BAD_DIGEST: u8 = 15;
 
 const CARRIER_INLINE: u8 = 0;
 const CARRIER_REMOTE: u8 = 1;
@@ -461,6 +478,14 @@ impl Request {
                     put_bytes(&mut buf, k);
                 }
             }
+            Request::Pin { key } => {
+                buf.put_u8(TAG_PIN);
+                put_bytes(&mut buf, key);
+            }
+            Request::Unpin { key } => {
+                buf.put_u8(TAG_UNPIN);
+                put_bytes(&mut buf, key);
+            }
         }
         buf.freeze()
     }
@@ -577,6 +602,12 @@ impl Request {
                 }
                 Request::MultiGet { keys }
             }
+            TAG_PIN => Request::Pin {
+                key: get_bytes(&mut frame)?,
+            },
+            TAG_UNPIN => Request::Unpin {
+                key: get_bytes(&mut frame)?,
+            },
             _ => return Err(ProtoError("bad request tag")),
         })
     }
@@ -620,6 +651,8 @@ impl Response {
                     s.expired,
                     s.items,
                     s.bytes,
+                    s.pinned_items,
+                    s.pinned_bytes,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -629,6 +662,7 @@ impl Response {
                 buf.put_u64_le(*value);
             }
             Response::NonNumeric => buf.put_u8(RTAG_NON_NUMERIC),
+            Response::BadDigest => buf.put_u8(RTAG_BAD_DIGEST),
             Response::MultiValues { values } => {
                 buf.put_u8(RTAG_MULTI_VALUES);
                 buf.put_u32_le(values.len() as u32);
@@ -692,7 +726,7 @@ impl Response {
             RTAG_OOM => Response::OutOfMemory,
             RTAG_TRANSFER_FAILED => Response::TransferFailed,
             RTAG_STATS => {
-                if frame.remaining() < 56 {
+                if frame.remaining() < 72 {
                     return Err(ProtoError("truncated stats"));
                 }
                 Response::Stats(KvStats {
@@ -703,6 +737,8 @@ impl Response {
                     expired: frame.get_u64_le(),
                     items: frame.get_u64_le(),
                     bytes: frame.get_u64_le(),
+                    pinned_items: frame.get_u64_le(),
+                    pinned_bytes: frame.get_u64_le(),
                 })
             }
             RTAG_COUNTER => {
@@ -743,6 +779,7 @@ impl Response {
                 }
                 Response::MultiValues { values }
             }
+            RTAG_BAD_DIGEST => Response::BadDigest,
             _ => return Err(ProtoError("bad response tag")),
         })
     }
@@ -847,6 +884,12 @@ mod tests {
                 Bytes::from_static(b"k3"),
             ],
         });
+        roundtrip_req(Request::Pin {
+            key: Bytes::from_static(b"f1:0"),
+        });
+        roundtrip_req(Request::Unpin {
+            key: Bytes::from_static(b"f1:0"),
+        });
     }
 
     #[test]
@@ -874,6 +917,7 @@ mod tests {
         roundtrip_resp(Response::MultiValues {
             values: vec![None, Some((Bytes::from_static(b"v"), 7, 9)), None],
         });
+        roundtrip_resp(Response::BadDigest);
         roundtrip_resp(Response::Stats(KvStats {
             gets: 1,
             hits: 2,
@@ -882,6 +926,8 @@ mod tests {
             expired: 5,
             items: 6,
             bytes: 7,
+            pinned_items: 8,
+            pinned_bytes: 9,
         }));
     }
 

@@ -29,6 +29,12 @@ pub struct KvServerConfig {
     pub proc_time: Duration,
     /// Queue-pair parameters for accepted connections.
     pub qp: QpConfig,
+    /// Verify that store-family payloads match the CRC32C digest the
+    /// client declared in `flags` (`crc32c(key || data)`), rejecting
+    /// mismatches with [`Response::BadDigest`]. The burst buffer enables
+    /// this so a transfer-corrupted chunk can never be stored as "good";
+    /// off by default because generic KV users put arbitrary flags there.
+    pub verify_set_crc: bool,
 }
 
 impl Default for KvServerConfig {
@@ -38,6 +44,7 @@ impl Default for KvServerConfig {
             slab: SlabConfig::default(),
             proc_time: dur::ns(1_500),
             qp: QpConfig::default(),
+            verify_set_crc: false,
         }
     }
 }
@@ -87,6 +94,8 @@ impl KvServer {
             ("evictions", 3),
             ("items", 4),
             ("bytes", 5),
+            ("pinned_items", 6),
+            ("pinned_bytes", 7),
         ] {
             let weak = Rc::downgrade(&store);
             m.sampled(format!("{prefix}.{suffix}"), move || {
@@ -97,7 +106,9 @@ impl KvServer {
                     2 => s.sets,
                     3 => s.evictions,
                     4 => s.items,
-                    _ => s.bytes,
+                    5 => s.bytes,
+                    6 => s.pinned_items,
+                    _ => s.pinned_bytes,
                 })
             });
         }
@@ -113,6 +124,22 @@ impl KvServer {
                     store.clear();
                     crashes.inc();
                 }
+            }
+        });
+        // `CorruptValue` sweep: flip one byte in each resident value the
+        // seeded RNG selects with probability `p`, silently — detection is
+        // the checksum layer's job. Weak capture, as above.
+        let corrupted = m.counter(format!("{prefix}.corrupted"));
+        let weak_store = Rc::downgrade(&store);
+        stack.sim().faults().on_corrupt_sweep(move |node, p, rng| {
+            if node != node_idx {
+                return;
+            }
+            if let Some(store) = weak_store.upgrade() {
+                let n = store.corrupt_resident(|len| {
+                    rng.chance(p).then(|| (rng.index(len), 1u8 << rng.index(8)))
+                });
+                corrupted.add(n);
             }
         });
         Rc::new(KvServer {
@@ -220,6 +247,12 @@ impl KvServer {
         }
     }
 
+    /// Under [`KvServerConfig::verify_set_crc`], check that the payload
+    /// matches the digest the client declared in `flags`.
+    fn digest_ok(&self, key: &[u8], flags: u32, data: &[u8]) -> bool {
+        !self.config.verify_set_crc || crate::checksum::crc32c_pair(key, data) == flags
+    }
+
     fn map_store_result(r: Result<u64, KvError>) -> Response {
         match r {
             Ok(cas) => Response::Stored { cas },
@@ -265,6 +298,7 @@ impl KvServer {
                 expire_at,
                 value,
             } => match self.fetch_payload(qp, value).await {
+                Ok(data) if !self.digest_ok(&key, flags, &data) => Response::BadDigest,
                 Ok(data) => {
                     Self::map_store_result(self.store.set(&key, data, flags, expire_at, now))
                 }
@@ -276,6 +310,7 @@ impl KvServer {
                 expire_at,
                 value,
             } => match self.fetch_payload(qp, value).await {
+                Ok(data) if !self.digest_ok(&key, flags, &data) => Response::BadDigest,
                 Ok(data) => {
                     Self::map_store_result(self.store.add(&key, data, flags, expire_at, now))
                 }
@@ -287,6 +322,7 @@ impl KvServer {
                 expire_at,
                 value,
             } => match self.fetch_payload(qp, value).await {
+                Ok(data) if !self.digest_ok(&key, flags, &data) => Response::BadDigest,
                 Ok(data) => {
                     Self::map_store_result(self.store.replace(&key, data, flags, expire_at, now))
                 }
@@ -299,6 +335,7 @@ impl KvServer {
                 cas,
                 value,
             } => match self.fetch_payload(qp, value).await {
+                Ok(data) if !self.digest_ok(&key, flags, &data) => Response::BadDigest,
                 Ok(data) => {
                     Self::map_store_result(self.store.cas(&key, data, flags, expire_at, cas, now))
                 }
@@ -341,6 +378,14 @@ impl KvServer {
                     .collect();
                 Response::MultiValues { values }
             }
+            Request::Pin { key } => match self.store.pin(&key, now) {
+                Ok(()) => Response::Ok,
+                Err(_) => Response::NotFound,
+            },
+            Request::Unpin { key } => match self.store.unpin(&key) {
+                Ok(()) => Response::Ok,
+                Err(_) => Response::NotFound,
+            },
         }
     }
 }

@@ -146,6 +146,27 @@ impl ShardedKv {
         self.shard(key).lock().contains(key, now)
     }
 
+    /// See [`KvStore::pin`].
+    pub fn pin(&self, key: &[u8], now: u64) -> Result<(), KvError> {
+        self.shard(key).lock().pin(key, now)
+    }
+
+    /// See [`KvStore::unpin`].
+    pub fn unpin(&self, key: &[u8]) -> Result<(), KvError> {
+        self.shard(key).lock().unpin(key)
+    }
+
+    /// See [`KvStore::corrupt_resident`]. Shards are visited in index
+    /// order (each walking its keys sorted), so a deterministic `select`
+    /// closure sees values in a deterministic sequence.
+    pub fn corrupt_resident(&self, mut select: impl FnMut(usize) -> Option<(usize, u8)>) -> u64 {
+        let mut corrupted = 0;
+        for s in &self.shards {
+            corrupted += s.lock().corrupt_resident(&mut select);
+        }
+        corrupted
+    }
+
     /// See [`KvStore::clear`]. Shards are cleared one at a time (the whole
     /// store is never locked at once, matching the per-shard locking rule).
     pub fn clear(&self) {
@@ -166,6 +187,8 @@ impl ShardedKv {
             out.expired += st.expired;
             out.items += st.items;
             out.bytes += st.bytes;
+            out.pinned_items += st.pinned_items;
+            out.pinned_bytes += st.pinned_bytes;
         }
         out
     }

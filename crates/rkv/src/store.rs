@@ -79,6 +79,10 @@ pub struct KvStats {
     pub items: u64,
     /// Live payload bytes (keys + values).
     pub bytes: u64,
+    /// Live items pinned against LRU eviction.
+    pub pinned_items: u64,
+    /// Payload bytes (keys + values) of pinned items.
+    pub pinned_bytes: u64,
 }
 
 impl KvStats {
@@ -101,6 +105,10 @@ struct Meta {
     cas: u64,
     /// Absolute expiry in ns; 0 = never.
     expire_at: u64,
+    /// Pinned items are skipped by LRU eviction (burst-buffer chunks stay
+    /// pinned until their flush is acknowledged). Explicit `delete` and
+    /// expiry still remove them.
+    pinned: bool,
 }
 
 const NONE: u32 = u32::MAX;
@@ -248,24 +256,37 @@ impl KvStore {
         self.slab.free(meta.chunk);
         self.stats.items -= 1;
         self.stats.bytes -= meta.key_len as u64 + meta.value.len() as u64;
+        if meta.pinned {
+            self.stats.pinned_items -= 1;
+            self.stats.pinned_bytes -= meta.key_len as u64 + meta.value.len() as u64;
+        }
         Some(meta)
     }
 
-    /// Evict the LRU tail of `class`. Returns false if the class is empty.
+    /// Evict the coldest *unpinned* item of `class`, walking from the LRU
+    /// tail. Returns false if every resident item of the class is pinned
+    /// (or the class is empty) — the caller then reports
+    /// [`KvError::OutOfMemory`] instead of dropping protected data.
     fn evict_one(&mut self, class: u8) -> bool {
-        let tail = self.lru[class as usize].tail;
-        if tail == NONE {
-            return false;
+        let mut idx = self.lru[class as usize].tail;
+        while idx != NONE {
+            let chunk = ChunkRef { class, idx };
+            let key = self.chunk_keys.get(&chunk).expect("LRU node has an owner");
+            if self
+                .map
+                .get(key.as_ref())
+                .expect("chunk owner is live")
+                .pinned
+            {
+                idx = self.lru[class as usize].nodes[idx as usize].prev;
+                continue;
+            }
+            let key = key.to_vec();
+            self.remove_entry(&key);
+            self.stats.evictions += 1;
+            return true;
         }
-        let chunk = ChunkRef { class, idx: tail };
-        let key = self
-            .chunk_keys
-            .get(&chunk)
-            .expect("LRU tail has an owner")
-            .to_vec();
-        self.remove_entry(&key);
-        self.stats.evictions += 1;
-        true
+        false
     }
 
     fn alloc_with_eviction(&mut self, total: usize) -> Result<ChunkRef, KvError> {
@@ -292,8 +313,10 @@ impl KvStore {
         if total > self.item_max() || key.len() > u16::MAX as usize {
             return Err(KvError::TooLarge);
         }
-        // drop any previous version first so its chunk is reusable
-        self.remove_entry(key);
+        // drop any previous version first so its chunk is reusable; an
+        // overwrite inherits the old version's pin (a repair write to a
+        // still-unflushed chunk must not quietly unprotect it)
+        let pinned = self.remove_entry(key).is_some_and(|m| m.pinned);
         let chunk = self.alloc_with_eviction(total)?;
         self.chunk_keys
             .insert(chunk, key.to_vec().into_boxed_slice());
@@ -308,12 +331,17 @@ impl KvStore {
                 flags,
                 cas,
                 expire_at,
+                pinned,
             },
         );
         self.lru[chunk.class as usize].push_front(chunk.idx);
         self.stats.sets += 1;
         self.stats.items += 1;
         self.stats.bytes += key.len() as u64 + value.len() as u64;
+        if pinned {
+            self.stats.pinned_items += 1;
+            self.stats.pinned_bytes += key.len() as u64 + value.len() as u64;
+        }
         Ok(cas)
     }
 
@@ -468,6 +496,64 @@ impl KvStore {
         }
         self.map.get_mut(key).expect("checked live above").expire_at = expire_at;
         Ok(())
+    }
+
+    /// Pin a live item against LRU eviction. Idempotent; the pin survives
+    /// overwrites (see `insert`) and is released by [`KvStore::unpin`],
+    /// explicit delete, or expiry.
+    pub fn pin(&mut self, key: &[u8], now: u64) -> Result<(), KvError> {
+        if self.peek_live(key, now).is_none() {
+            return Err(KvError::NotFound);
+        }
+        let meta = self.map.get_mut(key).expect("checked live above");
+        if !meta.pinned {
+            meta.pinned = true;
+            self.stats.pinned_items += 1;
+            self.stats.pinned_bytes += meta.key_len as u64 + meta.value.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Release an item's eviction pin. Idempotent on unpinned items.
+    pub fn unpin(&mut self, key: &[u8]) -> Result<(), KvError> {
+        let meta = self.map.get_mut(key).ok_or(KvError::NotFound)?;
+        if meta.pinned {
+            meta.pinned = false;
+            self.stats.pinned_items -= 1;
+            self.stats.pinned_bytes -= meta.key_len as u64 + meta.value.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Fault-injection backdoor: walk live values in sorted-key order and
+    /// let `select(value_len)` pick `(offset, xor_mask)` byte damage for
+    /// each. Silent by design — no stats, CAS, or LRU movement change, so
+    /// the corruption is only observable through checksum verification.
+    /// Returns the number of values damaged.
+    pub fn corrupt_resident(
+        &mut self,
+        mut select: impl FnMut(usize) -> Option<(usize, u8)>,
+    ) -> u64 {
+        let mut keys = self.keys();
+        keys.sort();
+        let mut corrupted = 0;
+        for key in keys {
+            let Some(meta) = self.map.get_mut(key.as_slice()) else {
+                continue;
+            };
+            if meta.value.is_empty() {
+                continue;
+            }
+            if let Some((offset, mask)) = select(meta.value.len()) {
+                debug_assert!(offset < meta.value.len());
+                let mut v = meta.value.to_vec();
+                let at = offset.min(v.len() - 1);
+                v[at] ^= mask;
+                meta.value = Bytes::from(v);
+                corrupted += 1;
+            }
+        }
+        corrupted
     }
 
     /// All live keys (diagnostic; unspecified order).
@@ -729,6 +815,119 @@ mod tests {
         assert_eq!(&v.data[..], b"start-mid-end");
         assert_eq!(v.flags, 3);
         assert_eq!(s.append(b"nope", b"x", 0).unwrap_err(), KvError::NotFound);
+    }
+
+    #[test]
+    fn pinned_items_skip_eviction_and_account() {
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20,
+            page_size: 1 << 20,
+            chunk_min: 96,
+            growth: 1.25,
+            materialize: true,
+        });
+        let val = vec![0x5au8; 60 << 10];
+        s.set(b"pinned", Bytes::from(val.clone()), 0, 0, 0).unwrap();
+        s.pin(b"pinned", 0).unwrap();
+        s.pin(b"pinned", 0).unwrap(); // idempotent
+        assert_eq!(s.stats().pinned_items, 1);
+        assert_eq!(s.stats().pinned_bytes, 6 + (60 << 10) as u64);
+        assert_eq!(s.pin(b"missing", 0).unwrap_err(), KvError::NotFound);
+        // flood the class: the pinned item is the coldest, yet survives
+        for i in 0..60 {
+            let _ = s.set(
+                format!("filler-{i:02}").as_bytes(),
+                Bytes::from(val.clone()),
+                0,
+                0,
+                0,
+            );
+        }
+        assert!(s.stats().evictions > 0, "pressure never evicted");
+        assert!(s.get(b"pinned", 0).is_some(), "pinned item was evicted");
+        // overwrite keeps the pin, unpin makes it evictable again
+        s.set(b"pinned", Bytes::from(val.clone()), 9, 0, 0).unwrap();
+        assert_eq!(s.stats().pinned_items, 1);
+        s.unpin(b"pinned").unwrap();
+        assert_eq!(s.stats().pinned_items, 0);
+        assert_eq!(s.stats().pinned_bytes, 0);
+        for i in 60..120 {
+            let _ = s.set(
+                format!("filler-{i:02}").as_bytes(),
+                Bytes::from(val.clone()),
+                0,
+                0,
+                0,
+            );
+        }
+        assert!(s.get(b"pinned", 0).is_none(), "unpinned item never evicted");
+        // deleting a pinned item keeps accounting consistent
+        s.set(b"p2", Bytes::from(val.clone()), 0, 0, 0).unwrap();
+        s.pin(b"p2", 0).unwrap();
+        assert!(s.delete(b"p2"));
+        assert_eq!(s.stats().pinned_items, 0);
+        assert_eq!(s.stats().pinned_bytes, 0);
+    }
+
+    #[test]
+    fn all_pinned_class_reports_out_of_memory() {
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20,
+            page_size: 1 << 20,
+            chunk_min: 96,
+            growth: 1.25,
+            materialize: true,
+        });
+        let val = vec![7u8; 60 << 10];
+        let mut i = 0;
+        loop {
+            let key = format!("k{i:02}");
+            match s.set(key.as_bytes(), Bytes::from(val.clone()), 0, 0, 0) {
+                Ok(_) => s.pin(key.as_bytes(), 0).unwrap(),
+                Err(KvError::OutOfMemory) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            i += 1;
+            assert!(i < 100, "never ran out of memory");
+        }
+        assert_eq!(s.stats().evictions, 0, "a pinned item was evicted");
+        // every pinned value is still intact
+        for j in 0..i {
+            assert!(s.get(format!("k{j:02}").as_bytes(), 0).is_some());
+        }
+    }
+
+    #[test]
+    fn corrupt_resident_flips_selected_bytes_silently() {
+        let mut s = store_mb(4);
+        for i in 0..8 {
+            s.set(
+                format!("key-{i}").as_bytes(),
+                Bytes::from(vec![i as u8; 64]),
+                0,
+                0,
+                0,
+            )
+            .unwrap();
+        }
+        let before = s.stats();
+        // corrupt every other value (sorted-key order), flipping byte 3
+        let mut n = 0;
+        let hit = s.corrupt_resident(|_len| {
+            n += 1;
+            (n % 2 == 1).then_some((3, 0x40))
+        });
+        assert_eq!(hit, 4);
+        let after = s.stats();
+        assert_eq!(before.sets, after.sets);
+        assert_eq!(before.bytes, after.bytes);
+        let corrupted = (0..8)
+            .filter(|i| {
+                let v = s.get(format!("key-{i}").as_bytes(), 0).unwrap();
+                v.data[3] != i.to_owned() as u8
+            })
+            .count();
+        assert_eq!(corrupted, 4);
     }
 
     #[test]

@@ -290,6 +290,148 @@ proptest! {
         sim.reset();
     }
 
+    /// End-to-end checksum binding: a CRC32C computed over (key, bytes) at
+    /// store time survives the store, the wire codec, and an evict/reload
+    /// cycle — every hit's `flags` still matches a fresh CRC of its bytes,
+    /// so corruption anywhere in that path is detectable.
+    #[test]
+    fn checksums_survive_store_codec_and_evict_reload(
+        entries in proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u8>(), 1..16),
+                proptest::collection::vec(any::<u8>(), 1..8192),
+            ),
+            1..80,
+        ),
+    ) {
+        // a small store so LRU churn actually evicts
+        let mut store = KvStore::new(SlabConfig {
+            mem_limit: 4 << 20,
+            ..SlabConfig::default()
+        });
+        let mut source: HashMap<Vec<u8>, Bytes> = HashMap::new();
+        for (k, v) in &entries {
+            let v = Bytes::from(v.clone());
+            let crc = rkv::crc32c_pair(k, &v);
+            // codec leg: the (key, crc, bytes) binding roundtrips the wire
+            let req = Request::Set {
+                key: Bytes::copy_from_slice(k),
+                flags: crc,
+                expire_at: 0,
+                value: Carrier::Inline(v.clone()),
+            };
+            let decoded = Request::decode(req.encode()).unwrap();
+            let (key, flags, bytes) = match decoded {
+                Request::Set { key, flags, value: Carrier::Inline(bytes), .. } => (key, flags, bytes),
+                other => panic!("Set decoded to a different variant: {other:?}"),
+            };
+            prop_assert_eq!(flags, rkv::crc32c_pair(&key, &bytes));
+            match store.set(k, v.clone(), crc, 0, 0) {
+                Ok(_) => { source.insert(k.clone(), v); }
+                Err(rkv::KvError::OutOfMemory) => { source.remove(k); }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            if let Some(got) = store.get(k, 0) {
+                prop_assert_eq!(
+                    got.flags,
+                    rkv::crc32c_pair(k, &got.data),
+                    "stored crc no longer matches stored bytes"
+                );
+            }
+        }
+        // evict/reload leg: refill evicted keys from the durable source
+        // (as the read-through path does) and re-verify every binding
+        for (k, v) in &source {
+            if store.get(k, 0).is_none() {
+                let _ = store.set(k, v.clone(), rkv::crc32c_pair(k, v), 0, 0);
+            }
+            if let Some(got) = store.get(k, 0) {
+                prop_assert_eq!(got.flags, rkv::crc32c_pair(k, &got.data));
+                prop_assert_eq!(&got.data, v);
+            }
+        }
+    }
+
+    /// Pinned items are immune to LRU pressure: however hard an eviction
+    /// storm churns the slab, every pinned key keeps its exact bytes until
+    /// explicitly unpinned or deleted.
+    #[test]
+    fn pinned_items_are_never_evicted(
+        churn in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            16..120,
+        ),
+    ) {
+        let mut store = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20, // a single slab page: ~31 32-KiB chunks
+            ..SlabConfig::default()
+        });
+        // pin a handful of fixed-size values, then flood same-class churn
+        let pinned: Vec<(Vec<u8>, Bytes)> = (0..4u8)
+            .map(|i| (vec![0xB0u8.wrapping_add(i), i], Bytes::from(vec![i; 32 << 10])))
+            .collect();
+        for (k, v) in &pinned {
+            store.set(k, v.clone(), 0, 0, 0).unwrap();
+            store.pin(k, 0).unwrap();
+        }
+        for k in &churn {
+            // same value class as the pinned items so they compete directly
+            let _ = store.set(k, Bytes::from(vec![0xEE; 32 << 10]), 0, 0, 0);
+        }
+        prop_assert!(store.stats().evictions > 0 || churn.len() < 48,
+            "churn never pressured the slab");
+        for (k, v) in &pinned {
+            let got = store.get(k, 0);
+            let got = got.expect("pinned item was evicted");
+            prop_assert_eq!(&got.data, v);
+        }
+        prop_assert_eq!(store.stats().pinned_items, 4);
+    }
+
+    /// Pin accounting balances: across arbitrary interleavings of
+    /// write+pin ("dirty chunk enters the buffer") and unpin ("flush
+    /// acknowledged"), unpinning everything that was pinned drives the
+    /// pinned counters to exactly zero and the items become evictable.
+    #[test]
+    fn pin_accounting_returns_to_zero_after_flush(
+        script in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..120),
+    ) {
+        let mut store = KvStore::new(SlabConfig {
+            mem_limit: 64 << 20, // roomy: this test is about accounting
+            ..SlabConfig::default()
+        });
+        let mut dirty: std::collections::BTreeSet<u8> = Default::default();
+        for &(key, flush) in &script {
+            if flush {
+                // flusher acks some outstanding chunk (if any)
+                if let Some(&k) = dirty.iter().next() {
+                    store.unpin(&[k]).unwrap();
+                    dirty.remove(&k);
+                }
+            } else {
+                // writer seals a chunk: store (overwrite keeps pins — the
+                // store carries the pin across reinsert) then pin
+                store.set(&[key], Bytes::from(vec![key; 128]), 0, 0, 0).unwrap();
+                store.pin(&[key], 0).unwrap();
+                dirty.insert(key);
+            }
+        }
+        // drain the remaining flush queue
+        for k in std::mem::take(&mut dirty) {
+            store.unpin(&[k]).unwrap();
+        }
+        let st = store.stats();
+        prop_assert_eq!(st.pinned_items, 0, "pins leaked after all flushes acked");
+        prop_assert_eq!(st.pinned_bytes, 0);
+        // double-unpin of a live key must be a no-op, not an underflow
+        if let Some(&(k, _)) = script.first() {
+            if store.contains(&[k], 0) {
+                store.unpin(&[k]).unwrap();
+                prop_assert_eq!(store.stats().pinned_items, 0);
+            }
+        }
+    }
+
     /// Ketama: routing is a pure function of the label set — rebuilding
     /// the ring gives identical placement, and every key routes somewhere
     /// valid.

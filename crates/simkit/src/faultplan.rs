@@ -116,7 +116,31 @@ pub enum FaultEvent {
         /// Per-transfer drop probability in `[0, 1]`.
         p: f64,
     },
-    /// Remove all edge rules (loss + delay) and slowdown factors.
+    /// Flip one byte in each value resident on `node` with probability
+    /// `p` — a one-shot at-rest corruption sweep (bit rot, a DMA stray
+    /// write) delivered to [`FaultInjector::on_corrupt_sweep`] hooks.
+    /// Per-value selection and byte/bit choice draw from the plan's
+    /// seeded RNG, so the damaged set is a pure function of (plan, seed,
+    /// resident keys).
+    CorruptValue {
+        /// Target fabric node index.
+        node: u32,
+        /// Per-resident-value corruption probability in `[0, 1]`.
+        p: f64,
+    },
+    /// From now on, flip one byte of payloads moved over matching edges
+    /// with probability `p` per transfer (in-transit corruption; polled
+    /// by the RDMA layer via [`FaultInjector::corrupt_transfer`]).
+    CorruptTransfer {
+        /// Source node filter (`None` = any source).
+        src: Option<u32>,
+        /// Destination node filter (`None` = any destination).
+        dst: Option<u32>,
+        /// Per-transfer corruption probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Remove all edge rules (loss + delay + transfer corruption) and
+    /// slowdown factors.
     ClearEdges,
 }
 
@@ -238,7 +262,23 @@ pub struct TransferFault {
     pub bandwidth_factor: f64,
 }
 
+/// An active edge-corruption rule installed by
+/// [`FaultEvent::CorruptTransfer`].
+#[derive(Debug, Clone, Copy)]
+struct CorruptRule {
+    src: Option<u32>,
+    dst: Option<u32>,
+    p: f64,
+}
+
+impl CorruptRule {
+    fn matches(&self, src: u32, dst: u32) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
 type NodeEventHook = Box<dyn Fn(NodeEvent)>;
+type CorruptSweepHook = Box<dyn Fn(u32, f64, &SimRng)>;
 
 /// Per-simulation fault state: hooks, active rules, RNG, and the applied
 /// timeline. Owned by the [`Sim`](crate::Sim); components reach it through
@@ -247,7 +287,9 @@ type NodeEventHook = Box<dyn Fn(NodeEvent)>;
 pub struct FaultInjector {
     rng: RefCell<Option<SimRng>>,
     hooks: RefCell<Vec<NodeEventHook>>,
+    corrupt_hooks: RefCell<Vec<CorruptSweepHook>>,
     rules: RefCell<Vec<EdgeRule>>,
+    corrupt_rules: RefCell<Vec<CorruptRule>>,
     slow: RefCell<Vec<(u32, f64)>>,
     timeline: RefCell<Vec<AppliedEvent>>,
 }
@@ -260,10 +302,21 @@ impl FaultInjector {
         self.hooks.borrow_mut().push(Box::new(hook));
     }
 
+    /// Register an at-rest corruption hook, called synchronously for every
+    /// applied [`FaultEvent::CorruptValue`] with `(node, p, rng)`. The
+    /// component owning state on `node` walks its resident values in a
+    /// deterministic order, drawing selection and byte/bit choices from
+    /// `rng` (a shared-stream clone of the plan RNG). The closure must
+    /// capture only `Weak` handles (see module docs).
+    pub fn on_corrupt_sweep(&self, hook: impl Fn(u32, f64, &SimRng) + 'static) {
+        self.corrupt_hooks.borrow_mut().push(Box::new(hook));
+    }
+
     /// Reseed the RNG and clear rules + timeline (called on plan install).
     pub(crate) fn arm(&self, seed: u64) {
         *self.rng.borrow_mut() = Some(SimRng::seed_from(seed));
         self.rules.borrow_mut().clear();
+        self.corrupt_rules.borrow_mut().clear();
         self.slow.borrow_mut().clear();
         self.timeline.borrow_mut().clear();
     }
@@ -295,8 +348,26 @@ impl FaultInjector {
                     extra: Duration::ZERO,
                 });
             }
+            FaultEvent::CorruptTransfer { src, dst, p } => {
+                self.corrupt_rules.borrow_mut().push(CorruptRule {
+                    src,
+                    dst,
+                    p: p.clamp(0.0, 1.0),
+                });
+            }
+            FaultEvent::CorruptValue { node, p } => {
+                let rng = self.rng.borrow().clone();
+                if let Some(rng) = rng {
+                    let p = p.clamp(0.0, 1.0);
+                    // same borrow-across-delivery rule as node-event hooks
+                    for hook in self.corrupt_hooks.borrow().iter() {
+                        hook(node, p, &rng);
+                    }
+                }
+            }
             FaultEvent::ClearEdges => {
                 self.rules.borrow_mut().clear();
+                self.corrupt_rules.borrow_mut().clear();
                 self.slow.borrow_mut().clear();
             }
             _ => {
@@ -341,6 +412,37 @@ impl FaultInjector {
             }
         }
         out
+    }
+
+    /// In-transit corruption decision for one `src → dst` payload of
+    /// `len` bytes: `Some((offset, xor_mask))` when an active
+    /// [`FaultEvent::CorruptTransfer`] rule fires, telling the transport
+    /// which byte to damage and how (the mask is a single set bit, so the
+    /// payload always really changes). Without corruption rules this is a
+    /// cheap no-fault constant and draws nothing from the RNG, preserving
+    /// the byte-identical determinism of plans that never corrupt.
+    pub fn corrupt_transfer(&self, src: u32, dst: u32, len: u64) -> Option<(u64, u8)> {
+        if len == 0 {
+            return None;
+        }
+        let rules = self.corrupt_rules.borrow();
+        if rules.is_empty() {
+            return None;
+        }
+        let rng = self.rng.borrow();
+        let rng = rng.as_ref()?;
+        let mut hit = false;
+        for r in rules.iter() {
+            if r.matches(src, dst) && r.p > 0.0 && rng.chance(r.p) {
+                hit = true;
+            }
+        }
+        if !hit {
+            return None;
+        }
+        let offset = rng.index(len as usize) as u64;
+        let mask = 1u8 << rng.index(8);
+        Some((offset, mask))
     }
 
     /// Seeded RNG for jitter (retry backoff etc.); `None` before any plan
@@ -496,5 +598,81 @@ mod tests {
         assert_eq!(inj.transfer_fault(1, 2).bandwidth_factor, 1.0);
         inj.apply(Time::ZERO, FaultEvent::ClearEdges);
         assert_eq!(inj.transfer_fault(1, 2).extra_delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn corrupt_transfer_is_seed_deterministic_and_edge_scoped() {
+        let decide = |seed: u64| {
+            let inj = FaultInjector::default();
+            inj.arm(seed);
+            inj.apply(
+                Time::ZERO,
+                FaultEvent::CorruptTransfer {
+                    src: None,
+                    dst: Some(4),
+                    p: 0.5,
+                },
+            );
+            (0..64)
+                .map(|_| inj.corrupt_transfer(0, 4, 4096))
+                .collect::<Vec<_>>()
+        };
+        let a = decide(42);
+        assert_eq!(a, decide(42));
+        assert_ne!(a, decide(43));
+        assert!(a.iter().any(|d| d.is_some()));
+        assert!(a.iter().any(|d| d.is_none()));
+        for (off, mask) in a.iter().flatten() {
+            assert!(*off < 4096);
+            assert_eq!(mask.count_ones(), 1, "mask must flip exactly one bit");
+        }
+        // edge filter + empty payloads + ClearEdges
+        let inj = FaultInjector::default();
+        inj.arm(9);
+        inj.apply(
+            Time::ZERO,
+            FaultEvent::CorruptTransfer {
+                src: Some(1),
+                dst: None,
+                p: 1.0,
+            },
+        );
+        assert!(inj.corrupt_transfer(2, 3, 100).is_none());
+        assert!(inj.corrupt_transfer(1, 3, 0).is_none());
+        assert!(inj.corrupt_transfer(1, 3, 100).is_some());
+        inj.apply(Time::ZERO, FaultEvent::ClearEdges);
+        assert!(inj.corrupt_transfer(1, 3, 100).is_none());
+    }
+
+    #[test]
+    fn corrupt_sweep_fans_out_with_shared_rng() {
+        let inj = FaultInjector::default();
+        inj.arm(7);
+        let seen: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+        let log = Rc::clone(&seen);
+        inj.on_corrupt_sweep(move |node, p, rng| {
+            assert_eq!(p, 0.25);
+            // hooks draw from the plan stream deterministically
+            log.borrow_mut().push((node, rng.range(0, 1 << 20)));
+        });
+        inj.apply(Time::ZERO, FaultEvent::CorruptValue { node: 3, p: 0.25 });
+        inj.apply(Time::ZERO, FaultEvent::CorruptValue { node: 5, p: 0.25 });
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, 3);
+        assert_eq!(seen[1].0, 5);
+        // both sweeps landed in the applied timeline
+        assert_eq!(inj.timeline().len(), 2);
+        // replaying the same seed yields the same draws
+        let inj2 = FaultInjector::default();
+        inj2.arm(7);
+        let seen2: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+        let log2 = Rc::clone(&seen2);
+        inj2.on_corrupt_sweep(move |node, _, rng| {
+            log2.borrow_mut().push((node, rng.range(0, 1 << 20)));
+        });
+        inj2.apply(Time::ZERO, FaultEvent::CorruptValue { node: 3, p: 0.25 });
+        inj2.apply(Time::ZERO, FaultEvent::CorruptValue { node: 5, p: 0.25 });
+        assert_eq!(*seen, *seen2.borrow());
     }
 }

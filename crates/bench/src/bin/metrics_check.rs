@@ -58,6 +58,7 @@ fn main() {
         "bb.integrity.",
         "bb.scrub.",
         "bb.pressure.",
+        "bb.rebalance.",
         "rkv.server",
         "rdma.",
         "netsim.",

@@ -1,0 +1,36 @@
+//! AB8: elastic membership — scale the KV tier out and in under load.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab8 [--quick] [--metrics-json PATH] \
+//!     [--trace PATH] [--timeline PATH]
+//! ```
+//!
+//! `--timeline PATH` writes the applied membership timeline (the
+//! rebalance artifact CI uploads).
+
+use bench::experiments::rebalance;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOpts::parse();
+    let (report, timeline) = rebalance::ab8_with_artifacts(opts.quick, opts.trace_enabled());
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &timeline).expect("write timeline");
+        println!("wrote membership timeline: {path}");
+    }
+}

@@ -206,6 +206,13 @@ pub struct FaultOutcome {
     /// Full metrics snapshot JSON at end of run (byte-identical across
     /// same-seed runs — the determinism contract).
     pub metrics_json: String,
+    /// The recorded per-key KV history is explainable by a sequential
+    /// order ([`crate::consistency`]); misses are excused (crashes and
+    /// eviction legally lose buffer copies — durability is judged by the
+    /// read-back, not the KV tier).
+    pub consistency_ok: bool,
+    /// Checker violation descriptions when `consistency_ok` is false.
+    pub consistency_violations: Vec<String>,
 }
 
 impl FaultOutcome {
@@ -269,6 +276,9 @@ pub fn run_fault_scenario_telemetry(
     }
     let bb = Rc::clone(tb.bb.as_ref().expect("bb testbed"));
     let client = bb.client(tb.nodes[0]);
+    // record every logical KV op the client issues; checked at end of run
+    let history = crate::consistency::History::new();
+    history.attach(client.kv());
 
     // Victim: the server owning the most chunk keys (ketama placement is
     // uneven; crashing an unloaded server would exercise nothing). The
@@ -461,6 +471,7 @@ pub fn run_fault_scenario_telemetry(
         (Some(f), Some(at)) if !f.write_err => (f.end - simkit::Time::ZERO).checked_sub(at),
         _ => None,
     };
+    let verdict = history.check(crate::consistency::Checker { forbid_miss: false });
     let outcome = FaultOutcome {
         converged: converged && finish.as_ref().is_some_and(|f| !f.write_err),
         state: finish.as_ref().map(|f| f.state),
@@ -482,6 +493,8 @@ pub fn run_fault_scenario_telemetry(
         end,
         timeline,
         metrics_json,
+        consistency_ok: verdict.ok(),
+        consistency_violations: verdict.violations,
     };
     tb.shutdown();
     (outcome, Some(cell))

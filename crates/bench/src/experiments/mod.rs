@@ -10,6 +10,7 @@ pub mod faults;
 pub mod integrity;
 pub mod jobs;
 pub mod micro;
+pub mod rebalance;
 
 use crate::table::Table;
 
@@ -72,5 +73,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(ablations::ab6_readahead_trace(quick));
     println!(">>> AB7: integrity scrub-repair");
     out.push(integrity::ab7_integrity(quick, false));
+    println!(">>> AB8: elastic membership scale-out/in");
+    out.push(rebalance::ab8_elastic(quick, false));
     out
 }

@@ -9,6 +9,7 @@
 //! deterministic simulation, so cells are embarrassingly parallel across
 //! host cores.
 
+pub mod consistency;
 pub mod experiments;
 pub mod table;
 pub mod telemetry;

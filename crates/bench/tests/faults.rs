@@ -55,6 +55,11 @@ fn baseline(o: &FaultOutcome, label: &str) {
         "{label}: {} reads failed but no chunk was accounted lost",
         o.reads_failed()
     );
+    assert!(
+        o.consistency_ok,
+        "{label}: KV history not sequentially explainable: {:?}",
+        o.consistency_violations
+    );
 }
 
 // --- {A, B, C} × crash-one-server -----------------------------------

@@ -153,12 +153,14 @@ pub struct BbClient {
 }
 
 impl BbClient {
-    /// Create a client on `node`.
+    /// Create a client on `node`. The KV client routes through the
+    /// deployment's shared membership view, so it follows live
+    /// joins/drains without being rebuilt.
     pub fn new(dep: Rc<BbDeployment>, node: NodeId) -> Rc<BbClient> {
-        let kv = KvClient::new(
+        let kv = KvClient::with_view(
             Rc::clone(&dep.stack),
             node,
-            dep.kv_servers.clone(),
+            Rc::clone(dep.membership()),
             kv_client_config(&dep.config),
         );
         let lustre = dep.lustre.client(node);

@@ -142,6 +142,16 @@ pub struct BbConfig {
     pub scrub_interval: std::time::Duration,
     /// Chunks verified per scrubber tick.
     pub scrub_batch: usize,
+    /// Background rebalancer tick period (virtual time). Each tick reacts
+    /// to membership-epoch bumps by queueing resident chunks whose ring
+    /// owners changed, then migrates up to [`BbConfig::rebalance_batch`]
+    /// of them (copy to the new owners, verify CRC by read-back, delete
+    /// from the old). `Duration::ZERO` disables the rebalancer (a
+    /// membership change then relies on the epoch-fallback read path
+    /// alone).
+    pub rebalance_interval: std::time::Duration,
+    /// Chunks migrated per rebalancer tick.
+    pub rebalance_batch: usize,
     /// Overload high watermark: when unflushed buffered bytes exceed this
     /// fraction of aggregate KV memory, write acks carry a pressure signal
     /// and writers degrade to write-through-to-Lustre (per scheme, no
@@ -177,6 +187,8 @@ impl Default for BbConfig {
             kv_backoff: std::time::Duration::from_micros(100),
             scrub_interval: std::time::Duration::from_secs(1),
             scrub_batch: 32,
+            rebalance_interval: std::time::Duration::from_millis(200),
+            rebalance_batch: 64,
             bb_high_watermark: 0.75,
             bb_low_watermark: 0.5,
         }
@@ -191,8 +203,17 @@ pub struct BbDeployment {
     pub config: BbConfig,
     /// The verbs stack shared by clients and servers.
     pub stack: Rc<RdmaStack>,
-    /// Burst-buffer KV servers (dedicated nodes).
+    /// The seed KV servers (dedicated nodes). Frozen at deploy time;
+    /// elastic joins/drains act on [`BbDeployment::membership`], which
+    /// starts as exactly this set.
     pub kv_servers: Vec<Rc<KvServer>>,
+    /// Epoch-versioned membership view shared by every client and the
+    /// manager — the single source of truth for ring routing.
+    membership: Rc<rkv::Membership>,
+    /// Standby servers created by [`BbDeployment::standby_kv_server`]:
+    /// alive on the fabric but not yet admitted to the ring, keyed by
+    /// fabric node index so fault plans can name them.
+    standby: std::cell::RefCell<std::collections::HashMap<u32, Rc<KvServer>>>,
     /// The persistent backing filesystem.
     pub lustre: Rc<LustreCluster>,
     /// Locality overlay (scheme C only).
@@ -265,26 +286,102 @@ impl BbDeployment {
             }
             _ => None,
         };
+        let vnodes = client::kv_client_config(&config).vnodes.max(1);
+        let membership = rkv::Membership::new(kv_servers.clone(), vnodes);
         let manager_node = fabric.add_node();
         let manager = BbManager::spawn(
             Rc::clone(&stack),
             manager_node,
-            kv_servers.clone(),
+            Rc::clone(&membership),
             Rc::clone(&lustre),
             config,
         );
         let read = client::ReadCounters::register(fabric.sim().metrics());
         let integrity = integrity::IntegrityCounters::register(fabric.sim().metrics());
-        Rc::new(BbDeployment {
+        let dep = Rc::new(BbDeployment {
             config,
             stack,
             kv_servers,
+            membership,
+            standby: std::cell::RefCell::new(std::collections::HashMap::new()),
             lustre,
             hdfs_local,
             manager,
             read,
             integrity,
-        })
+        });
+        // scripted elasticity: AddServer promotes a pre-created standby
+        // onto the ring, DrainServer takes a member off it; Weak capture
+        // so the injector (sim-lifetime) never keeps the deployment alive
+        let weak = Rc::downgrade(&dep);
+        fabric.sim().faults().on_membership(move |ev| {
+            let Some(dep) = weak.upgrade() else { return };
+            match ev.change {
+                simkit::MembershipChange::Join => {
+                    dep.admit_kv_server(NodeId(ev.node));
+                }
+                simkit::MembershipChange::Drain => {
+                    dep.drain_kv_server(NodeId(ev.node));
+                }
+            }
+        });
+        dep
+    }
+
+    /// The shared membership view clients and the manager route through.
+    pub fn membership(&self) -> &Rc<rkv::Membership> {
+        &self.membership
+    }
+
+    /// Create a standby KV server on a fresh fabric node: alive and
+    /// serving its port, but not yet on the ring. Returns the server; a
+    /// later [`BbDeployment::admit_kv_server`] (or a scripted
+    /// [`simkit::FaultEvent::AddServer`] naming its node) puts it on the
+    /// ring. Pre-creating standbys is what lets fault plans name join
+    /// targets at plan-build time.
+    pub fn standby_kv_server(&self) -> Rc<KvServer> {
+        let fabric = self.stack.fabric();
+        let node = fabric.add_node();
+        let server = KvServer::new(
+            Rc::clone(&self.stack),
+            node,
+            KvServerConfig {
+                slab: SlabConfig {
+                    mem_limit: self.config.kv_mem_per_server,
+                    ..SlabConfig::default()
+                },
+                verify_set_crc: true,
+                ..KvServerConfig::default()
+            },
+        );
+        self.standby.borrow_mut().insert(node.0, Rc::clone(&server));
+        server
+    }
+
+    /// Admit the server on `node` to the ring: a standby created by
+    /// [`BbDeployment::standby_kv_server`], or a previously drained member
+    /// rejoining. Bumps the membership epoch; the manager's background
+    /// rebalancer migrates remapped chunks. `false` if `node` hosts no
+    /// known server.
+    pub fn admit_kv_server(&self, node: NodeId) -> bool {
+        let standby = self.standby.borrow_mut().remove(&node.0);
+        if let Some(server) = standby {
+            self.membership.add_server(server);
+            return true;
+        }
+        if let Some(idx) = self.membership.index_of(node) {
+            let server = self.membership.server(idx);
+            self.membership.add_server(server);
+            return true;
+        }
+        false
+    }
+
+    /// Take the server on `node` off the ring. It keeps running and keeps
+    /// its data until the rebalancer migrates the chunks away. `false` if
+    /// the node is not an active member (or is the last one).
+    pub fn drain_kv_server(&self, node: NodeId) -> bool {
+        self.membership.drain_server(node)
     }
 
     /// Make a client on a compute node.
@@ -297,11 +394,12 @@ impl BbDeployment {
         self.config.kv_mem_per_server * self.kv_servers.len() as u64
     }
 
-    /// Bytes currently held in the buffer layer (live KV items).
+    /// Bytes currently held in the buffer layer (live KV items), over the
+    /// full roster — drained servers still hold bytes until migration
+    /// finishes, joined standbys start accumulating immediately.
     pub fn buffered_bytes(&self) -> u64 {
-        self.kv_servers
-            .iter()
-            .map(|s| s.store().stats().bytes)
+        (0..self.membership.roster_len())
+            .map(|i| self.membership.server(i).store().stats().bytes)
             .sum()
     }
 
@@ -334,12 +432,13 @@ impl BbDeployment {
     }
 
     /// Stop background loops (scheme-C overlay heartbeats, the integrity
-    /// scrubber) so simulations can quiesce.
+    /// scrubber, the rebalancer) so simulations can quiesce.
     pub fn shutdown(&self) {
         if let Some(h) = &self.hdfs_local {
             h.shutdown();
         }
         self.manager.stop_scrub();
+        self.manager.stop_rebalance();
     }
 }
 

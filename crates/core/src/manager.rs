@@ -6,7 +6,7 @@
 //! back-pressures writers before unflushed data could face LRU pressure.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -14,7 +14,7 @@ use bytes::Bytes;
 use netsim::{NodeId, ReplyHandle, RpcError, Switchboard};
 use rdmasim::RdmaStack;
 use rkv::client::ClientError;
-use rkv::{KvClient, KvServer};
+use rkv::{HashRing, KvClient, Membership};
 use simkit::dur;
 use simkit::sync::mpsc;
 use simkit::sync::semaphore::Semaphore;
@@ -302,6 +302,30 @@ impl ScrubCounters {
     }
 }
 
+/// Background-rebalancer counters (`bb.rebalance.*`).
+struct RebalanceCounters {
+    /// Chunks migrated to their new ring owners (copy verified, old
+    /// copies deleted).
+    moved: simkit::telemetry::Counter,
+    /// Payload bytes copied by migrations.
+    bytes: simkit::telemetry::Counter,
+    /// Migrated copies that failed the CRC read-back (old copies kept).
+    verify_fail: simkit::telemetry::Counter,
+    /// Membership epochs the rebalancer has processed.
+    epochs: simkit::telemetry::Counter,
+}
+
+impl RebalanceCounters {
+    fn register(m: &simkit::telemetry::Registry) -> RebalanceCounters {
+        RebalanceCounters {
+            moved: m.counter("bb.rebalance.moved"),
+            bytes: m.counter("bb.rebalance.bytes"),
+            verify_fail: m.counter("bb.rebalance.verify_fail"),
+            epochs: m.counter("bb.rebalance.epochs"),
+        }
+    }
+}
+
 /// Overload (write-pressure) counters (`bb.pressure.*`).
 struct PressureCounters {
     enter: simkit::telemetry::Counter,
@@ -343,31 +367,50 @@ pub struct BbManager {
     flush_gate: Semaphore,
     stats: MgrCounters,
     /// Chunk keys expected resident in the buffer, with their sealed CRCs:
-    /// `(file_id, seq) → crc`. The scrubber's work list.
+    /// `(file_id, seq) → crc`. The scrubber's and rebalancer's work list.
     resident: RefCell<BTreeMap<(u64, u64), u32>>,
     scrub_cursor: Cell<(u64, u64)>,
     scrub_stop: Cell<bool>,
     scrub: ScrubCounters,
     pressure_stats: PressureCounters,
     integrity: IntegrityCounters,
+    /// The shared membership view (same object the clients route through).
+    view: Rc<Membership>,
+    /// Ring as of the last epoch the rebalancer processed. Diffing it
+    /// against the live ring finds exactly the keys whose owners changed —
+    /// the ≈ k/n consistent-hashing remap set, not the whole key space.
+    last_ring: RefCell<HashRing<usize>>,
+    /// Epoch `last_ring` corresponds to.
+    last_epoch: Cell<u64>,
+    /// Chunks queued for migration (pinned ones queued ahead).
+    rebalance_pending: RefCell<VecDeque<(u64, u64)>>,
+    /// Chunks mid-migration; the scrubber skips these (a half-established
+    /// replica set must not be "repaired" concurrently).
+    migrating: RefCell<BTreeSet<(u64, u64)>>,
+    /// Chunks currently pinned (unflushed): these migrate first, and their
+    /// pin is re-established on the new owners before old copies go away.
+    pinned: RefCell<BTreeSet<(u64, u64)>>,
+    rebalance_stop: Cell<bool>,
+    rebal: RebalanceCounters,
 }
 
 impl BbManager {
-    /// Spawn the manager on `node`.
+    /// Spawn the manager on `node`, routing through the shared membership
+    /// `view` (the same object every client of the deployment uses).
     pub fn spawn(
         stack: Rc<RdmaStack>,
         node: NodeId,
-        kv_servers: Vec<Rc<KvServer>>,
+        view: Rc<Membership>,
         lustre: Rc<LustreCluster>,
         config: BbConfig,
     ) -> Rc<BbManager> {
         let fabric = Rc::clone(stack.fabric());
         // manager control traffic rides the verbs fabric too
         let net = Switchboard::new(Rc::clone(&fabric), *stack.profile());
-        let kv = KvClient::new(
+        let kv = KvClient::with_view(
             Rc::clone(&stack),
             node,
-            kv_servers,
+            Rc::clone(&view),
             crate::client::kv_client_config(&config),
         );
         // budget against the *physical* slab footprint of a chunk item
@@ -407,6 +450,14 @@ impl BbManager {
             scrub: ScrubCounters::register(fabric.sim().metrics()),
             pressure_stats: PressureCounters::register(fabric.sim().metrics()),
             integrity: IntegrityCounters::register(fabric.sim().metrics()),
+            last_ring: RefCell::new(view.ring_snapshot()),
+            last_epoch: Cell::new(view.epoch()),
+            view,
+            rebalance_pending: RefCell::new(VecDeque::new()),
+            migrating: RefCell::new(BTreeSet::new()),
+            pinned: RefCell::new(BTreeSet::new()),
+            rebalance_stop: Cell::new(false),
+            rebal: RebalanceCounters::register(fabric.sim().metrics()),
         });
         let mut rx = net.register(node, MGR_SERVICE);
         let sim = net.fabric().sim().clone();
@@ -430,6 +481,19 @@ impl BbManager {
                 }
             });
         }
+        if config.rebalance_interval > std::time::Duration::ZERO {
+            let sim = net.fabric().sim().clone();
+            let this = Rc::clone(&mgr);
+            sim.clone().spawn(async move {
+                loop {
+                    sim.sleep(this.config.rebalance_interval).await;
+                    if this.rebalance_stop.get() {
+                        break;
+                    }
+                    this.rebalance_tick().await;
+                }
+            });
+        }
         mgr
     }
 
@@ -437,6 +501,24 @@ impl BbManager {
     /// simulations quiesce; called from [`crate::BbDeployment::shutdown`]).
     pub fn stop_scrub(&self) {
         self.scrub_stop.set(true);
+    }
+
+    /// Stop the background rebalancer after its current tick (lets
+    /// simulations quiesce; called from [`crate::BbDeployment::shutdown`]).
+    pub fn stop_rebalance(&self) {
+        self.rebalance_stop.set(true);
+    }
+
+    /// Chunks still queued (or being scanned in) for migration. Zero —
+    /// once [`BbManager::rebalance_epoch`] has caught up with the view —
+    /// means the ring has converged.
+    pub fn rebalance_backlog(&self) -> usize {
+        self.rebalance_pending.borrow().len() + self.migrating.borrow().len()
+    }
+
+    /// The membership epoch the rebalancer has fully processed.
+    pub fn rebalance_epoch(&self) -> u64 {
+        self.last_epoch.get()
     }
 
     /// Fabric node of the manager.
@@ -478,6 +560,9 @@ impl BbManager {
                     return;
                 };
                 self.resident.borrow_mut().insert((file_id, seq), crc);
+                // the writer pinned the chunk before announcing it; track
+                // the pin so a migration carries it to the new owners
+                self.pinned.borrow_mut().insert((file_id, seq));
                 self.unflushed.set(self.unflushed.get() + len);
                 if let Some(tx) = &entry.borrow().flush_tx {
                     let _ = tx.try_send(FlushItem::Chunk { seq, len, crc });
@@ -634,6 +719,10 @@ impl BbManager {
                         self.by_id.borrow_mut().remove(&e.file_id);
                         let fid = e.file_id;
                         self.resident.borrow_mut().retain(|(f, _), _| *f != fid);
+                        self.pinned.borrow_mut().retain(|(f, _)| *f != fid);
+                        self.rebalance_pending
+                            .borrow_mut()
+                            .retain(|(f, _)| *f != fid);
                         Ok(BbFileMeta {
                             file_id: e.file_id,
                             size: e.size,
@@ -803,6 +892,7 @@ impl BbManager {
                         };
                         // flushed (or given up): lift the eviction pin
                         this.kv.unpin(&key).await;
+                        this.pinned.borrow_mut().remove(&(file_id, seq));
                         this.release_credit(len);
                         ok
                     }));
@@ -896,6 +986,11 @@ impl BbManager {
     /// anywhere counts `bb.scrub.unrepairable` (the read path will surface
     /// it loudly, never silently).
     async fn scrub_one(&self, file_id: u64, seq: u64, crc: u32) {
+        if self.migrating.borrow().contains(&(file_id, seq)) {
+            // mid-migration: the replica set is being re-established by
+            // the rebalancer; scrubbing it now would double-repair
+            return;
+        }
         let key = chunk_key(file_id, seq);
         let Ok(replicas) = self.kv.replicas(&key) else {
             return;
@@ -905,7 +1000,7 @@ impl BbManager {
         let mut bad: Vec<usize> = Vec::new();
         let mut present = 0usize;
         let mut errors = 0usize;
-        for idx in replicas {
+        for &idx in &replicas {
             match self.kv.get_from(idx, &key).await {
                 Ok(Some(v)) => {
                     present += 1;
@@ -924,8 +1019,21 @@ impl BbManager {
         }
         if present == 0 {
             if errors == 0 {
-                // every replica definitively answered: the chunk has left
-                // the buffer, nothing remains to scrub
+                // Every live replica definitively answered empty. Under
+                // elastic membership that is not yet proof the chunk left
+                // the buffer: a not-yet-migrated copy may still sit on an
+                // old owner, and forgetting the key here would hide it
+                // from the rebalancer. Check the rest of the roster first.
+                if self.view.epoch() > 0 {
+                    for idx in 0..self.view.roster_len() {
+                        if replicas.contains(&idx) {
+                            continue;
+                        }
+                        if matches!(self.kv.get_from(idx, &key).await, Ok(Some(_))) {
+                            return; // awaiting migration; rebalancer owns it
+                        }
+                    }
+                }
                 self.resident.borrow_mut().remove(&(file_id, seq));
             }
             return;
@@ -965,6 +1073,165 @@ impl BbManager {
                 }
             }
         }
+    }
+
+    /// One rebalancer round. When the membership epoch moved since the
+    /// last processed ring, diff every resident chunk's replica set
+    /// between that ring and the live one and queue the movers — pinned
+    /// (unflushed, buffer-only) chunks first, since they have no Lustre
+    /// fallback if their old owner drains away. Then migrate up to
+    /// `rebalance_batch` queued chunks.
+    async fn rebalance_tick(self: &Rc<Self>) {
+        let epoch = self.view.epoch();
+        let last = self.last_epoch.get();
+        if epoch != last {
+            let new_ring = self.view.ring_snapshot();
+            let r = self.config.kv_replication.max(1);
+            let mut movers_pinned: Vec<(u64, u64)> = Vec::new();
+            let mut movers: Vec<(u64, u64)> = Vec::new();
+            {
+                let resident = self.resident.borrow();
+                let old_ring = self.last_ring.borrow();
+                let pinned = self.pinned.borrow();
+                for &(fid, seq) in resident.keys() {
+                    let key = chunk_key(fid, seq);
+                    let old: Vec<usize> = old_ring.route_n(&key, r).into_iter().copied().collect();
+                    let new: Vec<usize> = new_ring.route_n(&key, r).into_iter().copied().collect();
+                    if old != new {
+                        if pinned.contains(&(fid, seq)) {
+                            movers_pinned.push((fid, seq));
+                        } else {
+                            movers.push((fid, seq));
+                        }
+                    }
+                }
+            }
+            {
+                let mut pending = self.rebalance_pending.borrow_mut();
+                let carried: Vec<(u64, u64)> = pending.drain(..).collect();
+                let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+                for k in movers_pinned.into_iter().chain(movers).chain(carried) {
+                    if seen.insert(k) {
+                        pending.push_back(k);
+                    }
+                }
+            }
+            self.rebal.epochs.add(epoch - last);
+            *self.last_ring.borrow_mut() = new_ring;
+            self.last_epoch.set(epoch);
+        }
+        for _ in 0..self.config.rebalance_batch.max(1) {
+            let next = self.rebalance_pending.borrow_mut().pop_front();
+            let Some((fid, seq)) = next else { break };
+            self.migrate_one(fid, seq).await;
+        }
+    }
+
+    /// Migrate one chunk onto its live-ring owners: copy to each missing
+    /// desired replica, verify every fresh copy by CRC read-back, carry
+    /// the pin for unflushed chunks, and only then delete copies from
+    /// servers that no longer own the key. Old copies outlive new ones
+    /// until verification succeeds, so a verify failure at any point
+    /// leaves at least one good copy reachable (the read path widens to
+    /// the full roster once epoch > 0).
+    async fn migrate_one(self: &Rc<Self>, file_id: u64, seq: u64) {
+        let Some(&crc) = self.resident.borrow().get(&(file_id, seq)) else {
+            return; // deleted or forgotten since being queued
+        };
+        let key = chunk_key(file_id, seq);
+        let Ok(desired) = self.kv.replicas(&key) else {
+            return;
+        };
+        self.migrating.borrow_mut().insert((file_id, seq));
+        // Which desired owners already hold a good copy?
+        let mut have: Vec<usize> = Vec::new();
+        let mut source: Option<Bytes> = None;
+        for &idx in &desired {
+            if let Ok(Some(v)) = self.kv.get_from(idx, &key).await {
+                if integrity::chunk_crc(&key, &v.data) == crc {
+                    have.push(idx);
+                    if source.is_none() {
+                        source = Some(v.data);
+                    }
+                }
+            }
+        }
+        if source.is_none() {
+            // Fetch from an old owner. Index-addressed ops stay valid for
+            // roster members that left the ring, so a drained server's
+            // copy is still reachable here.
+            for idx in 0..self.view.roster_len() {
+                if desired.contains(&idx) {
+                    continue;
+                }
+                if let Ok(Some(v)) = self.kv.get_from(idx, &key).await {
+                    if integrity::chunk_crc(&key, &v.data) == crc {
+                        source = Some(v.data);
+                        break;
+                    }
+                }
+            }
+        }
+        if source.is_none() {
+            source = self.lustre_chunk(file_id, seq, crc).await;
+        }
+        let Some(data) = source else {
+            // No authoritative copy reachable right now: leave the old
+            // layout alone and let the scrubber/flusher sort it out.
+            self.migrating.borrow_mut().remove(&(file_id, seq));
+            return;
+        };
+        let mut wrote = false;
+        let mut verified = true;
+        for &idx in &desired {
+            if have.contains(&idx) {
+                continue;
+            }
+            if self
+                .kv
+                .set_to(idx, &key, data.clone(), crc, 0)
+                .await
+                .is_err()
+            {
+                verified = false;
+                continue;
+            }
+            wrote = true;
+            // read back what the server actually stored before trusting it
+            match self.kv.get_from(idx, &key).await {
+                Ok(Some(v)) if integrity::chunk_crc(&key, &v.data) == crc => {}
+                _ => {
+                    self.rebal.verify_fail.inc();
+                    verified = false;
+                }
+            }
+        }
+        if !verified {
+            // keep the old copies; retry from a clean slate next tick
+            self.rebalance_pending
+                .borrow_mut()
+                .push_back((file_id, seq));
+            self.migrating.borrow_mut().remove(&(file_id, seq));
+            return;
+        }
+        if self.pinned.borrow().contains(&(file_id, seq)) {
+            // unflushed chunk: the new owners must hold it pinned before
+            // the old pinned copies are released
+            for &idx in &desired {
+                let _ = self.kv.pin_to(idx, &key).await;
+            }
+        }
+        for idx in 0..self.view.roster_len() {
+            if desired.contains(&idx) {
+                continue;
+            }
+            let _ = self.kv.delete_from(idx, &key).await;
+        }
+        if wrote {
+            self.rebal.moved.inc();
+            self.rebal.bytes.add(data.len() as u64);
+        }
+        self.migrating.borrow_mut().remove(&(file_id, seq));
     }
 
     /// Fetch a chunk's bytes from the Lustre backing file for repair,

@@ -625,3 +625,69 @@ fn buffered_writes_beat_hdfs_style_persistence() {
         "async {async_t:.4}s should beat sync {sync_t:.4}s"
     );
 }
+
+#[test]
+fn drained_server_hands_off_pinned_chunks_before_leaving() {
+    // A server holding the only pinned (unflushed) replica of a chunk is
+    // drained mid-flush. The rebalancer must copy the chunk to the
+    // surviving owner, carry the pin, and empty the drained server —
+    // all before the slow flush completes — with no acknowledged bytes
+    // lost and no Lustre fallback available (the file is not flushed).
+    let lcfg = LustreConfig {
+        oss_count: 1,
+        osts_per_oss: 1,
+        stripe_count: 1,
+        ost_rate: 1e6, // 1 MB/s: 4 MiB stays unflushed for ~4 s
+        ..LustreConfig::default()
+    };
+    let bcfg = BbConfig {
+        kv_servers: 2,
+        kv_replication: 1, // single replica: the drained copy is the only one
+        rebalance_interval: std::time::Duration::from_millis(50),
+        ..BbConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, lcfg, bcfg);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    let data = pattern(4 << 20); // 8 chunks spread over both servers
+    let expect = data.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/drainpin").await.unwrap();
+        w.append(data).await.unwrap();
+        w.close().await.unwrap();
+        // every chunk is pinned in the buffer; pick a victim that holds some
+        let victim = dep
+            .kv_servers
+            .iter()
+            .find(|s| s.store().stats().items > 0)
+            .expect("some server holds chunks")
+            .node();
+        let before: u64 = dep.kv_servers.iter().map(|s| s.store().stats().items).sum();
+        assert!(dep.drain_kv_server(victim));
+        // a few rebalance intervals: one epoch diff + one batch moves all
+        sim.sleep(std::time::Duration::from_millis(500)).await;
+        let survivor = dep.kv_servers.iter().find(|s| s.node() != victim).unwrap();
+        let drained = dep.kv_servers.iter().find(|s| s.node() == victim).unwrap();
+        assert_eq!(
+            drained.store().stats().items,
+            0,
+            "drained server must hand off every chunk before leaving"
+        );
+        let sstats = survivor.store().stats();
+        assert_eq!(sstats.items, before, "no chunk lost in the handoff");
+        assert!(
+            sstats.pinned_items > 0,
+            "unflushed chunks must stay pinned on their new owner"
+        );
+        let m = sim.metrics().snapshot();
+        assert!(m.counter("bb.rebalance.moved") > 0);
+        assert_eq!(m.counter("bb.rebalance.verify_fail"), 0);
+        // the flush still completes and the bytes are intact
+        let st = client.wait_flushed("/drainpin").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        let rd = client.open("/drainpin").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
+    });
+}

@@ -23,6 +23,19 @@
 //! — never from wall clock — so runs are reproducible. Retries and
 //! failovers are counted in the `kv.retry.*` / `kv.failover.*` metric
 //! families (shared across all clients on one simulation).
+//!
+//! ## Elastic membership
+//!
+//! Routing consults a shared [`Membership`] view on every operation, so
+//! servers can join or drain mid-run. The replication cap follows the
+//! *live* active count (not the construction-time roster), an epoch bump
+//! observed mid-operation triggers one transparent re-resolve + retry
+//! against the new ring (`kv.epoch.retries`), and once the view has ever
+//! changed (epoch > 0) a definitive miss falls back to scanning the full
+//! roster — chunks written under an old ring and not yet migrated are
+//! still found on their previous owners (`kv.epoch.fallback_reads`).
+//! Deployments that never change membership stay at epoch 0 and behave
+//! exactly as before.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -38,7 +51,7 @@ use simkit::SimRng;
 use netsim::NodeId;
 use rdmasim::{Mr, Qp, RdmaError, RdmaStack};
 
-use crate::hash::HashRing;
+use crate::membership::Membership;
 use crate::proto::{Carrier, ProtoError, Request, Response};
 use crate::server::KvServer;
 use crate::store::{KvError, KvStats, Value};
@@ -204,23 +217,69 @@ pub struct KvClient {
     node: NodeId,
     stack: Rc<RdmaStack>,
     config: KvClientConfig,
-    servers: Vec<Rc<KvServer>>,
-    ring: HashRing<usize>,
+    view: Rc<Membership>,
     conns: RefCell<HashMap<usize, Rc<Conn>>>,
     pool: Rc<BufPool>,
     stats: RefCell<ClientStats>,
     jitter: SimRng,
     res: ResCounters,
+    observer: RefCell<Option<ObserverFn>>,
 }
 
-/// `kv.retry.*` / `kv.failover.*` counters (get-or-create: every client on
-/// one simulation bumps the same instances).
+/// A test-only per-operation history observer ([`KvClient::set_observer`]).
+pub type ObserverFn = Rc<dyn Fn(OpRecord)>;
+
+/// One logical, client-visible KV operation, as delivered to the
+/// test-only history observer ([`KvClient::set_observer`]): a single
+/// record per `set`/`get`/`delete` call, emitted after replication,
+/// retries, and failover have resolved. Value identity is carried as an
+/// FNV-1a hash so recorders never hold payload bytes.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// The key the operation addressed.
+    pub key: Bytes,
+    /// What the operation did (and the value identity it saw or wrote).
+    pub kind: OpKind,
+    /// Virtual time the operation was issued.
+    pub start: simkit::Time,
+    /// Virtual time the operation returned to the caller.
+    pub end: simkit::Time,
+    /// Whether the call returned `Ok`. A failed operation may or may not
+    /// have taken effect on some replicas — checkers must treat its
+    /// write as indeterminate (allowed but not required to be visible).
+    pub ok: bool,
+}
+
+/// What an observed operation did. Hashes are FNV-1a over value bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A replicated store of a value with this hash.
+    Set {
+        /// FNV-1a hash of the stored bytes.
+        hash: u64,
+    },
+    /// A failover read; `None` means a definitive miss.
+    Get {
+        /// FNV-1a hash of the returned bytes, if any.
+        hash: Option<u64>,
+    },
+    /// A replicated delete.
+    Delete {
+        /// Whether any replica held the key.
+        found: bool,
+    },
+}
+
+/// `kv.retry.*` / `kv.failover.*` / `kv.epoch.*` counters (get-or-create:
+/// every client on one simulation bumps the same instances).
 struct ResCounters {
     retry_attempts: Counter,
     retry_timeouts: Counter,
     retry_exhausted: Counter,
     failover_reads: Counter,
     failover_exhausted: Counter,
+    epoch_retries: Counter,
+    epoch_fallback: Counter,
 }
 
 struct Conn {
@@ -234,19 +293,29 @@ struct Conn {
 }
 
 impl KvClient {
-    /// Build a client on `node` addressing `servers` (by their ring order).
+    /// Build a client on `node` addressing a fixed set of `servers`. The
+    /// client owns a private [`Membership`] view, so behaviour matches the
+    /// pre-elastic client exactly; deployments that grow or shrink the
+    /// ring at runtime share one view via [`KvClient::with_view`].
     pub fn new(
         stack: Rc<RdmaStack>,
         node: NodeId,
         servers: Vec<Rc<KvServer>>,
         config: KvClientConfig,
     ) -> Rc<KvClient> {
-        let labels: Vec<String> = servers
-            .iter()
-            .map(|s| format!("kv-server-{}", s.node().0))
-            .collect();
-        let indices: Vec<usize> = (0..servers.len()).collect();
-        let ring = HashRing::new(indices, &labels, config.vnodes.max(1));
+        let view = Membership::new(servers, config.vnodes.max(1));
+        Self::with_view(stack, node, view, config)
+    }
+
+    /// Build a client routing through a shared membership `view`. Every
+    /// client (and the burst-buffer manager) holding the same view sees
+    /// joins and drains at the same virtual instant.
+    pub fn with_view(
+        stack: Rc<RdmaStack>,
+        node: NodeId,
+        view: Rc<Membership>,
+        config: KvClientConfig,
+    ) -> Rc<KvClient> {
         let m = stack.sim().metrics();
         let res = ResCounters {
             retry_attempts: m.counter("kv.retry.attempts"),
@@ -254,13 +323,14 @@ impl KvClient {
             retry_exhausted: m.counter("kv.retry.exhausted"),
             failover_reads: m.counter("kv.failover.reads"),
             failover_exhausted: m.counter("kv.failover.exhausted"),
+            epoch_retries: m.counter("kv.epoch.retries"),
+            epoch_fallback: m.counter("kv.epoch.fallback_reads"),
         };
         Rc::new(KvClient {
             node,
             stack: Rc::clone(&stack),
             config,
-            servers,
-            ring,
+            view,
             conns: RefCell::new(HashMap::new()),
             pool: Rc::new(BufPool {
                 stack,
@@ -275,7 +345,29 @@ impl KvClient {
             // run is reproducible from (program, seeds) alone
             jitter: SimRng::seed_from(0x6b76_7274 ^ u64::from(node.0)),
             res,
+            observer: RefCell::new(None),
         })
+    }
+
+    /// Install a test-only observer that receives one [`OpRecord`] per
+    /// logical `set`/`get`/`delete` call on this client. Consistency
+    /// checkers use this to build a per-key history; when no observer is
+    /// installed the hot paths pay nothing beyond a `borrow`.
+    pub fn set_observer(&self, obs: Rc<dyn Fn(OpRecord)>) {
+        *self.observer.borrow_mut() = Some(obs);
+    }
+
+    fn observe(&self, key: &[u8], kind: OpKind, start: simkit::Time, ok: bool) {
+        let obs = self.observer.borrow().clone();
+        if let Some(obs) = obs {
+            obs(OpRecord {
+                key: Bytes::copy_from_slice(key),
+                kind,
+                start,
+                end: self.stack.sim().now(),
+                ok,
+            });
+        }
     }
 
     /// The client's fabric node.
@@ -283,36 +375,36 @@ impl KvClient {
         self.node
     }
 
-    /// Number of servers on the ring.
+    /// Number of servers currently active on the ring.
     pub fn server_count(&self) -> usize {
-        self.servers.len()
+        self.view.active_len()
     }
 
-    /// Which server (index) owns `key`.
+    /// The shared membership view this client routes through.
+    pub fn view(&self) -> &Rc<Membership> {
+        &self.view
+    }
+
+    /// Which server (roster index) owns `key` on the live ring.
     pub fn route(&self, key: &[u8]) -> Result<usize, ClientError> {
-        if self.servers.is_empty() {
-            return Err(ClientError::NoServers);
-        }
-        Ok(*self.ring.route(key))
+        self.view.route(key).ok_or(ClientError::NoServers)
     }
 
     /// Fabric node of the server owning `key`.
     pub fn route_node(&self, key: &[u8]) -> Result<NodeId, ClientError> {
-        Ok(self.servers[self.route(key)?].node())
+        Ok(self.view.server(self.route(key)?).node())
     }
 
-    /// The key's replica set: first `replication` distinct servers
-    /// clockwise on the ring; element 0 is the primary ([`KvClient::route`]).
+    /// The key's replica set: first `replication` distinct active servers
+    /// clockwise on the live ring (the cap tracks the *current* active
+    /// count, so `r` grows when servers join); element 0 is the primary
+    /// ([`KvClient::route`]).
     pub fn replicas(&self, key: &[u8]) -> Result<Vec<usize>, ClientError> {
-        if self.servers.is_empty() {
+        let reps = self.view.route_n(key, self.config.replication.max(1));
+        if reps.is_empty() {
             return Err(ClientError::NoServers);
         }
-        Ok(self
-            .ring
-            .route_n(key, self.config.replication.max(1))
-            .into_iter()
-            .copied()
-            .collect())
+        Ok(reps)
     }
 
     /// Snapshot client metrics (by reference to avoid a histogram copy).
@@ -327,7 +419,7 @@ impl KvClient {
             }
         }
         // (re)connect
-        let server = &self.servers[server_idx];
+        let server = self.view.server(server_idx);
         let qp = server.accept(self.node).await?;
         let conn = Rc::new(Conn {
             qp,
@@ -484,7 +576,10 @@ impl KvClient {
     /// CAS token. Succeeds only if *all* `replication` replicas stored the
     /// value — a partial write surfaces the first failure so the caller
     /// knows the durability target was not met (surviving copies are still
-    /// readable via failover).
+    /// readable via failover). A membership-epoch bump observed while the
+    /// write was in flight triggers one transparent re-resolve against the
+    /// new ring (a drained replica erroring mid-set is not a real failure
+    /// if its successor stores the value).
     pub async fn set(
         &self,
         key: &[u8],
@@ -493,9 +588,14 @@ impl KvClient {
         expire_at: u64,
     ) -> Result<u64, ClientError> {
         let t0 = self.stack.sim().now();
-        let replicas = self.replicas(key)?;
-        // one staged buffer serves every replica: writes go out one at a
-        // time, and the server only READs during its own exchange
+        let obs_hash = self
+            .observer
+            .borrow()
+            .is_some()
+            .then(|| crate::hash::fnv1a(&value));
+        // one staged buffer serves every replica (and every epoch-retry
+        // round): writes go out one at a time, and the server only READs
+        // during its own exchange
         let buf = if self.use_one_sided(value.len()) {
             let buf = self.pool.acquire().await;
             buf.write_local(0, &value)?;
@@ -503,41 +603,63 @@ impl KvClient {
         } else {
             None
         };
-        let mut cas_out = None;
-        let mut first_err = None;
-        for idx in replicas {
-            let req = Request::Set {
-                key: Bytes::copy_from_slice(key),
-                flags,
-                expire_at,
-                value: match &buf {
-                    Some(b) => Carrier::Remote {
-                        src: b.remote().into(),
-                        len: value.len() as u32,
+        let mut epoch = self.view.epoch();
+        let mut epoch_retried = false;
+        let cas_out = loop {
+            let replicas = self.replicas(key)?;
+            let mut cas_out = None;
+            let mut first_err = None;
+            for idx in replicas {
+                let req = Request::Set {
+                    key: Bytes::copy_from_slice(key),
+                    flags,
+                    expire_at,
+                    value: match &buf {
+                        Some(b) => Carrier::Remote {
+                            src: b.remote().into(),
+                            len: value.len() as u32,
+                        },
+                        None => Carrier::Inline(value.clone()),
                     },
-                    None => Carrier::Inline(value.clone()),
-                },
-            };
-            match self.store_exchange(idx, &req).await {
-                Ok(Response::Stored { cas }) => {
-                    cas_out.get_or_insert(cas);
-                }
-                Ok(other) => {
-                    first_err.get_or_insert(Self::unexpected(other));
-                }
-                Err(e) => {
-                    first_err.get_or_insert(e);
+                };
+                match self.store_exchange(idx, &req).await {
+                    Ok(Response::Stored { cas }) => {
+                        cas_out.get_or_insert(cas);
+                    }
+                    Ok(other) => {
+                        first_err.get_or_insert(Self::unexpected(other));
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
                 }
             }
-        }
+            match first_err {
+                None => break cas_out,
+                Some(e) => {
+                    let live = self.view.epoch();
+                    if live != epoch && !epoch_retried {
+                        epoch = live;
+                        epoch_retried = true;
+                        self.res.epoch_retries.inc();
+                        continue;
+                    }
+                    drop(buf);
+                    if let Some(h) = obs_hash {
+                        self.observe(key, OpKind::Set { hash: h }, t0, false);
+                    }
+                    return Err(e);
+                }
+            }
+        };
         drop(buf);
-        if let Some(e) = first_err {
-            return Err(e);
-        }
         let mut st = self.stats.borrow_mut();
         st.sets += 1;
         st.set_lat.record(self.stack.sim().now() - t0);
         drop(st);
+        if let Some(h) = obs_hash {
+            self.observe(key, OpKind::Set { hash: h }, t0, true);
+        }
         Ok(cas_out.expect("no error implies at least one Stored"))
     }
 
@@ -581,13 +703,18 @@ impl KvClient {
     /// Read-any with failover: try replicas in ring order, return the
     /// first value found. A miss is only definitive once every replica has
     /// been consulted (a crashed-and-restarted server reports misses for
-    /// keys it used to hold); `Err` only if every replica failed.
+    /// keys it used to hold); `Err` only if every replica failed. Once
+    /// membership has ever changed (epoch > 0) a definitive miss widens to
+    /// the rest of the roster before being believed: a chunk written under
+    /// an old ring and not yet migrated still lives on its previous owner
+    /// (possibly a drained server), and the rebalancer deletes old copies
+    /// only after the new owners verify, so the widened scan cannot lose.
     async fn get_failover(&self, key: &[u8]) -> Result<Option<Value>, ClientError> {
         let replicas = self.replicas(key)?;
         let mut first_err = None;
         let mut missed = false;
-        for (i, idx) in replicas.into_iter().enumerate() {
-            match self.get_from(idx, key).await {
+        for (i, idx) in replicas.iter().enumerate() {
+            match self.get_from(*idx, key).await {
                 Ok(Some(v)) => {
                     if i > 0 {
                         self.res.failover_reads.inc();
@@ -597,6 +724,25 @@ impl KvClient {
                 Ok(None) => missed = true,
                 Err(e) => {
                     first_err.get_or_insert(e);
+                }
+            }
+        }
+        if self.view.epoch() > 0 {
+            for idx in 0..self.view.roster_len() {
+                if replicas.contains(&idx) {
+                    continue;
+                }
+                match self.get_from(idx, key).await {
+                    Ok(Some(v)) => {
+                        self.res.epoch_fallback.inc();
+                        return Ok(Some(v));
+                    }
+                    // a roster miss never makes a miss definitive on its
+                    // own — that still takes a replica answering
+                    Ok(None) => {}
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
                 }
             }
         }
@@ -610,13 +756,24 @@ impl KvClient {
     /// Fetch `key`. `Ok(None)` on miss (from every reachable replica).
     pub async fn get(&self, key: &[u8]) -> Result<Option<Value>, ClientError> {
         let t0 = self.stack.sim().now();
-        let result = self.get_failover(key).await?;
+        let result = match self.get_failover(key).await {
+            Ok(r) => r,
+            Err(e) => {
+                self.observe(key, OpKind::Get { hash: None }, t0, false);
+                return Err(e);
+            }
+        };
         let mut st = self.stats.borrow_mut();
         st.gets += 1;
         if result.is_some() {
             st.hits += 1;
         }
         st.get_lat.record(self.stack.sim().now() - t0);
+        drop(st);
+        if self.observer.borrow().is_some() {
+            let hash = result.as_ref().map(|v| crate::hash::fnv1a(&v.data));
+            self.observe(key, OpKind::Get { hash }, t0, true);
+        }
         Ok(result)
     }
 
@@ -658,6 +815,34 @@ impl KvClient {
         }
     }
 
+    /// Remove `key` from one specific server, bypassing ring routing —
+    /// the rebalancer's delete-from-old step after a verified migration.
+    /// `Ok(true)` if the server held the key.
+    pub async fn delete_from(&self, server_idx: usize, key: &[u8]) -> Result<bool, ClientError> {
+        let req = Request::Delete {
+            key: Bytes::copy_from_slice(key),
+        };
+        match self.exchange_retry(server_idx, &req).await? {
+            Response::Ok => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Pin `key` on one specific server, bypassing ring routing — used to
+    /// carry a pin across a migration before the old owner's copy goes
+    /// away. `Ok(true)` iff the server holds (and pinned) the key.
+    pub async fn pin_to(&self, server_idx: usize, key: &[u8]) -> Result<bool, ClientError> {
+        let req = Request::Pin {
+            key: Bytes::copy_from_slice(key),
+        };
+        match self.exchange_retry(server_idx, &req).await? {
+            Response::Ok => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Pin `key` against LRU eviction on every replica. `Ok(true)` iff
     /// every replica holds and pinned the key; `Ok(false)` if any replica
     /// no longer has it (the caller's durability expectation is not met).
@@ -688,15 +873,22 @@ impl KvClient {
 
     /// Best-effort unpin of `key` on every replica. Errors and misses are
     /// swallowed: the only purpose is to let the LRU reclaim the item, and
-    /// an unreachable replica will reap it by eviction anyway.
+    /// an unreachable replica will reap it by eviction anyway. Under
+    /// elastic membership (epoch > 0) the unpin goes to the whole roster:
+    /// a not-yet-migrated copy on an old owner holds its pin otherwise.
     pub async fn unpin(&self, key: &[u8]) {
-        let Ok(replicas) = self.replicas(key) else {
-            return;
+        let targets = if self.view.epoch() > 0 {
+            (0..self.view.roster_len()).collect()
+        } else {
+            match self.replicas(key) {
+                Ok(r) => r,
+                Err(_) => return,
+            }
         };
         let req = Request::Unpin {
             key: Bytes::copy_from_slice(key),
         };
-        for idx in replicas {
+        for idx in targets {
             let _ = self.exchange_retry(idx, &req).await;
         }
     }
@@ -704,8 +896,20 @@ impl KvClient {
     /// Remove `key` from every replica; `Ok(true)` if any replica held it.
     /// An unreachable replica may keep a stale copy (reaped by expiry or
     /// eviction); the delete still succeeds if any replica answered.
+    /// Under elastic membership (epoch > 0) the delete goes to the whole
+    /// roster — otherwise a copy surviving on an old owner would be
+    /// resurrected by the epoch-fallback read path.
     pub async fn delete(&self, key: &[u8]) -> Result<bool, ClientError> {
-        let replicas = self.replicas(key)?;
+        let t0 = self.stack.sim().now();
+        let replicas = if self.view.epoch() > 0 {
+            let n = self.view.roster_len();
+            if n == 0 {
+                return Err(ClientError::NoServers);
+            }
+            (0..n).collect()
+        } else {
+            self.replicas(key)?
+        };
         let req = Request::Delete {
             key: Bytes::copy_from_slice(key),
         };
@@ -727,6 +931,7 @@ impl KvClient {
                 }
             }
         }
+        self.observe(key, OpKind::Delete { found: existed }, t0, any_ok);
         match (any_ok, first_err) {
             (true, _) => Ok(existed),
             (false, Some(e)) => Err(e),
@@ -923,11 +1128,18 @@ impl KvClient {
                 }
             }
         }
-        let r = self.config.replication.max(1).min(self.servers.len());
-        if r > 1 && (first_err.is_some() || out.iter().any(Option::is_none)) {
+        let r = self
+            .config
+            .replication
+            .max(1)
+            .min(self.view.active_len().max(1));
+        if (r > 1 || self.view.epoch() > 0)
+            && (first_err.is_some() || out.iter().any(Option::is_none))
+        {
             // batches only consulted primaries; a failed batch — or a miss
             // against a possibly-restarted-empty primary — may still be
-            // served by a replica, so unresolved keys fall back to per-key
+            // served by a replica (or, after a membership change, by an
+            // old owner), so unresolved keys fall back to per-key
             // failover reads
             first_err = None;
             for (pos, k) in keys.iter().enumerate() {
@@ -968,10 +1180,11 @@ impl KvClient {
         }
     }
 
-    /// Fetch counters from every server.
+    /// Fetch counters from every admitted server (drained ones included).
     pub async fn stats_all(&self) -> Result<Vec<KvStats>, ClientError> {
-        let mut out = Vec::with_capacity(self.servers.len());
-        for idx in 0..self.servers.len() {
+        let n = self.view.roster_len();
+        let mut out = Vec::with_capacity(n);
+        for idx in 0..n {
             let conn = self.conn(idx).await?;
             let _serial = conn.lock.acquire().await;
             conn.qp
@@ -1475,6 +1688,111 @@ mod tests {
             assert!(!cl.pin(b"absent").await.unwrap(), "missing key can't pin");
             cl.unpin(b"pk").await;
             cl.unpin(b"absent").await; // best-effort, no panic
+        });
+    }
+
+    #[test]
+    fn replication_cap_follows_live_membership() {
+        // r=2 asked for with only one active server: the live view caps at
+        // 1, and the cap grows (not stays frozen) when a server joins
+        let c = cluster(2, 1);
+        let view = crate::Membership::new(vec![Rc::clone(&c.servers[0])], 160);
+        let cl = KvClient::with_view(
+            Rc::clone(&c.stack),
+            NodeId(2),
+            Rc::clone(&view),
+            KvClientConfig {
+                replication: 2,
+                ..KvClientConfig::default()
+            },
+        );
+        assert_eq!(cl.replicas(b"k").unwrap().len(), 1);
+        view.add_server(Rc::clone(&c.servers[1]));
+        assert_eq!(cl.replicas(b"k").unwrap().len(), 2);
+        let cl2 = Rc::clone(&cl);
+        c.sim.block_on(async move {
+            cl2.set(b"k", Bytes::from_static(b"v"), 0, 0).await.unwrap();
+        });
+        let total: u64 = c.servers.iter().map(|s| s.store().stats().items).sum();
+        assert_eq!(total, 2, "post-join set must land on both servers");
+    }
+
+    #[test]
+    fn reads_after_join_fall_back_to_old_owners() {
+        let c = cluster(3, 1);
+        let view = crate::Membership::new(c.servers[..2].to_vec(), 160);
+        let cl = KvClient::with_view(
+            Rc::clone(&c.stack),
+            NodeId(3),
+            Rc::clone(&view),
+            KvClientConfig::default(),
+        );
+        let sim = c.sim.clone();
+        sim.block_on(async move {
+            for i in 0..30 {
+                let k = format!("jk{i}");
+                cl.set(k.as_bytes(), Bytes::from(vec![i as u8; 64]), 0, 0)
+                    .await
+                    .unwrap();
+            }
+            view.add_server(Rc::clone(&c.servers[2]));
+            assert_eq!(view.epoch(), 1);
+            // un-migrated keys now route to the joiner (empty), but the
+            // definitive-miss fallback widens to the old owners
+            for i in 0..30 {
+                let k = format!("jk{i}");
+                let v = cl
+                    .get(k.as_bytes())
+                    .await
+                    .unwrap()
+                    .expect("old-ring copies must stay readable after a join");
+                assert_eq!(v.data[0], i as u8);
+            }
+            let snap = c.sim.metrics().snapshot();
+            assert!(
+                snap.counter("kv.epoch.fallback_reads") > 0,
+                "some keys must have remapped to the joiner"
+            );
+        });
+    }
+
+    #[test]
+    fn drained_server_gets_no_new_writes_but_old_data_stays_readable() {
+        let c = cluster(3, 1);
+        let view = crate::Membership::new(c.servers.clone(), 160);
+        let cl = KvClient::with_view(
+            Rc::clone(&c.stack),
+            NodeId(3),
+            Rc::clone(&view),
+            KvClientConfig::default(),
+        );
+        let servers = c.servers.clone();
+        c.sim.block_on(async move {
+            for i in 0..30 {
+                let k = format!("dk{i}");
+                cl.set(k.as_bytes(), Bytes::from(vec![i as u8; 64]), 0, 0)
+                    .await
+                    .unwrap();
+            }
+            let drained = servers[1].node();
+            assert!(view.drain_server(drained));
+            let before = servers[1].store().stats().items;
+            for i in 30..60 {
+                let k = format!("dk{i}");
+                assert_ne!(cl.route(k.as_bytes()).unwrap(), 1, "drained owns nothing");
+                cl.set(k.as_bytes(), Bytes::from(vec![i as u8; 64]), 0, 0)
+                    .await
+                    .unwrap();
+            }
+            assert_eq!(
+                servers[1].store().stats().items,
+                before,
+                "no new writes may land on a drained server"
+            );
+            for i in 0..60 {
+                let k = format!("dk{i}");
+                assert!(cl.get(k.as_bytes()).await.unwrap().is_some());
+            }
         });
     }
 

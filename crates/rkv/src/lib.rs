@@ -21,6 +21,7 @@
 pub mod checksum;
 pub mod client;
 pub mod hash;
+pub mod membership;
 pub mod proto;
 pub mod server;
 pub mod sharded;
@@ -28,8 +29,9 @@ pub mod slab;
 pub mod store;
 
 pub use checksum::{crc32c, crc32c_pair};
-pub use client::{KvClient, KvClientConfig};
+pub use client::{KvClient, KvClientConfig, OpKind, OpRecord};
 pub use hash::{fnv1a, HashRing};
+pub use membership::Membership;
 pub use server::{KvServer, KvServerConfig};
 pub use sharded::ShardedKv;
 pub use slab::{SlabConfig, SlabFull};

@@ -142,6 +142,40 @@ pub enum FaultEvent {
     /// Remove all edge rules (loss + delay + transfer corruption) and
     /// slowdown factors.
     ClearEdges,
+    /// Admit a standby KV server on `node` to the membership ring
+    /// (delivered to [`FaultInjector::on_membership`] hooks; the burst
+    /// buffer maps it to an epoch bump plus background rebalancing).
+    AddServer {
+        /// Fabric node index of the joining server.
+        node: u32,
+    },
+    /// Take the KV server on `node` off the membership ring. The process
+    /// keeps running and keeps serving index-addressed reads while its
+    /// chunks migrate away (delivered to [`FaultInjector::on_membership`]
+    /// hooks).
+    DrainServer {
+        /// Fabric node index of the draining server.
+        node: u32,
+    },
+}
+
+/// How a [`MembershipEvent`] changes the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// The node's server joins the ring.
+    Join,
+    /// The node's server leaves the ring (but stays up for migration).
+    Drain,
+}
+
+/// A membership-scoped fault delivery, fanned out to
+/// [`FaultInjector::on_membership`] hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// Fabric node index of the affected server.
+    pub node: u32,
+    /// Whether the server joins or drains.
+    pub change: MembershipChange,
 }
 
 impl FaultEvent {
@@ -155,6 +189,16 @@ impl FaultEvent {
             _ => return None,
         };
         Some(NodeEvent { node, kind })
+    }
+
+    /// The membership-hook delivery this event maps to, if any.
+    fn membership_event(&self) -> Option<MembershipEvent> {
+        let (node, change) = match *self {
+            FaultEvent::AddServer { node } => (node, MembershipChange::Join),
+            FaultEvent::DrainServer { node } => (node, MembershipChange::Drain),
+            _ => return None,
+        };
+        Some(MembershipEvent { node, change })
     }
 }
 
@@ -279,6 +323,7 @@ impl CorruptRule {
 
 type NodeEventHook = Box<dyn Fn(NodeEvent)>;
 type CorruptSweepHook = Box<dyn Fn(u32, f64, &SimRng)>;
+type MembershipHook = Box<dyn Fn(MembershipEvent)>;
 
 /// Per-simulation fault state: hooks, active rules, RNG, and the applied
 /// timeline. Owned by the [`Sim`](crate::Sim); components reach it through
@@ -288,6 +333,7 @@ pub struct FaultInjector {
     rng: RefCell<Option<SimRng>>,
     hooks: RefCell<Vec<NodeEventHook>>,
     corrupt_hooks: RefCell<Vec<CorruptSweepHook>>,
+    membership_hooks: RefCell<Vec<MembershipHook>>,
     rules: RefCell<Vec<EdgeRule>>,
     corrupt_rules: RefCell<Vec<CorruptRule>>,
     slow: RefCell<Vec<(u32, f64)>>,
@@ -310,6 +356,14 @@ impl FaultInjector {
     /// capture only `Weak` handles (see module docs).
     pub fn on_corrupt_sweep(&self, hook: impl Fn(u32, f64, &SimRng) + 'static) {
         self.corrupt_hooks.borrow_mut().push(Box::new(hook));
+    }
+
+    /// Register a membership hook, called synchronously for every applied
+    /// [`FaultEvent::AddServer`] / [`FaultEvent::DrainServer`], in
+    /// registration order. The closure must capture only `Weak` handles
+    /// (see module docs).
+    pub fn on_membership(&self, hook: impl Fn(MembershipEvent) + 'static) {
+        self.membership_hooks.borrow_mut().push(Box::new(hook));
     }
 
     /// Reseed the RNG and clear rules + timeline (called on plan install).
@@ -369,6 +423,14 @@ impl FaultInjector {
                 self.rules.borrow_mut().clear();
                 self.corrupt_rules.borrow_mut().clear();
                 self.slow.borrow_mut().clear();
+            }
+            FaultEvent::AddServer { .. } | FaultEvent::DrainServer { .. } => {
+                if let Some(ev) = event.membership_event() {
+                    // same borrow-across-delivery rule as node-event hooks
+                    for hook in self.membership_hooks.borrow().iter() {
+                        hook(ev);
+                    }
+                }
             }
             _ => {
                 if let Some(ev) = event.node_event() {
@@ -642,6 +704,45 @@ mod tests {
         assert!(inj.corrupt_transfer(1, 3, 100).is_some());
         inj.apply(Time::ZERO, FaultEvent::ClearEdges);
         assert!(inj.corrupt_transfer(1, 3, 100).is_none());
+    }
+
+    #[test]
+    fn membership_events_fan_out_and_land_in_the_timeline() {
+        let sim = Sim::new();
+        let seen: Rc<RefCell<Vec<(u64, MembershipEvent)>>> = Rc::default();
+        let log = Rc::clone(&seen);
+        let s = sim.clone();
+        sim.faults().on_membership(move |ev| {
+            log.borrow_mut().push((s.now().as_nanos(), ev));
+        });
+        sim.install_faults(
+            FaultPlan::new(1)
+                .at(dur::ms(3), FaultEvent::AddServer { node: 7 })
+                .at(dur::ms(8), FaultEvent::DrainServer { node: 2 }),
+        );
+        sim.run();
+        let seen = seen.borrow();
+        assert_eq!(
+            *seen,
+            vec![
+                (
+                    3_000_000,
+                    MembershipEvent {
+                        node: 7,
+                        change: MembershipChange::Join
+                    }
+                ),
+                (
+                    8_000_000,
+                    MembershipEvent {
+                        node: 2,
+                        change: MembershipChange::Drain
+                    }
+                ),
+            ]
+        );
+        assert_eq!(sim.faults().timeline().len(), 2);
+        assert!(sim.faults().timeline_text().contains("AddServer"));
     }
 
     #[test]

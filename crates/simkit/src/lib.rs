@@ -48,6 +48,8 @@ pub mod sync {
 }
 
 pub use executor::{JoinHandle, Sim, Sleep};
-pub use faultplan::{FaultEvent, FaultPlan, NodeEvent, NodeEventKind};
+pub use faultplan::{
+    FaultEvent, FaultPlan, MembershipChange, MembershipEvent, NodeEvent, NodeEventKind,
+};
 pub use rng::{SimRng, Zipf};
 pub use time::{dur, Time};

@@ -6,12 +6,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin metrics_check -- PATH \
-//!     [--expect-chunks N] [--require-prefix PREFIX]...
+//!     [--expect-chunks N] [--require-prefix PREFIX]... [--kv-only]
 //! ```
 //!
 //! `--require-prefix` (repeatable) demands at least one metric under the
 //! given name prefix — e.g. `--require-prefix kv.retry.` asserts a fault
-//! run actually exercised the retry path.
+//! run actually exercised the retry path. `--kv-only` validates a
+//! KV-microbenchmark snapshot (e.g. AB9's): the burst-buffer and Lustre
+//! families are not expected, the KV/fabric families still are.
 //!
 //! Exits non-zero with a message on the first violation.
 
@@ -33,7 +35,10 @@ fn main() {
         })
         .map(|(_, a)| a)
         .next()
-        .expect("usage: metrics_check PATH [--expect-chunks N] [--require-prefix PREFIX]...");
+        .expect(
+            "usage: metrics_check PATH [--expect-chunks N] [--require-prefix PREFIX]... [--kv-only]",
+        );
+    let kv_only = args.iter().any(|a| a == "--kv-only");
     let expect_chunks: Option<u64> = args
         .iter()
         .position(|a| a == "--expect-chunks")
@@ -51,19 +56,31 @@ fn main() {
     if !json.contains("\"schema\": \"rdma-bb.metrics.v1\"") {
         failures.push("missing schema marker rdma-bb.metrics.v1".to_string());
     }
-    // every instrumented subsystem must show up in a burst-buffer cell
-    for prefix in [
+    // every instrumented subsystem must show up in a burst-buffer cell;
+    // a KV-only cell (`--kv-only`) has no buffer or Lustre layer but
+    // still owes the KV server, shard, reclamation, and fabric families
+    let bb_families: &[&str] = &[
         "bb.read.",
         "bb.mgr.",
         "bb.integrity.",
         "bb.scrub.",
         "bb.pressure.",
         "bb.rebalance.",
+        "lustre.",
+    ];
+    let kv_families: &[&str] = &[
         "rkv.server",
+        "rkv.shard.",
+        "rkv.slab.reclaim.",
         "rdma.",
         "netsim.",
-        "lustre.",
-    ] {
+    ];
+    let expected = if kv_only {
+        kv_families.to_vec()
+    } else {
+        bb_families.iter().chain(kv_families).copied().collect()
+    };
+    for prefix in expected {
         if !has_metric_prefix(&json, prefix) {
             failures.push(format!("no metric under prefix {prefix:?}"));
         }

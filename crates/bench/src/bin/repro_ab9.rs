@@ -1,0 +1,26 @@
+//! AB9: shard-per-core server scaling — single-server throughput vs
+//! modeled cores with batched CQ draining, plus the slab-reclamation
+//! calcification scenario. The representative cell (4 cores) carries the
+//! `rkv.shard.*`, `rkv.slab.reclaim.*` and `rdma.cq.*` families.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab9 [--quick] [--metrics-json PATH] [--trace PATH]
+//! ```
+
+use bench::experiments::kvserver;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let opts = RunOpts::parse();
+    let report = kvserver::ab9_core_scaling(opts.quick, opts.trace_enabled());
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+}

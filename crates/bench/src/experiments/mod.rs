@@ -9,6 +9,7 @@ pub mod dfsio;
 pub mod faults;
 pub mod integrity;
 pub mod jobs;
+pub mod kvserver;
 pub mod micro;
 pub mod rebalance;
 
@@ -17,7 +18,7 @@ use crate::table::Table;
 /// An experiment's rendered output plus its paper-shape verdict and the
 /// telemetry of its representative cell.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB6`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB9`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
@@ -75,5 +76,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(integrity::ab7_integrity(quick, false));
     println!(">>> AB8: elastic membership scale-out/in");
     out.push(rebalance::ab8_elastic(quick, false));
+    println!(">>> AB9: shard-per-core server scaling");
+    out.push(kvserver::ab9_core_scaling(quick, false));
     out
 }

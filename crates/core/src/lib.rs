@@ -91,6 +91,17 @@ pub struct BbConfig {
     pub kv_servers: usize,
     /// Memory budget per KV server.
     pub kv_mem_per_server: u64,
+    /// Modeled cores per KV server. `1` (default) reproduces the
+    /// single-context server exactly; ≥ 2 activates the shard-per-core
+    /// engine (one store stripe per core, requests routed by key hash).
+    pub kv_cores: usize,
+    /// Max completions a KV server drains per poll of its completion
+    /// ring. `1` (default) keeps the single-context model.
+    pub kv_cq_batch: usize,
+    /// Idle window before a KV server's slab classes become eligible for
+    /// page reclamation under pressure. `Duration::ZERO` (default)
+    /// disables reclamation (classic memcached calcification).
+    pub kv_reclaim_idle: std::time::Duration,
     /// Concurrent file flush streams in the persistence manager.
     pub flusher_threads: usize,
     /// Writers stall when unflushed buffered bytes exceed this fraction of
@@ -170,6 +181,9 @@ impl Default for BbConfig {
             chunk_size: 512 << 10,
             kv_servers: 4,
             kv_mem_per_server: 512 << 20,
+            kv_cores: 1,
+            kv_cq_batch: 1,
+            kv_reclaim_idle: std::time::Duration::ZERO,
             flusher_threads: 4,
             flush_watermark: 0.6,
             write_window: 4,
@@ -258,6 +272,9 @@ impl BbDeployment {
                             mem_limit: config.kv_mem_per_server,
                             ..SlabConfig::default()
                         },
+                        cores: config.kv_cores,
+                        cq_batch: config.kv_cq_batch,
+                        reclaim_idle: config.kv_reclaim_idle,
                         // chunks arrive with their CRC32C in `flags`; the
                         // server rejects transfers whose payload no longer
                         // matches (BadDigest → client re-sends)
@@ -350,6 +367,9 @@ impl BbDeployment {
                     mem_limit: self.config.kv_mem_per_server,
                     ..SlabConfig::default()
                 },
+                cores: self.config.kv_cores,
+                cq_batch: self.config.kv_cq_batch,
+                reclaim_idle: self.config.kv_reclaim_idle,
                 verify_set_crc: true,
                 ..KvServerConfig::default()
             },

@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cq;
 pub mod mr;
 pub mod qp;
 pub mod stack;
 
+pub use cq::Cq;
 pub use mr::{Mr, RKey, RemoteBuf};
 pub use qp::{Qp, QpConfig};
 pub use stack::{RdmaError, RdmaStack};

@@ -653,6 +653,8 @@ impl Response {
                     s.bytes,
                     s.pinned_items,
                     s.pinned_bytes,
+                    s.reclaimed_pages,
+                    s.reclaim_evictions,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -726,7 +728,7 @@ impl Response {
             RTAG_OOM => Response::OutOfMemory,
             RTAG_TRANSFER_FAILED => Response::TransferFailed,
             RTAG_STATS => {
-                if frame.remaining() < 72 {
+                if frame.remaining() < 88 {
                     return Err(ProtoError("truncated stats"));
                 }
                 Response::Stats(KvStats {
@@ -739,6 +741,8 @@ impl Response {
                     bytes: frame.get_u64_le(),
                     pinned_items: frame.get_u64_le(),
                     pinned_bytes: frame.get_u64_le(),
+                    reclaimed_pages: frame.get_u64_le(),
+                    reclaim_evictions: frame.get_u64_le(),
                 })
             }
             RTAG_COUNTER => {
@@ -928,6 +932,8 @@ mod tests {
             bytes: 7,
             pinned_items: 8,
             pinned_bytes: 9,
+            reclaimed_pages: 10,
+            reclaim_evictions: 11,
         }));
     }
 

@@ -1,17 +1,38 @@
 //! The KV server process: accepts queue-pair connections and serves the
 //! binary protocol against a sharded store, using one-sided RDMA for large
 //! payloads (READ for SET, WRITE for GET).
+//!
+//! Two execution models share the wire protocol:
+//!
+//! * **Single-context** (default, `cores = 1` and `cq_batch = 1`): each
+//!   connection's requests are processed inline in its own task —
+//!   `recv → charge proc_time → store op → send` — exactly the seed
+//!   behaviour.
+//! * **Shard-per-core engine** (`cores > 1` or `cq_batch > 1`,
+//!   Dragonfly/Garnet style): arriving frames from every connection land
+//!   in one server-wide completion ring ([`rdmasim::Cq`]); a poller
+//!   drains up to `cq_batch` completions per wakeup (io_uring idiom) and
+//!   routes each request to the core that owns its key
+//!   (`ShardedKv::shard_index` — the same hash the store stripes by, so
+//!   every key is served by exactly one shard with no cross-shard locks
+//!   on the hot path). Each modeled core charges its own `proc_time`
+//!   serially, so per-server throughput scales near-linearly with
+//!   `cores`. A `multi_get` is split into per-shard parts that pipeline
+//!   within the batch window and are joined before replying. Responses
+//!   are posted per connection in request order (memcached semantics).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use simkit::dur;
-use simkit::telemetry::{HistogramMetric, MetricValue};
+use simkit::sync::mpsc;
+use simkit::telemetry::{Gauge, HistogramMetric, MetricValue};
 
 use netsim::NodeId;
-use rdmasim::{Qp, QpConfig, RdmaError, RdmaStack};
+use rdmasim::{Cq, Qp, QpConfig, RdmaError, RdmaStack};
 
 use crate::proto::{Carrier, ProtoError, Request, Response};
 use crate::sharded::ShardedKv;
@@ -21,8 +42,21 @@ use crate::store::KvError;
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct KvServerConfig {
-    /// Lock stripes in the store.
+    /// Lock stripes in the store (single-context model only; the per-core
+    /// engine always runs one stripe per core).
     pub shards: usize,
+    /// Modeled cores. 1 (default) keeps the single-context model; ≥ 2
+    /// activates the shard-per-core engine.
+    pub cores: usize,
+    /// Max completions drained per poll of the server's completion ring.
+    /// 1 (default) keeps the single-context model; ≥ 2 activates the
+    /// engine even at `cores = 1` (batched draining, serialized core).
+    pub cq_batch: usize,
+    /// Idle window for slab page reclamation: a slab class with no
+    /// allocation for this long may have pages retired to the global
+    /// budget under allocation pressure. Zero (default) disables
+    /// reclamation — classic memcached calcification.
+    pub reclaim_idle: Duration,
     /// Slab/memory configuration (`mem_limit` is the `-m` budget).
     pub slab: SlabConfig,
     /// CPU time charged per request (parse + hash + store op).
@@ -41,12 +75,68 @@ impl Default for KvServerConfig {
     fn default() -> Self {
         KvServerConfig {
             shards: 4,
+            cores: 1,
+            cq_batch: 1,
+            reclaim_idle: Duration::ZERO,
             slab: SlabConfig::default(),
             proc_time: dur::ns(1_500),
             qp: QpConfig::default(),
             verify_set_crc: false,
         }
     }
+}
+
+impl KvServerConfig {
+    /// Whether this configuration runs the shard-per-core engine rather
+    /// than the single-context model.
+    pub fn engine_enabled(&self) -> bool {
+        self.cores > 1 || self.cq_batch > 1
+    }
+}
+
+/// One completion-ring entry: a received frame plus everything needed to
+/// route and answer it.
+struct Submission {
+    seq: u64,
+    frame: Bytes,
+    qp: Rc<Qp>,
+    reply: mpsc::Sender<(u64, Bytes)>,
+}
+
+/// Join state for a `multi_get` split across shards.
+struct MultiAgg {
+    values: Vec<Option<(Bytes, u32, u64)>>,
+    remaining: usize,
+    seq: u64,
+    reply: mpsc::Sender<(u64, Bytes)>,
+}
+
+/// Work routed to one core.
+enum CoreOp {
+    Single {
+        req: Request,
+        qp: Rc<Qp>,
+        seq: u64,
+        reply: mpsc::Sender<(u64, Bytes)>,
+    },
+    MultiPart {
+        /// (position in the client's key list, key) — all owned by this
+        /// core's shard.
+        keys: Vec<(usize, Bytes)>,
+        agg: Rc<RefCell<MultiAgg>>,
+    },
+}
+
+/// Per-core dispatch handle.
+struct CoreHandle {
+    tx: mpsc::Sender<CoreOp>,
+    qdepth: Gauge,
+}
+
+/// Shard-per-core engine state.
+struct Engine {
+    cq: Rc<Cq<Submission>>,
+    cores: Vec<CoreHandle>,
 }
 
 /// Per-server service-time histograms (`rkv.server{node}.*_ns`).
@@ -67,6 +157,7 @@ pub struct KvServer {
     requests: Cell<u64>,
     proto_errors: Cell<u64>,
     hists: ServiceHists,
+    engine: Option<Engine>,
 }
 
 impl KvServer {
@@ -75,9 +166,52 @@ impl KvServer {
     /// `rkv.server{node}.*` metrics: service-time histograms plus sampled
     /// store stats (hits/gets/sets/evictions/items/bytes).
     pub fn new(stack: Rc<RdmaStack>, node: NodeId, config: KvServerConfig) -> Rc<KvServer> {
-        let store = Rc::new(ShardedKv::new(config.shards, config.slab));
+        assert!(config.cores >= 1, "cores must be at least 1");
+        let engine_on = config.engine_enabled();
+        // the engine runs one store stripe per modeled core so a shard is
+        // only ever touched from its owning core (no cross-shard locks);
+        // the single-context model keeps the configured stripe count
+        let stripes = if engine_on {
+            config.cores
+        } else {
+            config.shards
+        };
+        let store = Rc::new(ShardedKv::with_reclaim_idle(
+            stripes,
+            config.slab,
+            config.reclaim_idle.as_nanos() as u64,
+        ));
         let m = stack.sim().metrics();
         let prefix = format!("rkv.server{}", node.0);
+        // shard-per-core visibility: shard count, per-shard op totals and
+        // live queue depth, and slab reclamation totals — all present in
+        // every snapshot regardless of execution model so the required
+        // metric families never depend on configuration
+        m.gauge("rkv.shard.contexts")
+            .add(store.shard_count() as i64);
+        for shard in 0..store.shard_count() {
+            let weak = Rc::downgrade(&store);
+            m.sampled(format!("{prefix}.shard{shard}.ops"), move || {
+                let s = weak
+                    .upgrade()
+                    .map(|s| s.shard_stats(shard))
+                    .unwrap_or_default();
+                MetricValue::Counter(s.gets + s.sets)
+            });
+        }
+        for (suffix, pick) in [("pages", 0usize), ("evictions", 1)] {
+            let weak = Rc::downgrade(&store);
+            m.sampled(
+                format!("rkv.slab.reclaim.server{}.{suffix}", node.0),
+                move || {
+                    let s = weak.upgrade().map(|s| s.stats()).unwrap_or_default();
+                    MetricValue::Counter(match pick {
+                        0 => s.reclaimed_pages,
+                        _ => s.reclaim_evictions,
+                    })
+                },
+            );
+        }
         let hists = ServiceHists {
             get_ns: m.histogram(format!("{prefix}.get_ns")),
             set_ns: m.histogram(format!("{prefix}.set_ns")),
@@ -142,7 +276,27 @@ impl KvServer {
                 corrupted.add(n);
             }
         });
-        Rc::new(KvServer {
+        // engine plumbing: one completion ring for the whole server, one
+        // work queue per core; receivers are handed to the core tasks
+        // spawned below
+        let mut core_rxs = Vec::new();
+        let engine = engine_on.then(|| {
+            let cores = (0..store.shard_count())
+                .map(|shard| {
+                    let (tx, rx) = mpsc::unbounded();
+                    core_rxs.push(rx);
+                    CoreHandle {
+                        tx,
+                        qdepth: m.gauge(format!("{prefix}.shard{shard}.qdepth")),
+                    }
+                })
+                .collect();
+            Engine {
+                cq: Cq::new(stack.sim()),
+                cores,
+            }
+        });
+        let server = Rc::new(KvServer {
             node,
             stack,
             store,
@@ -151,7 +305,22 @@ impl KvServer {
             requests: Cell::new(0),
             proto_errors: Cell::new(0),
             hists,
-        })
+            engine,
+        });
+        if server.engine.is_some() {
+            let sim = server.stack.sim().clone();
+            sim.spawn({
+                let this = Rc::clone(&server);
+                async move { this.run_poller().await }
+            });
+            for (core, rx) in core_rxs.into_iter().enumerate() {
+                sim.spawn({
+                    let this = Rc::clone(&server);
+                    async move { this.run_core(core, rx).await }
+                });
+            }
+        }
+        server
     }
 
     /// Fabric node this server runs on.
@@ -189,9 +358,15 @@ impl KvServer {
             .await?;
         self.connections.set(self.connections.get() + 1);
         let this = Rc::clone(self);
-        self.stack.sim().spawn(async move {
-            this.serve_connection(server_qp).await;
-        });
+        if self.engine.is_some() {
+            self.stack.sim().spawn(async move {
+                this.serve_connection_engine(server_qp).await;
+            });
+        } else {
+            self.stack.sim().spawn(async move {
+                this.serve_connection(server_qp).await;
+            });
+        }
         Ok(client_qp)
     }
 
@@ -231,6 +406,178 @@ impl KvServer {
             };
             if qp.send(resp.encode()).await.is_err() {
                 break;
+            }
+        }
+    }
+
+    /// Engine-mode connection pump: every received frame is posted to the
+    /// server's completion ring tagged with a per-connection sequence
+    /// number; a companion replier task sends responses back in that
+    /// order (memcached answers a connection's requests in order even
+    /// when the work fans out across cores).
+    async fn serve_connection_engine(self: Rc<Self>, qp: Qp) {
+        let engine = self.engine.as_ref().expect("engine connection pump");
+        let qp = Rc::new(qp);
+        let (reply_tx, reply_rx) = mpsc::unbounded();
+        self.stack.sim().spawn({
+            let qp = Rc::clone(&qp);
+            async move { Self::run_replier(qp, reply_rx).await }
+        });
+        let mut seq = 0u64;
+        loop {
+            let frame = match qp.recv().await {
+                Ok(f) => f,
+                Err(_) => break, // peer gone; dropping reply_tx stops the replier
+            };
+            engine.cq.post(Submission {
+                seq,
+                frame,
+                qp: Rc::clone(&qp),
+                reply: reply_tx.clone(),
+            });
+            seq += 1;
+        }
+    }
+
+    /// Reorder buffer: cores complete out of order, the wire stays in
+    /// per-connection request order.
+    async fn run_replier(qp: Rc<Qp>, mut rx: mpsc::Receiver<(u64, Bytes)>) {
+        let mut next = 0u64;
+        let mut held: BTreeMap<u64, Bytes> = BTreeMap::new();
+        while let Ok((seq, frame)) = rx.recv().await {
+            held.insert(seq, frame);
+            while let Some(frame) = held.remove(&next) {
+                if qp.send(frame).await.is_err() {
+                    return;
+                }
+                next += 1;
+            }
+        }
+    }
+
+    /// Drain the completion ring in batches of up to `cq_batch`, decode,
+    /// and route each request to the core owning its key. Routing is
+    /// cheap bookkeeping (no proc_time) — the modeled CPU cost is charged
+    /// on the owning core.
+    async fn run_poller(self: Rc<Self>) {
+        let engine = self.engine.as_ref().expect("engine poller");
+        loop {
+            let batch = engine.cq.drain(self.config.cq_batch).await;
+            if batch.is_empty() {
+                break; // ring closed
+            }
+            for sub in batch {
+                match Request::decode(sub.frame.clone()) {
+                    Ok(req) => {
+                        self.requests.set(self.requests.get() + 1);
+                        self.dispatch(req, sub);
+                    }
+                    Err(ProtoError(_)) => {
+                        self.proto_errors.set(self.proto_errors.get() + 1);
+                        let _ = sub
+                            .reply
+                            .try_send((sub.seq, Response::TransferFailed.encode()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hand one decoded request to its owning core. Key-bearing verbs go
+    /// to `shard_index(key)`; a `multi_get` is split into per-shard parts
+    /// joined by an aggregation cell; keyless control verbs (`stats`) run
+    /// on core 0.
+    fn dispatch(&self, req: Request, sub: Submission) {
+        let engine = self.engine.as_ref().expect("engine dispatch");
+        if let Request::MultiGet { keys } = req {
+            if keys.is_empty() {
+                let resp = Response::MultiValues { values: Vec::new() };
+                let _ = sub.reply.try_send((sub.seq, resp.encode()));
+                return;
+            }
+            let mut parts: Vec<Vec<(usize, Bytes)>> = vec![Vec::new(); engine.cores.len()];
+            for (pos, key) in keys.into_iter().enumerate() {
+                parts[self.store.shard_index(&key)].push((pos, key));
+            }
+            let total = keys_total(&parts);
+            let agg = Rc::new(RefCell::new(MultiAgg {
+                values: vec![None; total],
+                remaining: parts.iter().filter(|p| !p.is_empty()).count(),
+                seq: sub.seq,
+                reply: sub.reply,
+            }));
+            for (shard, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                engine.cores[shard].qdepth.add(1);
+                let _ = engine.cores[shard].tx.try_send(CoreOp::MultiPart {
+                    keys: part,
+                    agg: Rc::clone(&agg),
+                });
+            }
+            return;
+        }
+        let shard = match request_key(&req) {
+            Some(key) => self.store.shard_index(key),
+            None => 0,
+        };
+        engine.cores[shard].qdepth.add(1);
+        let _ = engine.cores[shard].tx.try_send(CoreOp::Single {
+            req,
+            qp: sub.qp,
+            seq: sub.seq,
+            reply: sub.reply,
+        });
+    }
+
+    /// One modeled core: executes its queue serially, charging
+    /// `proc_time` per unit of work. Spans carry the core index as the
+    /// trace tid so per-core occupancy is visible in the timeline.
+    async fn run_core(self: Rc<Self>, core: usize, mut rx: mpsc::Receiver<CoreOp>) {
+        let engine = self.engine.as_ref().expect("engine core");
+        let sim = self.stack.sim().clone();
+        while let Ok(op) = rx.recv().await {
+            engine.cores[core].qdepth.add(-1);
+            match op {
+                CoreOp::Single {
+                    req,
+                    qp,
+                    seq,
+                    reply,
+                } => {
+                    let (span_name, hist) = match &req {
+                        Request::Get { .. } => ("kv.get", &self.hists.get_ns),
+                        Request::Set { .. } => ("kv.set", &self.hists.set_ns),
+                        _ => ("kv.other", &self.hists.other_ns),
+                    };
+                    let _sp = sim.span(span_name, "rkv", self.node.0, core as u64 + 1);
+                    let t0 = sim.now();
+                    sim.sleep(self.config.proc_time).await;
+                    let resp = self.handle(&qp, req).await;
+                    hist.record_ns(sim.now().as_nanos().saturating_sub(t0.as_nanos()));
+                    let _ = reply.try_send((seq, resp.encode()));
+                }
+                CoreOp::MultiPart { keys, agg } => {
+                    let _sp = sim.span("kv.multi_get", "rkv", self.node.0, core as u64 + 1);
+                    let t0 = sim.now();
+                    sim.sleep(self.config.proc_time).await;
+                    let now = self.now();
+                    let mut a = agg.borrow_mut();
+                    for (pos, key) in keys {
+                        a.values[pos] = self.store.get(&key, now).map(|v| (v.data, v.flags, v.cas));
+                    }
+                    self.hists
+                        .multi_get_ns
+                        .record_ns(sim.now().as_nanos().saturating_sub(t0.as_nanos()));
+                    a.remaining -= 1;
+                    if a.remaining == 0 {
+                        let resp = Response::MultiValues {
+                            values: std::mem::take(&mut a.values),
+                        };
+                        let _ = a.reply.try_send((a.seq, resp.encode()));
+                    }
+                }
             }
         }
     }
@@ -387,5 +734,32 @@ impl KvServer {
                 Err(_) => Response::NotFound,
             },
         }
+    }
+}
+
+/// Total key count across the per-shard parts of a split `multi_get`.
+fn keys_total(parts: &[Vec<(usize, Bytes)>]) -> usize {
+    parts.iter().map(Vec::len).sum()
+}
+
+/// The routing key of a request, if it carries one. `multi_get` is
+/// handled separately (split per shard); keyless control verbs return
+/// `None` and run on core 0.
+fn request_key(req: &Request) -> Option<&[u8]> {
+    match req {
+        Request::Get { key, .. }
+        | Request::Set { key, .. }
+        | Request::Add { key, .. }
+        | Request::Replace { key, .. }
+        | Request::Cas { key, .. }
+        | Request::Delete { key }
+        | Request::Touch { key, .. }
+        | Request::Incr { key, .. }
+        | Request::Decr { key, .. }
+        | Request::Append { key, .. }
+        | Request::Prepend { key, .. }
+        | Request::Pin { key }
+        | Request::Unpin { key } => Some(key),
+        Request::Stats | Request::MultiGet { .. } => None,
     }
 }

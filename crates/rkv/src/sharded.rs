@@ -18,10 +18,32 @@ pub struct ShardedKv {
 impl ShardedKv {
     /// Create `shards` stripes, splitting `config.mem_limit` between them.
     /// The division remainder is spread one byte per shard so the
-    /// aggregate budget is preserved exactly (every shard still gets at
-    /// least one page so it can hold an item at all).
+    /// aggregate budget is preserved exactly.
+    ///
+    /// Every shard needs at least one slab page to hold an item, but the
+    /// aggregate must never exceed the configured `-m` budget: when the
+    /// budget cannot give each requested shard a whole page the shard
+    /// count is clamped down, and a budget below a single page runs one
+    /// shard with the page size shrunk to the budget.
     pub fn new(shards: usize, config: SlabConfig) -> Self {
+        Self::with_reclaim_idle(shards, config, 0)
+    }
+
+    /// Like [`ShardedKv::new`], additionally enabling idle-page slab
+    /// reclamation on every shard (see [`KvStore::set_reclaim_idle`]).
+    pub fn with_reclaim_idle(shards: usize, config: SlabConfig, reclaim_idle_ns: u64) -> Self {
         assert!(shards > 0, "need at least one shard");
+        assert!(config.mem_limit > 0, "memory budget must be positive");
+        let (shards, config) = if config.mem_limit < config.page_size as u64 {
+            let shrunk = SlabConfig {
+                page_size: config.mem_limit as usize,
+                ..config
+            };
+            (1, shrunk)
+        } else {
+            let max_shards = (config.mem_limit / config.page_size as u64) as usize;
+            (shards.min(max_shards), config)
+        };
         let base = config.mem_limit / shards as u64;
         let remainder = config.mem_limit % shards as u64;
         ShardedKv {
@@ -29,10 +51,12 @@ impl ShardedKv {
                 .map(|i| {
                     let extra = u64::from((i as u64) < remainder);
                     let per_shard = SlabConfig {
-                        mem_limit: (base + extra).max(config.page_size as u64),
+                        mem_limit: base + extra,
                         ..config
                     };
-                    Mutex::new(KvStore::new(per_shard))
+                    let mut store = KvStore::new(per_shard);
+                    store.set_reclaim_idle(reclaim_idle_ns);
+                    Mutex::new(store)
                 })
                 .collect(),
         }
@@ -43,10 +67,17 @@ impl ShardedKv {
         self.shards.len()
     }
 
+    /// The stripe that owns `key` — the single routing function shared by
+    /// the lock-striped facade and the per-core server engine, so "every
+    /// key is served by exactly one shard" holds by construction.
+    #[inline]
+    pub fn shard_index(&self, key: &[u8]) -> usize {
+        (fnv1a(key) as usize) % self.shards.len()
+    }
+
     #[inline]
     fn shard(&self, key: &[u8]) -> &Mutex<KvStore> {
-        let idx = (fnv1a(key) as usize) % self.shards.len();
-        &self.shards[idx]
+        &self.shards[self.shard_index(key)]
     }
 
     /// See [`KvStore::set`].
@@ -189,8 +220,25 @@ impl ShardedKv {
             out.bytes += st.bytes;
             out.pinned_items += st.pinned_items;
             out.pinned_bytes += st.pinned_bytes;
+            out.reclaimed_pages += st.reclaimed_pages;
+            out.reclaim_evictions += st.reclaim_evictions;
         }
         out
+    }
+
+    /// Counters of a single stripe (per-shard telemetry and balance
+    /// reporting).
+    pub fn shard_stats(&self, shard: usize) -> KvStats {
+        self.shards[shard].lock().stats()
+    }
+
+    /// Run the zero-risk reclamation sweep on every shard (see
+    /// [`KvStore::reclaim_idle_pages`]); returns total pages retired.
+    pub fn reclaim_idle_pages(&self, now: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().reclaim_idle_pages(now))
+            .sum()
     }
 
     /// Total live items.
@@ -333,16 +381,67 @@ mod tests {
                 "{shards} shards must keep the full {budget}-byte budget"
             );
         }
-        // tiny budgets still round every shard up to one page
-        let page = SlabConfig::default().page_size as u64;
+        // a budget below one page runs a single shard with shrunken pages
+        // instead of inflating to 4 whole pages (the old behaviour)
         let s = ShardedKv::new(
             4,
             SlabConfig {
-                mem_limit: 10,
+                mem_limit: 10 << 10,
                 ..SlabConfig::default()
             },
         );
-        assert_eq!(s.mem_limit(), 4 * page);
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.mem_limit(), 10 << 10);
+        s.set(b"k", Bytes::from_static(b"v"), 0, 0, 0).unwrap();
+        assert_eq!(&s.get(b"k", 0).unwrap().data[..], b"v");
+    }
+
+    #[test]
+    fn aggregate_budget_never_exceeds_configured_limit() {
+        // regression: the per-shard one-page floor used to inflate the
+        // aggregate budget whenever mem_limit / shards < page_size
+        let page = SlabConfig::default().page_size as u64;
+        for shards in [1usize, 2, 4, 8, 16] {
+            for budget in [
+                1 << 10,
+                page - 1,
+                page,
+                page + 1,
+                2 * page + 17,
+                5 * page,
+                (16 << 20) + 3,
+            ] {
+                let s = ShardedKv::new(
+                    shards,
+                    SlabConfig {
+                        mem_limit: budget,
+                        ..SlabConfig::default()
+                    },
+                );
+                assert!(
+                    s.mem_limit() <= budget,
+                    "{shards} shards over {budget} B must not exceed the budget \
+                     (got {})",
+                    s.mem_limit()
+                );
+                assert_eq!(
+                    s.mem_limit(),
+                    budget,
+                    "clamping must still hand out the whole budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let s = kv(8);
+        for i in 0..200 {
+            let k = format!("key-{i}");
+            let idx = s.shard_index(k.as_bytes());
+            assert!(idx < s.shard_count());
+            assert_eq!(idx, s.shard_index(k.as_bytes()));
+        }
     }
 
     #[test]

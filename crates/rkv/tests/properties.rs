@@ -432,6 +432,147 @@ proptest! {
         }
     }
 
+    /// Shard ownership: `shard_index` is the single routing function —
+    /// every key maps to exactly one in-range shard, a write lands on
+    /// precisely that shard, and per-shard stats sum to the whole-store
+    /// totals (items, bytes, gets, sets).
+    #[test]
+    fn shard_ownership_is_exclusive_and_total(
+        shards in 1usize..8,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..24), 1..60),
+    ) {
+        let store = rkv::ShardedKv::new(shards, SlabConfig {
+            mem_limit: 64 << 20,
+            ..SlabConfig::default()
+        });
+        let mut uniq = keys;
+        uniq.sort();
+        uniq.dedup();
+        for k in &uniq {
+            let owner = store.shard_index(k);
+            prop_assert!(owner < store.shard_count());
+            prop_assert_eq!(owner, store.shard_index(k), "routing must be stable");
+            let before: Vec<u64> = (0..store.shard_count())
+                .map(|s| store.shard_stats(s).items)
+                .collect();
+            store.set(k, Bytes::copy_from_slice(k), 0, 0, 0).unwrap();
+            for (s, &was) in before.iter().enumerate() {
+                let expect = was + u64::from(s == owner);
+                prop_assert_eq!(store.shard_stats(s).items, expect,
+                    "exactly the owning shard gains the item");
+            }
+            // the read is served by the same shard (a hit counted there)
+            let gets_before = store.shard_stats(owner).gets;
+            prop_assert!(store.get(k, 0).is_some());
+            prop_assert_eq!(store.shard_stats(owner).gets, gets_before + 1);
+        }
+        let total = store.stats();
+        let sum = |f: fn(&KvStats) -> u64| -> u64 {
+            (0..store.shard_count()).map(|s| f(&store.shard_stats(s))).sum()
+        };
+        prop_assert_eq!(sum(|s| s.items), total.items);
+        prop_assert_eq!(sum(|s| s.bytes), total.bytes);
+        prop_assert_eq!(sum(|s| s.gets), total.gets);
+        prop_assert_eq!(sum(|s| s.sets), total.sets);
+        prop_assert_eq!(total.items as usize, uniq.len());
+    }
+
+    /// The maintenance sweep (`reclaim_idle_pages`) retires only
+    /// fully-free pages: across arbitrary write/delete interleavings every
+    /// key readable immediately before a sweep is readable with identical
+    /// bytes immediately after it, and the whole run is deterministic
+    /// (same ops → identical final stats and reclaim count).
+    #[test]
+    fn reclaim_sweep_never_drops_live_items(
+        ops in proptest::collection::vec((any::<u8>(), 1usize..16_384, any::<bool>()), 1..100),
+    ) {
+        let run = |ops: &[(u8, usize, bool)]| -> (KvStats, u64) {
+            let mut store = KvStore::new(SlabConfig {
+                mem_limit: 4 << 20,
+                ..SlabConfig::default()
+            });
+            store.set_reclaim_idle(1_000);
+            let mut now = 0u64;
+            let mut reclaimed = 0u64;
+            for &(key, len, del) in ops {
+                now += 10_000; // every op is past the idle window
+                if del {
+                    store.delete(&[key]);
+                } else {
+                    let _ = store.set(&[key], Bytes::from(vec![key; len]), 0, 0, now);
+                }
+                let live: Vec<(u8, Bytes)> = (0..=255u8)
+                    .filter_map(|k| store.get(&[k], now).map(|v| (k, v.data)))
+                    .collect();
+                reclaimed += store.reclaim_idle_pages(now);
+                for (k, v) in live {
+                    let got = store.get(&[k], now);
+                    let got = got.expect("sweep dropped a live item");
+                    assert_eq!(got.data, v, "sweep corrupted a live item");
+                }
+            }
+            (store.stats(), reclaimed)
+        };
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a, b, "reclamation must be deterministic");
+    }
+
+    /// The shard-per-core engine is observably equivalent to the
+    /// single-context model: an identical client script gets identical
+    /// answers at every (cores, cq_batch), including split `multi_get`s.
+    #[test]
+    fn engine_answers_match_single_context(
+        cores in 1usize..5,
+        cq_batch in 1usize..9,
+        script in proptest::collection::vec((any::<u8>(), 1usize..512, any::<bool>()), 1..40),
+    ) {
+        use std::rc::Rc;
+        let run = |cfg: rkv::KvServerConfig| -> Vec<Option<Bytes>> {
+            let sim = simkit::Sim::new();
+            let fabric = netsim::Fabric::new(sim.clone(), 2, netsim::NetConfig::default());
+            let stack = rdmasim::RdmaStack::new(fabric);
+            let servers = vec![rkv::KvServer::new(
+                Rc::clone(&stack),
+                netsim::NodeId(0),
+                cfg,
+            )];
+            let cl = rkv::KvClient::new(
+                Rc::clone(&stack),
+                netsim::NodeId(1),
+                servers,
+                rkv::KvClientConfig::default(),
+            );
+            let script = script.clone();
+            let out = sim.block_on(async move {
+                let mut out = Vec::new();
+                for (key, len, is_get) in script {
+                    if is_get {
+                        out.push(cl.get(&[key]).await.unwrap().map(|v| v.data));
+                    } else {
+                        cl.set(&[key], Bytes::from(vec![key; len]), 0, 0).await.unwrap();
+                    }
+                }
+                // a wide multi_get exercises the per-shard split/join path
+                let keys: Vec<Vec<u8>> = (0..16u8).map(|k| vec![k * 16]).collect();
+                let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                for v in cl.multi_get(&refs).await.unwrap() {
+                    out.push(v.map(|v| v.data));
+                }
+                out
+            });
+            sim.reset();
+            out
+        };
+        let base = run(rkv::KvServerConfig::default());
+        let engine = run(rkv::KvServerConfig {
+            cores,
+            cq_batch,
+            ..rkv::KvServerConfig::default()
+        });
+        prop_assert_eq!(base, engine);
+    }
+
     /// Ketama: routing is a pure function of the label set — rebuilding
     /// the ring gives identical placement, and every key routes somewhere
     /// valid.

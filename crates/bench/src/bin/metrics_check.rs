@@ -6,18 +6,24 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin metrics_check -- PATH \
-//!     [--expect-chunks N] [--require-prefix PREFIX]... [--kv-only]
+//!     [--expect-chunks N] [--require-prefix PREFIX]... [--kv-only] \
+//!     [--slo FILE]
 //! ```
 //!
 //! `--require-prefix` (repeatable) demands at least one metric under the
 //! given name prefix — e.g. `--require-prefix kv.retry.` asserts a fault
 //! run actually exercised the retry path. `--kv-only` validates a
 //! KV-microbenchmark snapshot (e.g. AB9's): the burst-buffer and Lustre
-//! families are not expected, the KV/fabric families still are.
+//! families are not expected, the KV/fabric families still are. `--slo`
+//! gates the snapshot's latency histograms against a committed budget
+//! file (`rdma-bb.slo.v1`, e.g. `slo/ab10.json`): each `<field>_max`
+//! entry bounds that histogram field, in nanoseconds.
 //!
 //! Exits non-zero with a message on the first violation.
 
-use bench::telemetry::{counter_in_json, has_metric_prefix};
+use bench::telemetry::{
+    counter_in_json, has_metric_prefix, histogram_field_in_json, parse_slo_budgets,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,13 +36,14 @@ fn main() {
             !a.starts_with("--")
                 && !matches!(
                     i.checked_sub(1).and_then(|p| args.get(p)),
-                    Some(f) if f == "--expect-chunks" || f == "--require-prefix"
+                    Some(f) if f == "--expect-chunks" || f == "--require-prefix" || f == "--slo"
                 )
         })
         .map(|(_, a)| a)
         .next()
         .expect(
-            "usage: metrics_check PATH [--expect-chunks N] [--require-prefix PREFIX]... [--kv-only]",
+            "usage: metrics_check PATH [--expect-chunks N] [--require-prefix PREFIX]... \
+             [--kv-only] [--slo FILE]",
         );
     let kv_only = args.iter().any(|a| a == "--kv-only");
     let expect_chunks: Option<u64> = args
@@ -50,11 +57,19 @@ fn main() {
         .filter(|(_, a)| *a == "--require-prefix")
         .filter_map(|(i, _)| args.get(i + 1))
         .collect();
+    let slo_path = args
+        .iter()
+        .position(|a| a == "--slo")
+        .and_then(|i| args.get(i + 1));
     let json = std::fs::read_to_string(path).expect("read snapshot");
 
     let mut failures = Vec::new();
-    if !json.contains("\"schema\": \"rdma-bb.metrics.v1\"") {
-        failures.push("missing schema marker rdma-bb.metrics.v1".to_string());
+    // v1 snapshots (pre-percentile histograms) stay valid; v2 adds
+    // p50/p99/p999 fields to every histogram
+    if !json.contains("\"schema\": \"rdma-bb.metrics.v1\"")
+        && !json.contains("\"schema\": \"rdma-bb.metrics.v2\"")
+    {
+        failures.push("missing schema marker rdma-bb.metrics.v1/v2".to_string());
     }
     // every instrumented subsystem must show up in a burst-buffer cell;
     // a KV-only cell (`--kv-only`) has no buffer or Lustre layer but
@@ -106,11 +121,38 @@ fn main() {
             ));
         }
     }
+    let mut slo_checked = 0usize;
+    if let Some(slo_path) = slo_path {
+        let slo = std::fs::read_to_string(slo_path).expect("read SLO budget file");
+        if !slo.contains("\"schema\": \"rdma-bb.slo.v1\"") {
+            failures.push(format!("{slo_path}: missing schema marker rdma-bb.slo.v1"));
+        }
+        let budgets = parse_slo_budgets(&slo);
+        if budgets.is_empty() {
+            failures.push(format!("{slo_path}: no budgets parsed"));
+        }
+        for (metric, field, budget) in budgets {
+            slo_checked += 1;
+            match histogram_field_in_json(&json, &metric, &field) {
+                Some(v) if v <= budget => {}
+                Some(v) => failures.push(format!(
+                    "SLO violation: {metric} {field} = {v} ns exceeds budget {budget} ns"
+                )),
+                None => failures.push(format!(
+                    "SLO budget for {metric} but the snapshot has no such histogram"
+                )),
+            }
+        }
+    }
 
     if failures.is_empty() {
+        let slo_note = if slo_checked > 0 {
+            format!(", {slo_checked} SLO budgets honoured")
+        } else {
+            String::new()
+        };
         println!(
-            "ok: {} — schema valid, all subsystem families present, tier sum {}",
-            path, sum
+            "ok: {path} — schema valid, all subsystem families present, tier sum {sum}{slo_note}"
         );
     } else {
         for f in &failures {

@@ -1,0 +1,28 @@
+//! AB10: tail-latency decomposition — per-operation request tracing of
+//! one engine server at 1 vs 4 cores, showing the single-core p99 is
+//! queueing (CQ wait + shard queue), not service time, and proving the
+//! stage sums telescope to the end-to-end latency exactly. The
+//! representative cell (4 cores) publishes the `rkv.lat.*` histogram
+//! families, which `metrics_check --slo slo/ab10.json` gates.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab10 [--quick] [--metrics-json PATH]
+//! ```
+
+use bench::experiments::tracing;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let opts = RunOpts::parse();
+    let report = tracing::ab10_latency_decomposition(opts.quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+}

@@ -8,7 +8,7 @@
 //! ```
 
 use bench::experiments::kvserver;
-use bench::telemetry::RunOpts;
+use bench::telemetry::{print_shard_footer, RunOpts};
 
 fn main() {
     let opts = RunOpts::parse();
@@ -22,5 +22,6 @@ fn main() {
             "DIVERGES"
         }
     );
+    print_shard_footer(&report);
     opts.write(&report);
 }

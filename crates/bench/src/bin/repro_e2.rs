@@ -5,7 +5,7 @@
 //! ```
 
 use bench::experiments::micro;
-use bench::telemetry::RunOpts;
+use bench::telemetry::{print_shard_footer, RunOpts};
 
 fn main() {
     let opts = RunOpts::parse();
@@ -19,5 +19,6 @@ fn main() {
             "DIVERGES"
         }
     );
+    print_shard_footer(&report);
     opts.write(&report);
 }

@@ -143,10 +143,15 @@ pub struct FaultCase {
     pub seed: u64,
     /// Shrink the dataset for CI-speed runs.
     pub quick: bool,
+    /// Virtual-time convergence deadline in seconds. The default (120 s)
+    /// out-waits every legitimate recovery; a deliberately tiny value
+    /// forces a non-convergence verdict, which is how tests exercise the
+    /// crash flight-recorder dump path.
+    pub deadline_secs: u64,
 }
 
 impl FaultCase {
-    /// A matrix cell with the default seed and quick sizing.
+    /// A matrix cell with the default seed, deadline, and quick sizing.
     pub fn quick(scheme: Scheme, scenario: FaultScenario, replication: usize) -> FaultCase {
         FaultCase {
             scheme,
@@ -154,6 +159,7 @@ impl FaultCase {
             replication,
             seed: 0xE12,
             quick: true,
+            deadline_secs: 120,
         }
     }
 }
@@ -213,6 +219,11 @@ pub struct FaultOutcome {
     pub consistency_ok: bool,
     /// Checker violation descriptions when `consistency_ok` is false.
     pub consistency_violations: Vec<String>,
+    /// Frozen flight-recorder dumps (`rdma-bb.flight.v1` JSON), one per
+    /// trigger: non-convergence, a write failure, a consistency
+    /// violation, or an unrepairable scrub verdict during the run. Empty
+    /// on a clean cell. Byte-identical across same-seed runs.
+    pub flight_dumps: Vec<String>,
 }
 
 impl FaultOutcome {
@@ -274,6 +285,10 @@ pub fn run_fault_scenario_telemetry(
     if trace {
         tb.sim.tracer().enable();
     }
+    // fault cells always fly the recorder: retries, poisonings,
+    // failovers, pressure transitions, and every applied fault land in
+    // bounded rings, frozen to a dump if the cell ends badly
+    tb.sim.flight().enable(simkit::flight::DEFAULT_RING_LEN);
     let bb = Rc::clone(tb.bb.as_ref().expect("bb testbed"));
     let client = bb.client(tb.nodes[0]);
     // record every logical KV op the client issues; checked at end of run
@@ -438,7 +453,7 @@ pub fn run_fault_scenario_telemetry(
     // step the clock in 1 s slices so the run stops as soon as the driver
     // finishes instead of idling the background scrubber out to the full
     // deadline (run-to-quiescence would never return with it ticking)
-    let deadline = tb.sim.now() + dur::secs(120);
+    let deadline = tb.sim.now() + dur::secs(case.deadline_secs);
     while !driver.is_finished() && tb.sim.now() < deadline {
         let step = (tb.sim.now() + dur::secs(1)).min(deadline);
         crate::experiments::integrity::step_to(&tb.sim, step);
@@ -472,6 +487,31 @@ pub fn run_fault_scenario_telemetry(
         _ => None,
     };
     let verdict = history.check(crate::consistency::Checker { forbid_miss: false });
+    // freeze the recorder on any bad ending (the unrepairable-scrub path
+    // triggers from inside the manager on its own), then collect every
+    // dump produced during the run
+    let now_ns = tb.sim.now().as_nanos();
+    if !converged {
+        tb.sim
+            .flight()
+            .trigger(now_ns, "fault cell hung past the deadline");
+    }
+    if finish.as_ref().is_some_and(|f| f.write_err) {
+        tb.sim.flight().trigger(now_ns, "fault cell write failed");
+    }
+    if !verdict.ok() {
+        tb.sim.flight().trigger(
+            now_ns,
+            &format!("consistency violation: {:?}", verdict.violations),
+        );
+    }
+    let flight_dumps: Vec<String> = tb
+        .sim
+        .flight()
+        .dumps()
+        .into_iter()
+        .map(|(_, json)| json)
+        .collect();
     let outcome = FaultOutcome {
         converged: converged && finish.as_ref().is_some_and(|f| !f.write_err),
         state: finish.as_ref().map(|f| f.state),
@@ -495,7 +535,27 @@ pub fn run_fault_scenario_telemetry(
         metrics_json,
         consistency_ok: verdict.ok(),
         consistency_violations: verdict.violations,
+        flight_dumps,
     };
+    // persist dumps under the workspace-root target/ (anchored via the
+    // manifest dir — test binaries run with CWD = crate root) so a
+    // failing CI run can upload them as artifacts
+    if !outcome.flight_dumps.is_empty() {
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/flight-recorder");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            for (i, dump) in outcome.flight_dumps.iter().enumerate() {
+                let name = format!(
+                    "{}-{}-r{}-seed{:x}-{i}.json",
+                    case.scheme.label().replace(' ', "_"),
+                    case.scenario.label().replace(' ', "_"),
+                    case.replication,
+                    case.seed
+                );
+                let _ = std::fs::write(dir.join(name), dump);
+            }
+        }
+    }
     tb.shutdown();
     (outcome, Some(cell))
 }
@@ -557,11 +617,8 @@ pub fn e12_with_artifacts(quick: bool, trace: bool) -> (ExpReport, String) {
     }
 
     let case = |scheme, scenario, replication| FaultCase {
-        scheme,
-        scenario,
-        replication,
-        seed: 0xE12,
         quick,
+        ..FaultCase::quick(scheme, scenario, replication)
     };
     let row_label = |scheme: Scheme, scenario: FaultScenario, r: usize| {
         format!("{}: {} (r={r})", scheme.label(), scenario.label())

@@ -12,13 +12,14 @@ pub mod jobs;
 pub mod kvserver;
 pub mod micro;
 pub mod rebalance;
+pub mod tracing;
 
 use crate::table::Table;
 
 /// An experiment's rendered output plus its paper-shape verdict and the
 /// telemetry of its representative cell.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB9`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB10`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
@@ -78,5 +79,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(rebalance::ab8_elastic(quick, false));
     println!(">>> AB9: shard-per-core server scaling");
     out.push(kvserver::ab9_core_scaling(quick, false));
+    println!(">>> AB10: tail-latency decomposition");
+    out.push(tracing::ab10_latency_decomposition(quick));
     out
 }

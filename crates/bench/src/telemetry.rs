@@ -44,6 +44,39 @@ pub fn attach(report: &mut ExpReport, cell: Option<CellTelemetry>) {
     }
 }
 
+/// Print a per-shard service-time footer from the representative cell's
+/// snapshot: one line per `rkv.server{N}.shard{S}.svc_ns` histogram with
+/// its count and p50/p99/p999 in nanoseconds. Silent when the cell
+/// carried no shard histograms (non-engine servers) or no snapshot.
+pub fn print_shard_footer(report: &ExpReport) {
+    use simkit::telemetry::MetricValue;
+    let Some(snap) = &report.metrics else { return };
+    let names: Vec<&str> = snap
+        .names()
+        .filter(|n| n.starts_with("rkv.server") && n.contains(".shard") && n.ends_with(".svc_ns"))
+        .collect();
+    let mut printed_header = false;
+    for name in names {
+        let Some(MetricValue::Histogram(h)) = snap.get(name) else {
+            continue;
+        };
+        if h.count() == 0 {
+            continue;
+        }
+        if !printed_header {
+            println!("per-shard service time (representative cell):");
+            printed_header = true;
+        }
+        println!(
+            "  {name}: count={} p50={} ns p99={} ns p999={} ns",
+            h.count(),
+            h.percentile(50.0).as_nanos(),
+            h.percentile(99.0).as_nanos(),
+            h.percentile(99.9).as_nanos(),
+        );
+    }
+}
+
 /// Command-line options every `repro_*` binary understands.
 pub struct RunOpts {
     /// Shrink sweeps for CI-speed runs (`--quick`).
@@ -126,6 +159,58 @@ pub fn has_metric_prefix(json: &str, prefix: &str) -> bool {
     json.contains(&format!("\"{prefix}"))
 }
 
+/// Read one integer field (`count`, `p99_ns`, …) of a histogram metric
+/// out of a snapshot JSON file — the same format-pinned scan as
+/// [`counter_in_json`], against the v2 histogram layout.
+pub fn histogram_field_in_json(json: &str, name: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{name}\": {{\"type\": \"histogram\", ");
+    let at = json.find(&needle)? + needle.len();
+    let obj = &json[at..at + json[at..].find('}')?];
+    let f = format!("\"{field}\": ");
+    let fat = obj.find(&f)? + f.len();
+    let rest = &obj[fat..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parse a declarative SLO budget file (`rdma-bb.slo.v1`) into
+/// `(metric, histogram_field, budget_ns)` triples. The format is one
+/// budget object per line:
+///
+/// ```text
+/// "rkv.lat.get.e2e": {"p99_ns_max": 120000, "p999_ns_max": 400000},
+/// ```
+///
+/// Each `<field>_max` key bounds the snapshot histogram's `<field>`
+/// value (`p50_ns`, `p99_ns`, `p999_ns`, `max_ns`).
+pub fn parse_slo_budgets(slo: &str) -> Vec<(String, String, u64)> {
+    let mut out = Vec::new();
+    for line in slo.lines() {
+        if !line.contains("_max") || line.contains("\"schema\"") {
+            continue;
+        }
+        let mut quoted = line.split('"').skip(1).step_by(2);
+        let Some(metric) = quoted.next() else {
+            continue;
+        };
+        for key in quoted {
+            let Some(field) = key.strip_suffix("_max") else {
+                continue;
+            };
+            let tail = &line[line.find(&format!("\"{key}\"")).unwrap() + key.len() + 2..];
+            let digits: String = tail
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(budget) = digits.parse() {
+                out.push((metric.to_string(), field.to_string(), budget));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +244,45 @@ mod tests {
         assert_eq!(counter_in_json(&json, "missing"), None);
         assert!(has_metric_prefix(&json, "bb.read."));
         assert!(!has_metric_prefix(&json, "lustre."));
+    }
+
+    #[test]
+    fn histogram_scan_reads_emitted_layout() {
+        let r = simkit::telemetry::Registry::default();
+        let h = r.histogram("rkv.lat.get.e2e");
+        for v in [10u64, 20, 30, 40] {
+            h.record_ns(v);
+        }
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            histogram_field_in_json(&json, "rkv.lat.get.e2e", "count"),
+            Some(4)
+        );
+        assert_eq!(
+            histogram_field_in_json(&json, "rkv.lat.get.e2e", "max_ns"),
+            Some(40)
+        );
+        assert!(histogram_field_in_json(&json, "rkv.lat.get.e2e", "p99_ns").is_some());
+        assert_eq!(histogram_field_in_json(&json, "missing", "p99_ns"), None);
+    }
+
+    #[test]
+    fn slo_budgets_parse() {
+        let slo = r#"{
+  "schema": "rdma-bb.slo.v1",
+  "budgets": {
+    "rkv.lat.get.e2e": {"p99_ns_max": 120000, "p999_ns_max": 400000},
+    "rkv.lat.set.e2e": {"max_ns_max": 9000000}
+  }
+}"#;
+        let budgets = parse_slo_budgets(slo);
+        assert_eq!(
+            budgets,
+            vec![
+                ("rkv.lat.get.e2e".into(), "p99_ns".into(), 120000),
+                ("rkv.lat.get.e2e".into(), "p999_ns".into(), 400000),
+                ("rkv.lat.set.e2e".into(), "max_ns".into(), 9000000),
+            ]
+        );
     }
 }

@@ -34,11 +34,8 @@ fn run_seeded(
     seed: u64,
 ) -> FaultOutcome {
     run_fault_scenario(FaultCase {
-        scheme,
-        scenario,
-        replication,
         seed,
-        quick: true,
+        ..FaultCase::quick(scheme, scenario, replication)
     })
 }
 
@@ -290,11 +287,8 @@ proptest! {
     #[test]
     fn same_seed_runs_are_byte_identical(seed in any::<u64>()) {
         let case = FaultCase {
-            scheme: Scheme::AsyncLustre,
-            scenario: FaultScenario::RpcLoss,
-            replication: 1,
             seed,
-            quick: true,
+            ..FaultCase::quick(Scheme::AsyncLustre, FaultScenario::RpcLoss, 1)
         };
         let a = run_fault_scenario(case);
         let b = run_fault_scenario(case);
@@ -311,11 +305,8 @@ proptest! {
     #[test]
     fn corrupt_value_expansion_is_deterministic(seed in any::<u64>()) {
         let case = FaultCase {
-            scheme: Scheme::AsyncLustre,
-            scenario: FaultScenario::CorruptValues,
-            replication: 2,
             seed,
-            quick: true,
+            ..FaultCase::quick(Scheme::AsyncLustre, FaultScenario::CorruptValues, 2)
         };
         let a = run_fault_scenario(case);
         let b = run_fault_scenario(case);
@@ -328,16 +319,41 @@ proptest! {
         prop_assert_eq!(a.end, b.end);
     }
 
+    /// A deliberately impossible convergence deadline forces the
+    /// fault-matrix failure path: the crash flight recorder must freeze
+    /// a dump naming the reason, and two same-seed forced failures must
+    /// produce byte-identical dumps (the triage artifact is as
+    /// deterministic as the run it describes).
+    #[test]
+    fn forced_failure_dumps_flight_recorder_deterministically(seed in any::<u64>()) {
+        let case = FaultCase {
+            seed,
+            deadline_secs: 1,
+            ..FaultCase::quick(Scheme::AsyncLustre, FaultScenario::CrashOne, 1)
+        };
+        let a = run_fault_scenario(case);
+        let b = run_fault_scenario(case);
+        prop_assert!(!a.converged, "1 s deadline cannot cover flush + read-back");
+        prop_assert!(
+            !a.flight_dumps.is_empty(),
+            "forced failure produced no flight-recorder dump"
+        );
+        prop_assert!(a.flight_dumps[0].contains("\"schema\": \"rdma-bb.flight.v1\""));
+        prop_assert!(a.flight_dumps[0].contains("hung past the deadline"));
+        prop_assert!(
+            a.flight_dumps[0].contains("faultplan"),
+            "dump must carry the applied-fault ring"
+        );
+        prop_assert_eq!(&a.flight_dumps, &b.flight_dumps, "dumps diverged for seed {}", seed);
+    }
+
     /// The full crash/restart lifecycle replays identically: recovery
     /// timeline and loss accounting are functions of (seed, plan) only.
     #[test]
     fn crash_recovery_timeline_is_deterministic(seed in any::<u64>()) {
         let case = FaultCase {
-            scheme: Scheme::AsyncLustre,
-            scenario: FaultScenario::CrashRestart,
-            replication: 1,
             seed,
-            quick: true,
+            ..FaultCase::quick(Scheme::AsyncLustre, FaultScenario::CrashRestart, 1)
         };
         let a = run_fault_scenario(case);
         let b = run_fault_scenario(case);

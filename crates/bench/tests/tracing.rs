@@ -1,0 +1,183 @@
+//! Property tests for per-operation request tracing (DESIGN.md §10):
+//! the decomposition is deterministic, the per-op stage sums telescope
+//! to the end-to-end latency exactly, and enabling the tracer does not
+//! perturb the simulation it observes.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use netsim::{Fabric, NetConfig, NodeId};
+use proptest::prelude::*;
+use rdmasim::RdmaStack;
+use rkv::server::KvServerConfig;
+use rkv::{KvClient, KvClientConfig, KvServer};
+use simkit::Sim;
+
+/// One closed-loop engine cell (set phase then get phase of 512 B ops),
+/// identical to AB10's workload shape but parameterised small enough for
+/// property testing. Returns the decomposition JSON, the registry
+/// metrics JSON (tracer series NOT published into it), and whether every
+/// traced class reconciled stage sums == e2e exactly.
+fn run_cell(cores: usize, clients: usize, ops_per_client: usize, traced: bool) -> Cell {
+    let sim = Sim::new();
+    if traced {
+        sim.optrace().enable();
+    }
+    let fabric = Fabric::new(sim.clone(), clients + 1, NetConfig::default());
+    let stack = RdmaStack::new(fabric);
+    let servers = vec![KvServer::new(
+        Rc::clone(&stack),
+        NodeId(0),
+        KvServerConfig {
+            cores,
+            cq_batch: 16,
+            ..KvServerConfig::default()
+        },
+    )];
+    let s = sim.clone();
+    sim.block_on(async move {
+        let payload = Bytes::from(vec![0x51u8; 512]);
+        let kv_clients: Vec<Rc<KvClient>> = (0..clients)
+            .map(|c| {
+                KvClient::new(
+                    Rc::clone(&stack),
+                    NodeId((c + 1) as u32),
+                    servers.clone(),
+                    KvClientConfig::default(),
+                )
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for (c, cl) in kv_clients.into_iter().enumerate() {
+            let payload = payload.clone();
+            handles.push(s.spawn(async move {
+                for i in 0..ops_per_client {
+                    let key = format!("c{c}-k{i}");
+                    cl.set(key.as_bytes(), payload.clone(), 0, 0).await.unwrap();
+                }
+                for i in 0..ops_per_client {
+                    let key = format!("c{c}-k{i}");
+                    cl.get(key.as_bytes()).await.unwrap().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+    });
+    let tracer = sim.optrace();
+    let decomposition = tracer.decomposition_json();
+    let finished = tracer.finished_ops();
+    let exact = ["get", "set"]
+        .iter()
+        .all(|class| tracer.reconcile("rkv", class).is_some_and(|r| r.exact()));
+    let get_stage_p99s: Vec<u64> = [
+        "rkv.lat.get.client_queue",
+        "rkv.lat.get.cq_wait",
+        "rkv.lat.get.shard_queue",
+        "rkv.lat.get.service",
+    ]
+    .iter()
+    .map(|name| tracer.series_percentile(name, 99.0))
+    .collect();
+    let e2e_max = tracer.series_percentile("rkv.lat.get.e2e", 100.0);
+    let metrics = sim.metrics().snapshot().to_json();
+    sim.reset();
+    Cell {
+        decomposition,
+        metrics,
+        finished,
+        exact,
+        get_stage_p99s,
+        e2e_max,
+    }
+}
+
+struct Cell {
+    decomposition: String,
+    metrics: String,
+    finished: u64,
+    exact: bool,
+    get_stage_p99s: Vec<u64>,
+    e2e_max: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The decomposition JSON is a pure function of the workload: two
+    /// identical traced runs produce byte-identical decompositions and
+    /// byte-identical registry snapshots.
+    #[test]
+    fn same_workload_decomposition_is_byte_identical(
+        cores in 1usize..=4,
+        clients in 1usize..=6,
+        ops in 1usize..=24,
+    ) {
+        let a = run_cell(cores, clients, ops, true);
+        let b = run_cell(cores, clients, ops, true);
+        prop_assert!(a.finished > 0, "traced cell finished no ops");
+        prop_assert_eq!(&a.decomposition, &b.decomposition);
+        prop_assert_eq!(&a.metrics, &b.metrics);
+    }
+
+    /// Telescoping identity: for every traced class the per-op stage
+    /// durations sum to the end-to-end latency to the nanosecond (stages
+    /// are consecutive virtual-time stamp differences, so this also
+    /// proves the stamps are monotone — a non-monotone stamp would wrap
+    /// the u64 subtraction and blow the sum).
+    #[test]
+    fn stage_sums_telescope_to_e2e_exactly(
+        cores in 1usize..=4,
+        clients in 1usize..=6,
+        ops in 1usize..=24,
+    ) {
+        let cell = run_cell(cores, clients, ops, true);
+        prop_assert_eq!(cell.finished, 2 * (clients * ops) as u64);
+        prop_assert!(cell.exact, "stage sums diverged from e2e");
+        // Each individual stage is bounded by the worst end-to-end op.
+        for (i, p99) in cell.get_stage_p99s.iter().enumerate() {
+            prop_assert!(
+                *p99 <= cell.e2e_max,
+                "stage {i} p99 {p99} ns exceeds e2e max {} ns",
+                cell.e2e_max
+            );
+        }
+    }
+
+    /// The tracer is an observer, not a participant: running the same
+    /// workload with tracing on and off yields byte-identical registry
+    /// snapshots (the tracer records stamps without advancing virtual
+    /// time or touching the registry until `publish` is called).
+    #[test]
+    fn tracing_does_not_perturb_the_simulation(
+        cores in 1usize..=4,
+        clients in 1usize..=6,
+        ops in 1usize..=24,
+    ) {
+        let traced = run_cell(cores, clients, ops, true);
+        let untraced = run_cell(cores, clients, ops, false);
+        prop_assert!(traced.finished > 0 && untraced.finished == 0);
+        prop_assert_eq!(&traced.metrics, &untraced.metrics);
+    }
+}
+
+/// The decomposition JSON carries the schema marker and the series the
+/// SLO gate budgets against, and a disabled tracer emits the same empty
+/// document every time (so untraced runs stay byte-stable too).
+#[test]
+fn decomposition_json_shape() {
+    let cell = run_cell(2, 4, 16, true);
+    assert!(cell
+        .decomposition
+        .contains("\"schema\": \"rdma-bb.oplat.v1\""));
+    for series in ["rkv.lat.get.e2e", "rkv.lat.get.service", "rkv.lat.set.e2e"] {
+        assert!(
+            cell.decomposition.contains(series),
+            "decomposition missing series {series}"
+        );
+    }
+    let off_a = run_cell(1, 1, 1, false);
+    let off_b = run_cell(1, 1, 1, false);
+    assert_eq!(off_a.decomposition, off_b.decomposition);
+}

@@ -196,9 +196,12 @@ impl BbClient {
     /// request never reached the manager, so resending cannot double-apply
     /// it. `NoReply`/`ServiceUnavailable` may follow a *processed* request
     /// (e.g. a `ChunkReady` already enqueued) and surface immediately.
+    /// When a traced op rides along, the RPC stamps its wire/serve/reply
+    /// points into that op's timeline.
     async fn mgr_call<R: 'static>(
         &self,
         bytes: u64,
+        op: Option<simkit::OpId>,
         make: impl Fn(netsim::ReplyHandle<R>) -> MgrMsg,
     ) -> Result<R, BbError> {
         let cfg = &self.dep.config;
@@ -209,17 +212,21 @@ impl BbClient {
                 .dep
                 .manager
                 .net()
-                .call(
+                .call_traced(
                     self.node,
                     self.dep.manager.node(),
                     MGR_SERVICE,
                     bytes,
+                    op,
                     &make,
                 )
                 .await;
             match r {
                 Ok(v) => return Ok(v),
                 Err(netsim::RpcError::Net(_)) if attempt < cfg.kv_retries => {
+                    sim.flight_record("bb.client", "mgr_retry", || {
+                        format!("node={} attempt={attempt}", self.node.0)
+                    });
                     let delay = cfg
                         .kv_backoff
                         .saturating_mul(1 << attempt.min(20))
@@ -236,7 +243,7 @@ impl BbClient {
     pub async fn create(self: &Rc<Self>, path: &str) -> Result<BbWriter, BbError> {
         let p = path.to_owned();
         let file_id = self
-            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Create {
+            .mgr_call(128 + path.len() as u64, None, |reply| MgrMsg::Create {
                 path: p.clone(),
                 reply,
             })
@@ -289,7 +296,7 @@ impl BbClient {
 
     async fn fetch_meta(&self, path: &str) -> Result<BbFileMeta, BbError> {
         let p = path.to_owned();
-        self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::Open {
+        self.mgr_call(128 + path.len() as u64, None, |reply| MgrMsg::Open {
             path: p.clone(),
             reply,
         })
@@ -310,7 +317,7 @@ impl BbClient {
     pub async fn delete(&self, path: &str) -> Result<(), BbError> {
         let p = path.to_owned();
         let meta = self
-            .mgr_call(128 + path.len() as u64, |reply| MgrMsg::Delete {
+            .mgr_call(128 + path.len() as u64, None, |reply| MgrMsg::Delete {
                 path: p.clone(),
                 reply,
             })
@@ -349,7 +356,7 @@ impl BbClient {
     /// List paths under `prefix`.
     pub async fn list(&self, prefix: &str) -> Result<Vec<String>, BbError> {
         let p = prefix.to_owned();
-        self.mgr_call(128 + prefix.len() as u64, |reply| MgrMsg::List {
+        self.mgr_call(128 + prefix.len() as u64, None, |reply| MgrMsg::List {
             prefix: p.clone(),
             reply,
         })
@@ -359,7 +366,7 @@ impl BbClient {
     /// Block until `path` is durable in Lustre (or reported lost).
     pub async fn wait_flushed(&self, path: &str) -> Result<FileState, BbError> {
         let p = path.to_owned();
-        self.mgr_call(128 + path.len() as u64, |reply| MgrMsg::WaitFlushed {
+        self.mgr_call(128 + path.len() as u64, None, |reply| MgrMsg::WaitFlushed {
             path: p.clone(),
             reply,
         })
@@ -464,72 +471,97 @@ impl BbWriter {
         let sim = self.client.dep.stack.sim().clone();
         let handle = sim.clone().spawn(async move {
             let _permit = permit;
-            match client.dep.config.scheme {
-                Scheme::SyncLustre => {
-                    // write-through: buffer PUT and Lustre write in
-                    // parallel; the ack needs both (buffer loss is
-                    // tolerable, Lustre loss is not)
-                    let lf = lustre_file.expect("sync scheme has a lustre handle");
-                    let kv = Rc::clone(&client.kv);
-                    let kv_chunk = chunk.clone();
-                    let kv_task =
-                        sim.spawn(async move { kv.set(&key, kv_chunk, crc, 0).await.map(|_| ()) });
-                    lf.write_at(seq * chunk_size, chunk).await?;
-                    let _ = kv_task.await; // buffer errors are non-fatal here
-                    Ok(())
-                }
-                Scheme::AsyncLustre | Scheme::HybridLocality => {
-                    let len = chunk.len() as u64;
-                    let buffered = if degraded.get() {
-                        // under pressure: skip the buffer entirely
-                        false
-                    } else {
-                        match client.kv.set(&key, chunk.clone(), crc, 0).await {
-                            // pin before acking so LRU pressure can never
-                            // silently evict the unflushed chunk; the
-                            // flusher unpins once it is safe in Lustre
-                            Ok(_) => match client.kv.pin(&key).await {
-                                Ok(true) => true,
-                                // evicted between set and pin (or a
-                                // replica refused): drop any partial pins
-                                // and write through instead
-                                _ => {
-                                    client.kv.unpin(&key).await;
-                                    false
-                                }
-                            },
-                            Err(_) => false,
-                        }
-                    };
-                    let ack = if buffered {
-                        // notify the persistence manager; the ack is the
-                        // flow-control credit
-                        client
-                            .mgr_call(48, |reply| MgrMsg::ChunkReady {
-                                file_id,
-                                seq,
-                                len,
-                                crc,
-                                reply,
-                            })
-                            .await??
-                    } else {
-                        // degraded path: buffer unavailable or overloaded,
-                        // persist through the manager directly
-                        client
-                            .mgr_call(len + 64, |reply| MgrMsg::ChunkDirect {
-                                file_id,
-                                seq,
-                                data: chunk.clone(),
-                                crc,
-                                reply,
-                            })
-                            .await??
-                    };
-                    degraded.set(ack.pressure);
-                    Ok(())
+            let op = sim.op_begin("bb", "write_chunk", 0);
+            let res: ChunkResult = async {
+                match client.dep.config.scheme {
+                    Scheme::SyncLustre => {
+                        // write-through: buffer PUT and Lustre write in
+                        // parallel; the ack needs both (buffer loss is
+                        // tolerable, Lustre loss is not)
+                        let lf = lustre_file.expect("sync scheme has a lustre handle");
+                        let kv = Rc::clone(&client.kv);
+                        let kv_chunk = chunk.clone();
+                        let kv_task = sim
+                            .spawn(async move { kv.set(&key, kv_chunk, crc, 0).await.map(|_| ()) });
+                        lf.write_at(seq * chunk_size, chunk).await?;
+                        sim.op_stamp(op, "lustre_write");
+                        let _ = kv_task.await; // buffer errors are non-fatal here
+                        sim.op_stamp(op, "kv_join");
+                        Ok(())
+                    }
+                    Scheme::AsyncLustre | Scheme::HybridLocality => {
+                        let len = chunk.len() as u64;
+                        let buffered = if degraded.get() {
+                            // under pressure: skip the buffer entirely
+                            false
+                        } else {
+                            let set = client.kv.set(&key, chunk.clone(), crc, 0).await;
+                            sim.op_stamp(op, "kv_put");
+                            match set {
+                                // pin before acking so LRU pressure can never
+                                // silently evict the unflushed chunk; the
+                                // flusher unpins once it is safe in Lustre
+                                Ok(_) => match client.kv.pin(&key).await {
+                                    Ok(true) => {
+                                        sim.op_stamp(op, "pin");
+                                        true
+                                    }
+                                    // evicted between set and pin (or a
+                                    // replica refused): drop any partial pins
+                                    // and write through instead
+                                    _ => {
+                                        client.kv.unpin(&key).await;
+                                        sim.op_stamp(op, "pin");
+                                        false
+                                    }
+                                },
+                                Err(_) => false,
+                            }
+                        };
+                        let ack = if buffered {
+                            // notify the persistence manager; the ack is the
+                            // flow-control credit
+                            client
+                                .mgr_call(48, op, |reply| MgrMsg::ChunkReady {
+                                    file_id,
+                                    seq,
+                                    len,
+                                    crc,
+                                    reply,
+                                })
+                                .await??
+                        } else {
+                            // degraded path: buffer unavailable or overloaded,
+                            // persist through the manager directly
+                            client
+                                .mgr_call(len + 64, op, |reply| MgrMsg::ChunkDirect {
+                                    file_id,
+                                    seq,
+                                    data: chunk.clone(),
+                                    crc,
+                                    reply,
+                                })
+                                .await??
+                        };
+                        sim.op_stamp(op, "ack");
+                        degraded.set(ack.pressure);
+                        Ok(())
+                    }
                 }
             }
+            .await;
+            match &res {
+                Ok(()) => {
+                    if let Some(done) = sim.op_finish(op) {
+                        if let Some((stage, _)) = done.dominant_stage() {
+                            sim.optrace()
+                                .note_critical(format!("bb.critpath.write_chunk.{stage}"));
+                        }
+                    }
+                }
+                Err(_) => sim.optrace().abort(op),
+            }
+            res
         });
         self.pending.borrow_mut().push(handle);
     }
@@ -571,7 +603,7 @@ impl BbWriter {
         let size = self.size.get();
         let crcs = self.crcs.borrow().clone();
         self.client
-            .mgr_call(48 + 4 * crcs.len() as u64, |reply| MgrMsg::Close {
+            .mgr_call(48 + 4 * crcs.len() as u64, None, |reply| MgrMsg::Close {
                 file_id,
                 size,
                 crcs: crcs.clone(),
@@ -898,17 +930,22 @@ impl ReadCore {
     /// release them, then charge the client-side CPU while the next
     /// group's wire phase proceeds, and finally publish the chunks.
     async fn run_group(self: Rc<Self>, seqs: Vec<u64>) {
-        let _sp =
-            self.client
-                .dep
-                .stack
-                .sim()
-                .span("bb.run_group", "bb", self.client.node.0, seqs[0]);
+        let sim = self.client.dep.stack.sim().clone();
+        let _sp = sim.span("bb.run_group", "bb", self.client.node.0, seqs[0]);
+        let op = sim.op_begin("bb", "read_group", 0);
         let permit = self.fetch_gate.acquire_many(seqs.len()).await;
-        let (results, cpu) = self.fetch_group(&seqs).await;
+        sim.op_stamp(op, "permit_wait");
+        let (results, cpu) = self.fetch_group(&seqs, op).await;
         drop(permit);
         if cpu > Duration::ZERO {
-            self.client.dep.stack.sim().sleep(cpu).await;
+            sim.sleep(cpu).await;
+        }
+        sim.op_stamp(op, "cpu");
+        if let Some(done) = sim.op_finish(op) {
+            if let Some((stage, _)) = done.dominant_stage() {
+                sim.optrace()
+                    .note_critical(format!("bb.critpath.read_group.{stage}"));
+            }
         }
         let mut ready = self.ready.borrow_mut();
         let mut inflight = self.inflight.borrow_mut();
@@ -927,6 +964,7 @@ impl ReadCore {
     async fn fetch_group(
         self: &Rc<Self>,
         seqs: &[u64],
+        op: Option<simkit::OpId>,
     ) -> (Vec<(u64, Result<Bytes, BbError>)>, Duration) {
         let (file_id, chunk_size, size) = {
             let m = self.meta.borrow();
@@ -1015,10 +1053,12 @@ impl ReadCore {
                 }
             }
             misses.sort_unstable();
+            sim.op_stamp(op, "kv_fetch");
         }
 
         // join the tier-0 reads; a failed local read falls back to the
         // serial tiered path for that chunk
+        let had_local = !local.is_empty();
         for (s, h) in local {
             match h.await {
                 Some(b) => {
@@ -1031,8 +1071,12 @@ impl ReadCore {
                 }
             }
         }
+        if had_local {
+            sim.op_stamp(op, "local_join");
+        }
 
         // tier 2: Lustre, only sound once the file is flushed
+        let had_misses = !misses.is_empty();
         if !misses.is_empty() {
             let mut state = self.meta.borrow().state;
             if state != FileState::Flushed {
@@ -1096,6 +1140,9 @@ impl ReadCore {
                     }
                 }
             }
+        }
+        if had_misses {
+            sim.op_stamp(op, "lustre_fetch");
         }
         (out.into_iter().collect(), cpu)
     }

@@ -172,6 +172,18 @@ pub struct BbConfig {
     /// once unflushed bytes drain below this fraction — hysteresis so the
     /// write path does not flap around a single threshold.
     pub bb_low_watermark: f64,
+    /// Enable per-operation request tracing ([`simkit::optrace`]): every
+    /// KV op and burst-buffer read group / write chunk records a
+    /// virtual-time stamp vector, published as exact-percentile latency
+    /// decompositions (`rkv.lat.*`, `bb.lat.*`). `false` (default) keeps
+    /// tracing fully disabled — outputs are byte-identical either way.
+    pub trace_ops: bool,
+    /// Ring capacity of the per-component crash flight recorder
+    /// ([`simkit::flight`]). `0` (default) disables it; when enabled,
+    /// fault applications, pressure transitions, lost files, and
+    /// unrepairable scrub verdicts land in bounded rings that assertion
+    /// failures dump deterministically to JSON.
+    pub flight_recorder_len: usize,
 }
 
 impl Default for BbConfig {
@@ -205,6 +217,8 @@ impl Default for BbConfig {
             rebalance_batch: 64,
             bb_high_watermark: 0.75,
             bb_low_watermark: 0.5,
+            trace_ops: false,
+            flight_recorder_len: 0,
         }
     }
 }
@@ -260,6 +274,12 @@ impl BbDeployment {
             config.bb_low_watermark <= config.bb_high_watermark,
             "pressure hysteresis needs low <= high"
         );
+        if config.trace_ops {
+            fabric.sim().optrace().enable();
+        }
+        if config.flight_recorder_len > 0 {
+            fabric.sim().flight().enable(config.flight_recorder_len);
+        }
         let stack = RdmaStack::with_profile(Rc::clone(fabric), config.transport);
         let kv_servers: Vec<Rc<KvServer>> = (0..config.kv_servers)
             .map(|_| {

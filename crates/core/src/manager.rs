@@ -541,6 +541,10 @@ impl BbManager {
         self.unflushed.get()
     }
 
+    fn sim(&self) -> &simkit::Sim {
+        self.net.fabric().sim()
+    }
+
     fn handle(self: &Rc<Self>, msg: MgrMsg) {
         match msg {
             MgrMsg::Create { path, reply } => {
@@ -570,6 +574,10 @@ impl BbManager {
                 if !self.pressure.get() && self.unflushed.get() > self.high {
                     self.pressure.set(true);
                     self.pressure_stats.enter.inc();
+                    self.sim()
+                        .flight_record("bb.manager", "pressure_enter", || {
+                            format!("unflushed={} high={}", self.unflushed.get(), self.high)
+                        });
                 }
                 if self.pressure.get() {
                     // overloaded: ack immediately with the pressure flag so
@@ -795,6 +803,9 @@ impl BbManager {
         if self.pressure.get() && self.unflushed.get() <= self.low {
             self.pressure.set(false);
             self.pressure_stats.exit.inc();
+            self.sim().flight_record("bb.manager", "pressure_exit", || {
+                format!("unflushed={} low={}", self.unflushed.get(), self.low)
+            });
         }
         let mut waiters = self.credit_waiters.borrow_mut();
         while self.unflushed.get() <= self.watermark {
@@ -931,6 +942,11 @@ impl BbManager {
         } else {
             FileState::Flushed
         };
+        if state == FileState::Lost {
+            self.sim().flight_record("bb.manager", "flush_lost", || {
+                format!("file_id={file_id} close_ok={close_ok}")
+            });
+        }
         if let Some(entry) = self.by_id.borrow().get(&file_id) {
             entry.borrow_mut().state = state;
         }
@@ -939,6 +955,8 @@ impl BbManager {
     }
 
     fn mark_lost(&self, file_id: u64) {
+        self.sim()
+            .flight_record("bb.manager", "file_lost", || format!("file_id={file_id}"));
         if let Some(entry) = self.by_id.borrow().get(&file_id) {
             entry.borrow_mut().state = FileState::Lost;
         }
@@ -1070,6 +1088,16 @@ impl BbManager {
                 if terminal {
                     self.scrub.unrepairable.add(bad.len() as u64);
                     self.resident.borrow_mut().remove(&(file_id, seq));
+                    // permanent data damage: freeze the flight-recorder
+                    // rings so the events leading here survive for triage
+                    let sim = self.sim();
+                    sim.flight_record("bb.scrub", "unrepairable", || {
+                        format!("file_id={file_id} seq={seq} bad_replicas={}", bad.len())
+                    });
+                    sim.flight().trigger(
+                        sim.now().as_nanos(),
+                        &format!("unrepairable scrub: file_id={file_id} seq={seq}"),
+                    );
                 }
             }
         }

@@ -15,6 +15,7 @@ use std::rc::Rc;
 
 use simkit::sync::{mpsc, oneshot};
 use simkit::telemetry::Counter;
+use simkit::OpId;
 
 use crate::fabric::{Fabric, NetError, NodeId};
 use crate::params::TransportProfile;
@@ -178,6 +179,24 @@ impl<M: 'static> Switchboard<M> {
         req_bytes: u64,
         make: impl FnOnce(ReplyHandle<R>) -> M,
     ) -> Result<R, RpcError> {
+        self.call_traced(src, dst, service, req_bytes, None, make)
+            .await
+    }
+
+    /// [`Switchboard::call`] propagating a traced-op context: stamps
+    /// `rpc.req_wire` once the request is delivered, `rpc.served` when the
+    /// server answers through the embedded [`ReplyHandle`], and
+    /// `rpc.reply` when the response lands back at the caller. With
+    /// `op == None` this is exactly `call`.
+    pub async fn call_traced<R: 'static>(
+        self: &Rc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        service: &'static str,
+        req_bytes: u64,
+        op: Option<OpId>,
+        make: impl FnOnce(ReplyHandle<R>) -> M,
+    ) -> Result<R, RpcError> {
         self.calls.inc();
         let (tx, rx) = oneshot::channel();
         let handle = ReplyHandle {
@@ -185,11 +204,17 @@ impl<M: 'static> Switchboard<M> {
             profile: self.profile,
             server: dst,
             client: src,
+            op,
             tx,
         };
         self.send(src, dst, service, req_bytes, make(handle))
             .await?;
-        rx.await.map_err(|_| RpcError::NoReply)
+        self.fabric.sim().op_stamp(op, "rpc.req_wire");
+        let out = rx.await.map_err(|_| RpcError::NoReply);
+        if out.is_ok() {
+            self.fabric.sim().op_stamp(op, "rpc.reply");
+        }
+        out
     }
 }
 
@@ -201,6 +226,7 @@ pub struct ReplyHandle<R> {
     profile: TransportProfile,
     server: NodeId,
     client: NodeId,
+    op: Option<OpId>,
     tx: oneshot::Sender<R>,
 }
 
@@ -208,6 +234,13 @@ impl<R: 'static> ReplyHandle<R> {
     /// Node that issued the request.
     pub fn client(&self) -> NodeId {
         self.client
+    }
+
+    /// The traced-op context carried from [`Switchboard::call_traced`]
+    /// (`None` for plain calls) — servers use it to stamp their own
+    /// internal stages onto the caller's op.
+    pub fn op(&self) -> Option<OpId> {
+        self.op
     }
 
     /// Send `resp` of `wire_bytes` back to the caller. The transfer is
@@ -218,8 +251,10 @@ impl<R: 'static> ReplyHandle<R> {
             profile,
             server,
             client,
+            op,
             tx,
         } = self;
+        fabric.sim().op_stamp(op, "rpc.served");
         let sim = fabric.sim().clone();
         sim.spawn(async move {
             if fabric

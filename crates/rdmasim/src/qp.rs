@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use simkit::sync::mpsc;
+use simkit::OpId;
 
 use netsim::NodeId;
 
@@ -39,14 +40,20 @@ impl QpShared {
     }
 }
 
+/// Payload carried per SEND: the wire bytes plus an out-of-band traced-op
+/// tag. The tag is simulator metadata — it occupies no wire bytes and
+/// never influences transfer cost, so tagged and untagged runs are
+/// byte- and timing-identical.
+pub(crate) type SendPayload = (Bytes, Option<OpId>);
+
 /// One endpoint of a reliable-connected queue pair.
 pub struct Qp {
     stack: Rc<RdmaStack>,
     shared: Rc<QpShared>,
     local: NodeId,
     remote: NodeId,
-    tx: mpsc::Sender<Bytes>,
-    rx: RefCell<mpsc::Receiver<Bytes>>,
+    tx: mpsc::Sender<SendPayload>,
+    rx: RefCell<mpsc::Receiver<SendPayload>>,
 }
 
 impl Qp {
@@ -55,8 +62,8 @@ impl Qp {
         shared: Rc<QpShared>,
         local: NodeId,
         remote: NodeId,
-        tx: mpsc::Sender<Bytes>,
-        rx: RefCell<mpsc::Receiver<Bytes>>,
+        tx: mpsc::Sender<SendPayload>,
+        rx: RefCell<mpsc::Receiver<SendPayload>>,
     ) -> Qp {
         Qp {
             stack,
@@ -120,6 +127,13 @@ impl Qp {
     /// Two-sided SEND: transfers `data` and consumes one of the peer's
     /// receive slots. Blocks while the peer's receive queue is full.
     pub async fn send(&self, data: Bytes) -> Result<(), RdmaError> {
+        self.send_tagged(data, None).await
+    }
+
+    /// [`Qp::send`] carrying a traced-op tag alongside the payload. The
+    /// tag rides out-of-band (no wire bytes, no timing impact) and comes
+    /// back out of the peer's [`Qp::recv_tagged`].
+    pub async fn send_tagged(&self, data: Bytes, op: Option<OpId>) -> Result<(), RdmaError> {
         self.check_connected()?;
         let _sp = self
             .stack
@@ -138,16 +152,22 @@ impl Qp {
             .await?;
         let data = self.corrupted(self.local, self.remote, data);
         self.tx
-            .send(data)
+            .send((data, op))
             .await
             .map_err(|_| RdmaError::Disconnected)
     }
 
     /// Pop the next incoming SEND payload, waiting if none is queued.
+    pub async fn recv(&self) -> Result<Bytes, RdmaError> {
+        self.recv_tagged().await.map(|(data, _)| data)
+    }
+
+    /// [`Qp::recv`] that also yields the sender's traced-op tag (`None`
+    /// for untagged sends).
     // single-threaded sim: the mailbox is only ever polled by this QP's
     // owner, so holding the borrow across the await cannot contend
     #[allow(clippy::await_holding_refcell_ref)]
-    pub async fn recv(&self) -> Result<Bytes, RdmaError> {
+    pub async fn recv_tagged(&self) -> Result<(Bytes, Option<OpId>), RdmaError> {
         let mut rx = self.rx.borrow_mut();
         let fut = rx.recv();
         let out = fut.await.map_err(|_| RdmaError::Disconnected);

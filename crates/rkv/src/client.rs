@@ -128,6 +128,10 @@ pub struct KvClientConfig {
     pub backoff_base: std::time::Duration,
     /// Backoff ceiling.
     pub backoff_max: std::time::Duration,
+    /// Tenant tag carried on every traced op (0 = untagged). Only
+    /// consumed by the request tracer — per-tenant latency series appear
+    /// under `rkv.lat.{class}.tenant{T}.e2e` when tracing is enabled.
+    pub tenant: u32,
 }
 
 impl Default for KvClientConfig {
@@ -142,6 +146,7 @@ impl Default for KvClientConfig {
             max_retries: 3,
             backoff_base: std::time::Duration::from_micros(100),
             backoff_max: std::time::Duration::from_millis(5),
+            tenant: 0,
         }
     }
 }
@@ -430,8 +435,27 @@ impl KvClient {
         Ok(conn)
     }
 
+    /// The traced-op class of a request.
+    fn op_class(req: &Request) -> &'static str {
+        match req {
+            Request::Get { .. } => "get",
+            Request::Set { .. } => "set",
+            Request::MultiGet { .. } => "multi_get",
+            _ => "other",
+        }
+    }
+
     /// One request/response exchange on the connection to `server_idx`.
-    async fn exchange_at(&self, server_idx: usize, req: Request) -> Result<Response, ClientError> {
+    /// `op` (when tracing) gets `client_queue` stamped once the
+    /// connection is acquired and `net_back` when the response frame
+    /// lands; the request rides the queue pair tagged so the server can
+    /// stamp its internal stages onto the same op.
+    async fn exchange_at(
+        &self,
+        server_idx: usize,
+        req: Request,
+        op: Option<simkit::OpId>,
+    ) -> Result<Response, ClientError> {
         let conn = self.conn(server_idx).await?;
         let _serial = conn.lock.acquire().await;
         if conn.poisoned.get() {
@@ -440,14 +464,18 @@ impl KvClient {
             self.drop_conn(server_idx, &conn);
             return Err(ClientError::Rdma(RdmaError::Disconnected));
         }
+        self.stack.sim().op_stamp(op, "client_queue");
         let r = async {
-            conn.qp.send(req.encode()).await?;
+            conn.qp.send_tagged(req.encode(), op).await?;
             let frame = conn.qp.recv().await?;
             Ok::<_, RdmaError>(frame)
         }
         .await;
         match r {
-            Ok(frame) => Ok(Response::decode(frame)?),
+            Ok(frame) => {
+                self.stack.sim().op_stamp(op, "net_back");
+                Ok(Response::decode(frame)?)
+            }
             Err(e) => {
                 // connection is broken: drop it so the next op reconnects
                 self.drop_conn(server_idx, &conn);
@@ -473,16 +501,32 @@ impl KvClient {
         req: Request,
     ) -> Result<Response, ClientError> {
         let sim = self.stack.sim().clone();
+        // one traced op per attempt: a retry is a new op, and an attempt
+        // that errors or times out is aborted so half-stamped records
+        // never pollute the latency series
+        let op = sim.op_begin("rkv", Self::op_class(&req), self.config.tenant);
+        sim.optrace().annotate_server(op, server_idx as u32);
         match simkit::future::timeout(
             &sim,
             self.config.op_timeout,
-            self.exchange_at(server_idx, req),
+            self.exchange_at(server_idx, req, op),
         )
         .await
         {
-            Some(r) => r,
+            Some(r) => {
+                if r.is_ok() {
+                    sim.op_finish(op);
+                } else {
+                    sim.optrace().abort(op);
+                }
+                r
+            }
             None => {
+                sim.optrace().abort(op);
                 self.res.retry_timeouts.inc();
+                sim.flight_record("rkv.client", "poison", || {
+                    format!("node={} server={server_idx} op timeout", self.node.0)
+                });
                 if let Some(c) = self.conns.borrow().get(&server_idx) {
                     c.poisoned.set(true);
                 }
@@ -520,8 +564,19 @@ impl KvClient {
                 Err(e) if Self::retryable(&e) => {
                     if attempt >= self.config.max_retries {
                         self.res.retry_exhausted.inc();
+                        self.stack
+                            .sim()
+                            .flight_record("rkv.client", "retry_exhausted", || {
+                                format!("node={} server={server_idx} err={e:?}", self.node.0)
+                            });
                         return Err(e);
                     }
+                    self.stack.sim().flight_record("rkv.client", "retry", || {
+                        format!(
+                            "node={} server={server_idx} attempt={attempt} err={e:?}",
+                            self.node.0
+                        )
+                    });
                     let exp = self
                         .config
                         .backoff_base
@@ -718,6 +773,11 @@ impl KvClient {
                 Ok(Some(v)) => {
                     if i > 0 {
                         self.res.failover_reads.inc();
+                        self.stack
+                            .sim()
+                            .flight_record("rkv.client", "failover_read", || {
+                                format!("node={} replica={i} server={idx}", self.node.0)
+                            });
                     }
                     return Ok(Some(v));
                 }
@@ -1082,21 +1142,43 @@ impl KvClient {
                 let req = Request::MultiGet {
                     keys: batch.iter().map(|(_, k)| k.clone()).collect(),
                 };
-                let conn = client.conn(idx).await?;
+                // each fan-out leg is its own traced op so the join can
+                // attribute the dominant (slowest) leg afterwards
+                let sim = client.stack.sim().clone();
+                let op = sim.op_begin("rkv", "multi_get", client.config.tenant);
+                sim.optrace().annotate_server(op, idx as u32);
+                let conn = match client.conn(idx).await {
+                    Ok(c) => c,
+                    Err(e) => {
+                        sim.optrace().abort(op);
+                        return Err(e);
+                    }
+                };
                 let _serial = conn.lock.acquire().await;
+                sim.op_stamp(op, "client_queue");
                 let r = async {
-                    conn.qp.send(req.encode()).await?;
+                    conn.qp.send_tagged(req.encode(), op).await?;
                     conn.qp.recv().await
                 }
                 .await;
                 let frame = match r {
                     Ok(f) => f,
                     Err(e) => {
+                        sim.optrace().abort(op);
                         client.conns.borrow_mut().remove(&idx);
                         return Err(e.into());
                     }
                 };
-                match Response::decode(frame)? {
+                sim.op_stamp(op, "net_back");
+                let resp = match Response::decode(frame) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        sim.optrace().abort(op);
+                        return Err(e.into());
+                    }
+                };
+                let finished = sim.op_finish(op);
+                match resp {
                     Response::MultiValues { values } => {
                         if values.len() != batch.len() {
                             return Err(ClientError::Proto(ProtoError("multiget arity")));
@@ -1108,7 +1190,7 @@ impl KvClient {
                                 (pos, v.map(|(data, flags, cas)| Value { data, flags, cas }))
                             })
                             .collect();
-                        Ok(pairs)
+                        Ok((idx, pairs, finished))
                     }
                     other => Err(Self::unexpected(other)),
                 }
@@ -1116,16 +1198,36 @@ impl KvClient {
         }
         // join in sorted-server order so the surfaced error is deterministic
         let mut first_err = None;
+        let mut legs: Vec<(usize, simkit::optrace::FinishedOp)> = Vec::new();
         for task in tasks {
             match task.await {
-                Ok(pairs) => {
+                Ok((idx, pairs, finished)) => {
                     for (pos, v) in pairs {
                         out[pos] = v;
+                    }
+                    if let Some(f) = finished {
+                        legs.push((idx, f));
                     }
                 }
                 Err(e) => {
                     first_err.get_or_insert(e);
                 }
+            }
+        }
+        // client-side critical path: which server's leg bounded the join
+        // (strict > over sorted-server order → ties go to the lower idx),
+        // and which of its stages dominated
+        if let Some((idx, f)) = legs.iter().fold(
+            None::<&(usize, simkit::optrace::FinishedOp)>,
+            |best, leg| match best {
+                Some(b) if b.1.e2e_ns >= leg.1.e2e_ns => best,
+                _ => Some(leg),
+            },
+        ) {
+            let tracer = self.stack.sim().optrace();
+            tracer.note_critical(format!("rkv.critpath.multi_get.server{idx}"));
+            if let Some((stage, _)) = f.dominant_stage() {
+                tracer.note_critical(format!("rkv.critpath.multi_get.stage.{stage}"));
             }
         }
         let r = self

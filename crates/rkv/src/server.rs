@@ -30,6 +30,7 @@ use bytes::Bytes;
 use simkit::dur;
 use simkit::sync::mpsc;
 use simkit::telemetry::{Gauge, HistogramMetric, MetricValue};
+use simkit::{OpId, Sim};
 
 use netsim::NodeId;
 use rdmasim::{Cq, Qp, QpConfig, RdmaError, RdmaStack};
@@ -94,13 +95,17 @@ impl KvServerConfig {
     }
 }
 
+/// One reply queued to a connection's replier: `(seq, frame, traced op)`.
+type ReplyItem = (u64, Bytes, Option<OpId>);
+
 /// One completion-ring entry: a received frame plus everything needed to
 /// route and answer it.
 struct Submission {
     seq: u64,
     frame: Bytes,
     qp: Rc<Qp>,
-    reply: mpsc::Sender<(u64, Bytes)>,
+    op: Option<OpId>,
+    reply: mpsc::Sender<ReplyItem>,
 }
 
 /// Join state for a `multi_get` split across shards.
@@ -108,7 +113,12 @@ struct MultiAgg {
     values: Vec<Option<(Bytes, u32, u64)>>,
     remaining: usize,
     seq: u64,
-    reply: mpsc::Sender<(u64, Bytes)>,
+    /// The client's traced op for the whole `multi_get`.
+    op: Option<OpId>,
+    /// `(shard, dequeue ns, done ns)` per completed leg — the leg with
+    /// the latest finish is the server-side critical path.
+    legs: Vec<(usize, u64, u64)>,
+    reply: mpsc::Sender<ReplyItem>,
 }
 
 /// Work routed to one core.
@@ -117,7 +127,8 @@ enum CoreOp {
         req: Request,
         qp: Rc<Qp>,
         seq: u64,
-        reply: mpsc::Sender<(u64, Bytes)>,
+        op: Option<OpId>,
+        reply: mpsc::Sender<ReplyItem>,
     },
     MultiPart {
         /// (position in the client's key list, key) — all owned by this
@@ -139,12 +150,15 @@ struct Engine {
     cores: Vec<CoreHandle>,
 }
 
-/// Per-server service-time histograms (`rkv.server{node}.*_ns`).
+/// Per-server service-time histograms (`rkv.server{node}.*_ns`), plus
+/// per-shard service time (`rkv.server{node}.shard{S}.svc_ns`) so
+/// core-scaling results can report tail behaviour per shard.
 struct ServiceHists {
     get_ns: HistogramMetric,
     set_ns: HistogramMetric,
     multi_get_ns: HistogramMetric,
     other_ns: HistogramMetric,
+    shard_svc: Vec<HistogramMetric>,
 }
 
 /// One KV server instance bound to a fabric node.
@@ -217,6 +231,9 @@ impl KvServer {
             set_ns: m.histogram(format!("{prefix}.set_ns")),
             multi_get_ns: m.histogram(format!("{prefix}.multi_get_ns")),
             other_ns: m.histogram(format!("{prefix}.other_ns")),
+            shard_svc: (0..store.shard_count())
+                .map(|shard| m.histogram(format!("{prefix}.shard{shard}.svc_ns")))
+                .collect(),
         };
         // store stats as sampled metrics: the store keeps them anyway, so
         // snapshots read them instead of double counting (weak capture —
@@ -372,10 +389,11 @@ impl KvServer {
 
     async fn serve_connection(self: Rc<Self>, qp: Qp) {
         loop {
-            let frame = match qp.recv().await {
+            let (frame, op) = match qp.recv_tagged().await {
                 Ok(f) => f,
                 Err(_) => break, // peer gone
             };
+            self.stack.sim().op_stamp(op, "net_in");
             let resp = match Request::decode(frame) {
                 Ok(req) => {
                     self.requests.set(self.requests.get() + 1);
@@ -385,18 +403,24 @@ impl KvServer {
                         Request::MultiGet { .. } => ("kv.multi_get", &self.hists.multi_get_ns),
                         _ => ("kv.other", &self.hists.other_ns),
                     };
+                    let shard = request_key(&req).map(|key| self.store.shard_index(key));
                     let sim = self.stack.sim();
                     let _sp = sim.span(span_name, "rkv", self.node.0, 0);
                     let t0 = sim.now();
                     sim.sleep(self.config.proc_time).await;
                     let resp = self.handle(&qp, req).await;
-                    hist.record_ns(
-                        self.stack
-                            .sim()
-                            .now()
-                            .as_nanos()
-                            .saturating_sub(t0.as_nanos()),
-                    );
+                    let svc = self
+                        .stack
+                        .sim()
+                        .now()
+                        .as_nanos()
+                        .saturating_sub(t0.as_nanos());
+                    hist.record_ns(svc);
+                    if let Some(shard) = shard {
+                        self.hists.shard_svc[shard].record_ns(svc);
+                        self.stack.sim().optrace().annotate_shard(op, shard as u32);
+                    }
+                    self.stack.sim().op_stamp(op, "service");
                     resp
                 }
                 Err(ProtoError(_)) => {
@@ -421,18 +445,21 @@ impl KvServer {
         let (reply_tx, reply_rx) = mpsc::unbounded();
         self.stack.sim().spawn({
             let qp = Rc::clone(&qp);
-            async move { Self::run_replier(qp, reply_rx).await }
+            let sim = self.stack.sim().clone();
+            async move { Self::run_replier(sim, qp, reply_rx).await }
         });
         let mut seq = 0u64;
         loop {
-            let frame = match qp.recv().await {
+            let (frame, op) = match qp.recv_tagged().await {
                 Ok(f) => f,
                 Err(_) => break, // peer gone; dropping reply_tx stops the replier
             };
+            self.stack.sim().op_stamp(op, "net_in");
             engine.cq.post(Submission {
                 seq,
                 frame,
                 qp: Rc::clone(&qp),
+                op,
                 reply: reply_tx.clone(),
             });
             seq += 1;
@@ -441,12 +468,13 @@ impl KvServer {
 
     /// Reorder buffer: cores complete out of order, the wire stays in
     /// per-connection request order.
-    async fn run_replier(qp: Rc<Qp>, mut rx: mpsc::Receiver<(u64, Bytes)>) {
+    async fn run_replier(sim: Sim, qp: Rc<Qp>, mut rx: mpsc::Receiver<ReplyItem>) {
         let mut next = 0u64;
-        let mut held: BTreeMap<u64, Bytes> = BTreeMap::new();
-        while let Ok((seq, frame)) = rx.recv().await {
-            held.insert(seq, frame);
-            while let Some(frame) = held.remove(&next) {
+        let mut held: BTreeMap<u64, (Bytes, Option<OpId>)> = BTreeMap::new();
+        while let Ok((seq, frame, op)) = rx.recv().await {
+            held.insert(seq, (frame, op));
+            while let Some((frame, op)) = held.remove(&next) {
+                sim.op_stamp(op, "reply_reorder");
                 if qp.send(frame).await.is_err() {
                     return;
                 }
@@ -467,6 +495,7 @@ impl KvServer {
                 break; // ring closed
             }
             for sub in batch {
+                self.stack.sim().op_stamp(sub.op, "cq_wait");
                 match Request::decode(sub.frame.clone()) {
                     Ok(req) => {
                         self.requests.set(self.requests.get() + 1);
@@ -474,9 +503,11 @@ impl KvServer {
                     }
                     Err(ProtoError(_)) => {
                         self.proto_errors.set(self.proto_errors.get() + 1);
-                        let _ = sub
-                            .reply
-                            .try_send((sub.seq, Response::TransferFailed.encode()));
+                        let _ = sub.reply.try_send((
+                            sub.seq,
+                            Response::TransferFailed.encode(),
+                            sub.op,
+                        ));
                     }
                 }
             }
@@ -492,7 +523,7 @@ impl KvServer {
         if let Request::MultiGet { keys } = req {
             if keys.is_empty() {
                 let resp = Response::MultiValues { values: Vec::new() };
-                let _ = sub.reply.try_send((sub.seq, resp.encode()));
+                let _ = sub.reply.try_send((sub.seq, resp.encode(), sub.op));
                 return;
             }
             let mut parts: Vec<Vec<(usize, Bytes)>> = vec![Vec::new(); engine.cores.len()];
@@ -504,6 +535,8 @@ impl KvServer {
                 values: vec![None; total],
                 remaining: parts.iter().filter(|p| !p.is_empty()).count(),
                 seq: sub.seq,
+                op: sub.op,
+                legs: Vec::new(),
                 reply: sub.reply,
             }));
             for (shard, part) in parts.into_iter().enumerate() {
@@ -527,6 +560,7 @@ impl KvServer {
             req,
             qp: sub.qp,
             seq: sub.seq,
+            op: sub.op,
             reply: sub.reply,
         });
     }
@@ -537,15 +571,18 @@ impl KvServer {
     async fn run_core(self: Rc<Self>, core: usize, mut rx: mpsc::Receiver<CoreOp>) {
         let engine = self.engine.as_ref().expect("engine core");
         let sim = self.stack.sim().clone();
-        while let Ok(op) = rx.recv().await {
+        while let Ok(work) = rx.recv().await {
             engine.cores[core].qdepth.add(-1);
-            match op {
+            match work {
                 CoreOp::Single {
                     req,
                     qp,
                     seq,
+                    op,
                     reply,
                 } => {
+                    sim.op_stamp(op, "shard_queue");
+                    sim.optrace().annotate_shard(op, core as u32);
                     let (span_name, hist) = match &req {
                         Request::Get { .. } => ("kv.get", &self.hists.get_ns),
                         Request::Set { .. } => ("kv.set", &self.hists.set_ns),
@@ -555,8 +592,11 @@ impl KvServer {
                     let t0 = sim.now();
                     sim.sleep(self.config.proc_time).await;
                     let resp = self.handle(&qp, req).await;
-                    hist.record_ns(sim.now().as_nanos().saturating_sub(t0.as_nanos()));
-                    let _ = reply.try_send((seq, resp.encode()));
+                    let svc = sim.now().as_nanos().saturating_sub(t0.as_nanos());
+                    hist.record_ns(svc);
+                    self.hists.shard_svc[core].record_ns(svc);
+                    sim.op_stamp(op, "service");
+                    let _ = reply.try_send((seq, resp.encode(), op));
                 }
                 CoreOp::MultiPart { keys, agg } => {
                     let _sp = sim.span("kv.multi_get", "rkv", self.node.0, core as u64 + 1);
@@ -567,15 +607,37 @@ impl KvServer {
                     for (pos, key) in keys {
                         a.values[pos] = self.store.get(&key, now).map(|v| (v.data, v.flags, v.cas));
                     }
-                    self.hists
-                        .multi_get_ns
-                        .record_ns(sim.now().as_nanos().saturating_sub(t0.as_nanos()));
+                    let svc = sim.now().as_nanos().saturating_sub(t0.as_nanos());
+                    self.hists.multi_get_ns.record_ns(svc);
+                    self.hists.shard_svc[core].record_ns(svc);
+                    if a.op.is_some() {
+                        a.legs.push((core, t0.as_nanos(), now));
+                    }
                     a.remaining -= 1;
                     if a.remaining == 0 {
+                        // server-side critical path: the leg that finished
+                        // last bounded the join (ties → lower shard). Its
+                        // dequeue/done times become the op's shard_queue
+                        // and service stamps, so the decomposition shows
+                        // the dominant leg's timeline, not an average.
+                        if a.op.is_some() {
+                            let tracer = sim.optrace();
+                            if let Some(&(shard, start, end)) =
+                                a.legs.iter().max_by_key(|&&(s, _, e)| (e, usize::MAX - s))
+                            {
+                                tracer.stamp(a.op, "shard_queue", start);
+                                tracer.annotate_shard(a.op, shard as u32);
+                                tracer.stamp(a.op, "service", end);
+                                tracer.note_critical(format!(
+                                    "rkv.critpath.multi_get.server{}.shard{shard}",
+                                    self.node.0
+                                ));
+                            }
+                        }
                         let resp = Response::MultiValues {
                             values: std::mem::take(&mut a.values),
                         };
-                        let _ = a.reply.try_send((a.seq, resp.encode()));
+                        let _ = a.reply.try_send((a.seq, resp.encode(), a.op));
                     }
                 }
             }

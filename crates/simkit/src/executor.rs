@@ -182,6 +182,72 @@ impl Sim {
         &self.inner.faults
     }
 
+    /// The per-operation request tracer (disabled by default; see
+    /// [`optrace`](crate::optrace)).
+    #[inline]
+    pub fn optrace(&self) -> &crate::optrace::OpTracer {
+        &self.inner.telemetry.optrace
+    }
+
+    /// The crash flight recorder (disabled by default; see
+    /// [`flight`](crate::flight)).
+    #[inline]
+    pub fn flight(&self) -> &crate::flight::FlightRecorder {
+        &self.inner.telemetry.flight
+    }
+
+    /// Open a traced-op context at the current virtual time. `None` when
+    /// the op tracer is disabled (one boolean read).
+    #[inline]
+    pub fn op_begin(
+        &self,
+        family: &'static str,
+        class: &'static str,
+        tenant: u32,
+    ) -> Option<crate::optrace::OpId> {
+        self.inner
+            .telemetry
+            .optrace
+            .begin(self.now().as_nanos(), family, class, tenant)
+    }
+
+    /// Stamp a stage on a traced op at the current virtual time (no-op on
+    /// `None`).
+    #[inline]
+    pub fn op_stamp(&self, op: Option<crate::optrace::OpId>, stage: &'static str) {
+        if op.is_some() {
+            self.inner
+                .telemetry
+                .optrace
+                .stamp(op, stage, self.now().as_nanos());
+        }
+    }
+
+    /// Finish a traced op, folding its stage durations into the latency
+    /// decomposition series (no-op on `None`).
+    #[inline]
+    pub fn op_finish(
+        &self,
+        op: Option<crate::optrace::OpId>,
+    ) -> Option<crate::optrace::FinishedOp> {
+        self.inner.telemetry.optrace.finish(op)
+    }
+
+    /// Record a flight-recorder event at the current virtual time (one
+    /// branch and no allocation while the recorder is disabled).
+    #[inline]
+    pub fn flight_record(
+        &self,
+        component: &str,
+        code: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.inner
+            .telemetry
+            .flight
+            .record(self.now().as_nanos(), component, code, detail);
+    }
+
     /// Install a [`FaultPlan`]: reseed the injector from the plan, expand
     /// flaps, and spawn the driver task that applies each event at its
     /// scheduled offset from *now*. Installing a new plan clears the
@@ -198,6 +264,7 @@ impl Sim {
         self.spawn(async move {
             for (offset, ev) in events {
                 sim.sleep_until(base + offset).await;
+                sim.flight_record("faultplan", "apply", || format!("{ev:?}"));
                 sim.inner.faults.apply(sim.now(), ev);
             }
         });

@@ -1,0 +1,196 @@
+//! Bounded per-component flight recorder: a ring of recent structured
+//! events per component, frozen into a deterministic JSON dump when a
+//! fault-matrix assertion, consistency check, or unrepairable-scrub
+//! event fires.
+//!
+//! Off by default: [`FlightRecorder::record`] is a single-branch no-op
+//! until [`FlightRecorder::enable`], and the detail string is built
+//! lazily (closure) so disabled recording allocates nothing. Recording
+//! never advances or perturbs virtual time, so enabling the recorder
+//! cannot change a run's outcome — only what gets remembered about it.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::telemetry::json_escape;
+
+/// Default per-component ring capacity.
+pub const DEFAULT_RING_LEN: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+struct FlightEvent {
+    t_ns: u64,
+    code: &'static str,
+    detail: String,
+}
+
+/// Bounded per-component event rings plus the dumps triggered so far.
+pub struct FlightRecorder {
+    enabled: Cell<bool>,
+    cap: Cell<usize>,
+    rings: RefCell<BTreeMap<String, VecDeque<FlightEvent>>>,
+    dumps: RefCell<Vec<(String, String)>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder {
+            enabled: Cell::new(false),
+            cap: Cell::new(DEFAULT_RING_LEN),
+            rings: RefCell::new(BTreeMap::new()),
+            dumps: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl FlightRecorder {
+    /// Start recording with per-component rings of `cap` events (oldest
+    /// evicted first). `cap == 0` leaves the recorder disabled.
+    pub fn enable(&self, cap: usize) {
+        if cap == 0 {
+            self.enabled.set(false);
+            return;
+        }
+        self.cap.set(cap);
+        self.enabled.set(true);
+    }
+
+    /// Stop recording (rings and dumps are kept).
+    pub fn disable(&self) {
+        self.enabled.set(false);
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Append an event to `component`'s ring at virtual time `t_ns`.
+    /// `detail` is only invoked when the recorder is enabled, so a
+    /// disabled record costs one branch and zero allocations.
+    pub fn record(
+        &self,
+        t_ns: u64,
+        component: &str,
+        code: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled.get() {
+            return;
+        }
+        let mut rings = self.rings.borrow_mut();
+        let ring = rings.entry(component.to_string()).or_default();
+        if ring.len() >= self.cap.get() {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEvent {
+            t_ns,
+            code,
+            detail: detail(),
+        });
+    }
+
+    /// Freeze the current rings into a deterministic JSON dump tagged
+    /// with `reason`, store it, and return it. Returns `None` when the
+    /// recorder is disabled. Components are emitted in sorted order and
+    /// each ring oldest-first, so two same-seed runs that trigger at the
+    /// same virtual time produce byte-identical dumps.
+    pub fn trigger(&self, t_ns: u64, reason: &str) -> Option<String> {
+        if !self.enabled.get() {
+            return None;
+        }
+        let rings = self.rings.borrow();
+        let mut out = String::from("{\n  \"schema\": \"rdma-bb.flight.v1\",\n");
+        out.push_str(&format!(
+            "  \"reason\": \"{}\",\n  \"t_ns\": {},\n  \"components\": {{\n",
+            json_escape(reason),
+            t_ns
+        ));
+        let n = rings.len();
+        for (i, (component, ring)) in rings.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": [\n", json_escape(component)));
+            let m = ring.len();
+            for (j, ev) in ring.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"t_ns\": {}, \"code\": \"{}\", \"detail\": \"{}\"}}{}\n",
+                    ev.t_ns,
+                    json_escape(ev.code),
+                    json_escape(&ev.detail),
+                    if j + 1 < m { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!("    ]{}\n", if i + 1 < n { "," } else { "" }));
+        }
+        out.push_str("  }\n}\n");
+        self.dumps
+            .borrow_mut()
+            .push((reason.to_string(), out.clone()));
+        Some(out)
+    }
+
+    /// All `(reason, dump JSON)` pairs triggered so far, in order.
+    pub fn dumps(&self) -> Vec<(String, String)> {
+        self.dumps.borrow().clone()
+    }
+
+    /// Events currently held for `component`.
+    pub fn ring_len(&self, component: &str) -> usize {
+        self.rings.borrow().get(component).map_or(0, |r| r.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert_and_lazy() {
+        let f = FlightRecorder::default();
+        f.record(10, "rkv.server0", "crash", || panic!("detail must be lazy"));
+        assert_eq!(f.ring_len("rkv.server0"), 0);
+        assert!(f.trigger(20, "anything").is_none());
+        assert!(f.dumps().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_oldest_evicted() {
+        let f = FlightRecorder::default();
+        f.enable(4);
+        for i in 0..10u64 {
+            f.record(i, "mgr", "tick", || format!("n={i}"));
+        }
+        assert_eq!(f.ring_len("mgr"), 4);
+        let dump = f.trigger(100, "test").unwrap();
+        assert!(!dump.contains("n=5"));
+        assert!(dump.contains("n=6"));
+        assert!(dump.contains("n=9"));
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_sorted() {
+        let run = || {
+            let f = FlightRecorder::default();
+            f.enable(8);
+            f.record(5, "z.late", "ev", || "b".into());
+            f.record(3, "a.early", "ev", || "a \"quoted\"".into());
+            f.trigger(9, "scrub unrepairable").unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("\"schema\": \"rdma-bb.flight.v1\""));
+        // sorted component order: a.early before z.late
+        assert!(a.find("a.early").unwrap() < a.find("z.late").unwrap());
+        assert!(a.contains("a \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn enable_zero_stays_disabled() {
+        let f = FlightRecorder::default();
+        f.enable(0);
+        assert!(!f.is_enabled());
+        f.record(1, "c", "x", || "d".into());
+        assert_eq!(f.ring_len("c"), 0);
+    }
+}

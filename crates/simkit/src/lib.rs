@@ -33,7 +33,9 @@
 
 pub mod executor;
 pub mod faultplan;
+pub mod flight;
 pub mod future;
+pub mod optrace;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -51,5 +53,6 @@ pub use executor::{JoinHandle, Sim, Sleep};
 pub use faultplan::{
     FaultEvent, FaultPlan, MembershipChange, MembershipEvent, NodeEvent, NodeEventKind,
 };
+pub use optrace::OpId;
 pub use rng::{SimRng, Zipf};
 pub use time::{dur, Time};

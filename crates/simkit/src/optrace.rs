@@ -1,0 +1,539 @@
+//! Request-scoped operation tracing: deterministic per-op contexts with
+//! per-stage virtual-time stamp vectors, exact-percentile latency
+//! decomposition, and critical-path attribution for fan-out ops.
+//!
+//! Every traced operation gets an [`OpId`] at [`OpTracer::begin`]; the
+//! layers it crosses append `(stage label, virtual ns)` stamps via
+//! [`OpTracer::stamp`]. A stage's duration is the difference between its
+//! stamp and the previous one, so **per-op stage durations telescope to
+//! the end-to-end latency exactly** — [`OpTracer::reconcile`] proves the
+//! identity to the nanosecond over a whole run. [`OpTracer::finish`]
+//! folds the op into named exact-sample series (`rkv.lat.*`, `bb.lat.*`)
+//! from which [`OpTracer::decomposition_json`] emits deterministic JSON
+//! and [`OpTracer::publish`] mirrors histograms into a metrics
+//! [`Registry`] so SLO gates can read `p99_ns` from ordinary snapshots.
+//!
+//! The tracer is **off by default**: [`OpTracer::begin`] costs one boolean
+//! read and returns `None`, and every other entry point no-ops on `None`.
+//! Recording never sleeps and never perturbs virtual time, so a traced
+//! and an untraced run of the same program reach the same final clock.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::telemetry::{json_escape, Registry};
+
+/// Identifier of one in-flight traced operation. Deterministic: ids are
+/// assigned in `begin` order, which on the single-threaded virtual-time
+/// executor is a pure function of the program and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(u64);
+
+impl OpId {
+    /// The raw id (stable across same-seed runs).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hard cap on exact samples kept per series — a runaway backstop far
+/// above any experiment's op count; past it samples are counted as
+/// dropped (the mirrored registry histograms still see every sample).
+const MAX_SAMPLES_PER_SERIES: usize = 1 << 20;
+
+/// One live operation's record.
+struct LiveOp {
+    family: &'static str,
+    class: &'static str,
+    tenant: u32,
+    server: Option<u32>,
+    shard: Option<u32>,
+    /// Ordered `(stage label, virtual ns)` stamps; index 0 is `begin`.
+    stamps: Vec<(&'static str, u64)>,
+}
+
+/// Exact-sample series: every recorded duration, in record order.
+#[derive(Default)]
+struct Series {
+    samples: Vec<u64>,
+    sum: u64,
+    dropped: u64,
+}
+
+impl Series {
+    fn record(&mut self, ns: u64) {
+        self.sum += ns;
+        if self.samples.len() >= MAX_SAMPLES_PER_SERIES {
+            self.dropped += 1;
+        } else {
+            self.samples.push(ns);
+        }
+    }
+
+    /// Exact nearest-rank percentile over the stored samples.
+    fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+}
+
+/// A finished operation: its raw stamp vector plus the derived per-stage
+/// durations. Returned by [`OpTracer::finish`] so callers can attribute
+/// critical paths or assert invariants without re-reading the series.
+#[derive(Debug, Clone)]
+pub struct FinishedOp {
+    /// The operation's id.
+    pub id: OpId,
+    /// Metric family (`rkv`, `bb`).
+    pub family: &'static str,
+    /// Op class (`get`, `set`, `multi_get`, `read_group`, …).
+    pub class: &'static str,
+    /// Tenant tag carried from `begin` (0 = untagged).
+    pub tenant: u32,
+    /// End-to-end latency: last stamp minus first.
+    pub e2e_ns: u64,
+    /// `(stage label, duration)` — consecutive stamp differences, so the
+    /// durations sum to `e2e_ns` exactly.
+    pub stages: Vec<(&'static str, u64)>,
+    /// The raw `(label, virtual ns)` stamp vector (monotone).
+    pub stamps: Vec<(&'static str, u64)>,
+}
+
+impl FinishedOp {
+    /// The stage with the largest duration (ties broken by stage order —
+    /// deterministic). `None` for an op with no intermediate stamps.
+    pub fn dominant_stage(&self) -> Option<(&'static str, u64)> {
+        self.stages.iter().copied().max_by_key(|&(_, d)| d)
+    }
+}
+
+/// Exact stage-sum/end-to-end reconciliation over a whole run (see
+/// [`OpTracer::reconcile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reconciliation {
+    /// Ops finished under the class.
+    pub ops: u64,
+    /// Sum of every per-stage duration across those ops.
+    pub stage_sum_ns: u64,
+    /// Sum of their end-to-end latencies.
+    pub e2e_sum_ns: u64,
+}
+
+impl Reconciliation {
+    /// Whether the telescoping identity held to the nanosecond.
+    pub fn exact(&self) -> bool {
+        self.stage_sum_ns == self.e2e_sum_ns
+    }
+}
+
+/// Per-[`Sim`](crate::Sim) request tracer. Off by default; all methods
+/// are no-ops (one boolean read) until [`OpTracer::enable`].
+#[derive(Default)]
+pub struct OpTracer {
+    enabled: Cell<bool>,
+    next_id: Cell<u64>,
+    live: RefCell<HashMap<u64, LiveOp>>,
+    series: RefCell<BTreeMap<String, Series>>,
+    /// Stage labels observed per `family.class` — drives reconciliation.
+    class_stages: RefCell<BTreeMap<String, BTreeSet<&'static str>>>,
+    /// Critical-path attribution counters (fan-out ops).
+    crit: RefCell<BTreeMap<String, u64>>,
+    aborted: Cell<u64>,
+    finished: Cell<u64>,
+}
+
+impl OpTracer {
+    /// Start tracing: subsequent [`OpTracer::begin`] calls mint contexts.
+    pub fn enable(&self) {
+        self.enabled.set(true);
+    }
+
+    /// Stop minting new contexts (already-live ops still finish).
+    pub fn disable(&self) {
+        self.enabled.set(false);
+    }
+
+    /// Whether op contexts are being minted.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Open an operation context at virtual time `now_ns`. Returns `None`
+    /// when disabled — every other method accepts `Option<OpId>` via
+    /// plain `Some`/`None` so call sites stay one line.
+    pub fn begin(
+        &self,
+        now_ns: u64,
+        family: &'static str,
+        class: &'static str,
+        tenant: u32,
+    ) -> Option<OpId> {
+        if !self.enabled.get() {
+            return None;
+        }
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        self.live.borrow_mut().insert(
+            id,
+            LiveOp {
+                family,
+                class,
+                tenant,
+                server: None,
+                shard: None,
+                stamps: vec![("begin", now_ns)],
+            },
+        );
+        Some(OpId(id))
+    }
+
+    /// Append a stage stamp at virtual time `now_ns`. No-op on `None` or
+    /// on an id that already finished/aborted (e.g. a server-side stamp
+    /// racing a client timeout). Panics if `now_ns` precedes the previous
+    /// stamp — virtual time is monotone, so that is always a bug.
+    pub fn stamp(&self, op: Option<OpId>, stage: &'static str, now_ns: u64) {
+        let Some(OpId(id)) = op else { return };
+        if let Some(rec) = self.live.borrow_mut().get_mut(&id) {
+            let last = rec.stamps.last().map(|&(_, t)| t).unwrap_or(0);
+            assert!(
+                now_ns >= last,
+                "stage {stage:?} stamped at {now_ns} before previous stamp {last}"
+            );
+            rec.stamps.push((stage, now_ns));
+        }
+    }
+
+    /// Record which server leg an op was served by (used for per-server
+    /// latency series and fan-out attribution).
+    pub fn annotate_server(&self, op: Option<OpId>, server: u32) {
+        let Some(OpId(id)) = op else { return };
+        if let Some(rec) = self.live.borrow_mut().get_mut(&id) {
+            rec.server = Some(server);
+        }
+    }
+
+    /// Record which shard (core) served the op.
+    pub fn annotate_shard(&self, op: Option<OpId>, shard: u32) {
+        let Some(OpId(id)) = op else { return };
+        if let Some(rec) = self.live.borrow_mut().get_mut(&id) {
+            rec.shard = Some(shard);
+        }
+    }
+
+    /// Close the op: derive per-stage durations (consecutive stamp
+    /// differences — they telescope to the end-to-end latency exactly),
+    /// fold them into the per-class/per-server/per-shard series, and
+    /// return the record. `None` in, `None` out.
+    pub fn finish(&self, op: Option<OpId>) -> Option<FinishedOp> {
+        let OpId(id) = op?;
+        let rec = self.live.borrow_mut().remove(&id)?;
+        let first = rec.stamps.first().map(|&(_, t)| t).unwrap_or(0);
+        let last = rec.stamps.last().map(|&(_, t)| t).unwrap_or(first);
+        let e2e = last - first;
+        let stages: Vec<(&'static str, u64)> = rec
+            .stamps
+            .windows(2)
+            .map(|w| (w[1].0, w[1].1 - w[0].1))
+            .collect();
+        let base = format!("{}.lat.{}", rec.family, rec.class);
+        {
+            let mut series = self.series.borrow_mut();
+            series.entry(format!("{base}.e2e")).or_default().record(e2e);
+            for &(label, d) in &stages {
+                series
+                    .entry(format!("{base}.{label}"))
+                    .or_default()
+                    .record(d);
+            }
+            if let Some(srv) = rec.server {
+                series
+                    .entry(format!("{base}.server{srv}.e2e"))
+                    .or_default()
+                    .record(e2e);
+            }
+            if let Some(sh) = rec.shard {
+                for &(label, d) in &stages {
+                    if label == "service" {
+                        series
+                            .entry(format!("{base}.shard{sh}.service"))
+                            .or_default()
+                            .record(d);
+                    }
+                }
+            }
+            if rec.tenant != 0 {
+                series
+                    .entry(format!("{base}.tenant{}.e2e", rec.tenant))
+                    .or_default()
+                    .record(e2e);
+            }
+        }
+        self.class_stages
+            .borrow_mut()
+            .entry(base)
+            .or_default()
+            .extend(stages.iter().map(|&(l, _)| l));
+        self.finished.set(self.finished.get() + 1);
+        Some(FinishedOp {
+            id: OpId(id),
+            family: rec.family,
+            class: rec.class,
+            tenant: rec.tenant,
+            e2e_ns: e2e,
+            stages,
+            stamps: rec.stamps,
+        })
+    }
+
+    /// Drop a live op without recording it (timeout/error paths — a
+    /// half-traced op would pollute the latency series).
+    pub fn abort(&self, op: Option<OpId>) {
+        let Some(OpId(id)) = op else { return };
+        if self.live.borrow_mut().remove(&id).is_some() {
+            self.aborted.set(self.aborted.get() + 1);
+        }
+    }
+
+    /// Bump a critical-path attribution counter (e.g.
+    /// `rkv.critpath.multi_get.server3` — which fan-out leg dominated).
+    pub fn note_critical(&self, name: impl Into<String>) {
+        if !self.enabled.get() {
+            return;
+        }
+        *self.crit.borrow_mut().entry(name.into()).or_insert(0) += 1;
+    }
+
+    /// Ops finished so far.
+    pub fn finished_ops(&self) -> u64 {
+        self.finished.get()
+    }
+
+    /// Ops aborted so far.
+    pub fn aborted_ops(&self) -> u64 {
+        self.aborted.get()
+    }
+
+    /// Ops currently in flight.
+    pub fn live_ops(&self) -> usize {
+        self.live.borrow().len()
+    }
+
+    /// `(count, sum)` of a series, when it exists.
+    pub fn series_stats(&self, name: &str) -> Option<(u64, u64)> {
+        self.series
+            .borrow()
+            .get(name)
+            .map(|s| (s.samples.len() as u64 + s.dropped, s.sum))
+    }
+
+    /// Exact nearest-rank percentile of a series (0 when absent/empty).
+    pub fn series_percentile(&self, name: &str, q: f64) -> u64 {
+        self.series
+            .borrow()
+            .get(name)
+            .map(|s| s.percentile(q))
+            .unwrap_or(0)
+    }
+
+    /// Prove the telescoping identity for `family`/`class` over the whole
+    /// run: the sum of every stage series equals the sum of the `e2e`
+    /// series, to the nanosecond. `None` when no op of the class finished.
+    pub fn reconcile(&self, family: &str, class: &str) -> Option<Reconciliation> {
+        let base = format!("{family}.lat.{class}");
+        let labels = self.class_stages.borrow().get(&base)?.clone();
+        let series = self.series.borrow();
+        let e2e = series.get(&format!("{base}.e2e"))?;
+        let mut stage_sum = 0u64;
+        for label in labels {
+            if let Some(s) = series.get(&format!("{base}.{label}")) {
+                stage_sum += s.sum;
+            }
+        }
+        Some(Reconciliation {
+            ops: e2e.samples.len() as u64 + e2e.dropped,
+            stage_sum_ns: stage_sum,
+            e2e_sum_ns: e2e.sum,
+        })
+    }
+
+    /// Deterministic JSON of the full decomposition: every series with
+    /// exact count/sum/min/max and nearest-rank p50/p99/p999, plus the
+    /// critical-path counters. Sorted keys; two same-seed runs emit
+    /// byte-identical strings.
+    pub fn decomposition_json(&self) -> String {
+        let series = self.series.borrow();
+        let mut out = String::from("{\n  \"schema\": \"rdma-bb.oplat.v1\",\n  \"series\": {\n");
+        let n = series.len();
+        for (i, (name, s)) in series.iter().enumerate() {
+            let (min, max) = s
+                .samples
+                .iter()
+                .fold((u64::MAX, 0u64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
+                json_escape(name),
+                s.samples.len() as u64 + s.dropped,
+                s.sum,
+                if s.samples.is_empty() { 0 } else { min },
+                max,
+                s.percentile(50.0),
+                s.percentile(99.0),
+                s.percentile(99.9),
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"critical_path\": {\n");
+        let crit = self.crit.borrow();
+        let n = crit.len();
+        for (i, (name, count)) in crit.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                json_escape(name),
+                count,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  }},\n  \"finished\": {},\n  \"aborted\": {}\n}}\n",
+            self.finished.get(),
+            self.aborted.get()
+        ));
+        out
+    }
+
+    /// Mirror every series into `registry` histograms (same names) and
+    /// every critical-path counter into registry counters, so ordinary
+    /// metrics snapshots carry `rkv.lat.*`/`bb.lat.*` percentiles for SLO
+    /// gating. Call once per run, just before snapshotting.
+    pub fn publish(&self, registry: &Registry) {
+        for (name, s) in self.series.borrow().iter() {
+            let h = registry.histogram(name.clone());
+            for &v in &s.samples {
+                h.record_ns(v);
+            }
+        }
+        for (name, &count) in self.crit.borrow().iter() {
+            registry.counter(name.clone()).add(count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = OpTracer::default();
+        assert!(t.begin(0, "rkv", "get", 0).is_none());
+        t.stamp(None, "net_in", 5);
+        assert!(t.finish(None).is_none());
+        t.note_critical("x");
+        assert_eq!(t.finished_ops(), 0);
+        assert!(t.decomposition_json().contains("\"series\": {\n  }"));
+    }
+
+    #[test]
+    fn stage_sums_telescope_exactly() {
+        let t = OpTracer::default();
+        t.enable();
+        let op = t.begin(100, "rkv", "get", 0);
+        t.stamp(op, "client_queue", 150);
+        t.stamp(op, "net_in", 400);
+        t.stamp(op, "service", 1900);
+        t.stamp(op, "net_back", 2300);
+        let f = t.finish(op).unwrap();
+        assert_eq!(f.e2e_ns, 2200);
+        assert_eq!(f.stages.iter().map(|&(_, d)| d).sum::<u64>(), f.e2e_ns);
+        assert_eq!(f.dominant_stage(), Some(("service", 1500)));
+        let r = t.reconcile("rkv", "get").unwrap();
+        assert!(r.exact());
+        assert_eq!(r.ops, 1);
+        assert_eq!(r.e2e_sum_ns, 2200);
+    }
+
+    #[test]
+    #[should_panic(expected = "before previous stamp")]
+    fn non_monotone_stamp_panics() {
+        let t = OpTracer::default();
+        t.enable();
+        let op = t.begin(100, "rkv", "get", 0);
+        t.stamp(op, "back_in_time", 99);
+    }
+
+    #[test]
+    fn aborted_ops_leave_no_samples() {
+        let t = OpTracer::default();
+        t.enable();
+        let op = t.begin(0, "rkv", "set", 0);
+        t.stamp(op, "client_queue", 10);
+        t.abort(op);
+        assert_eq!(t.aborted_ops(), 1);
+        assert_eq!(t.live_ops(), 0);
+        assert!(t.series_stats("rkv.lat.set.e2e").is_none());
+        // a stamp after abort is silently dropped, not a panic
+        t.stamp(op, "late", 20);
+    }
+
+    #[test]
+    fn annotations_and_tenant_series() {
+        let t = OpTracer::default();
+        t.enable();
+        let op = t.begin(0, "rkv", "get", 7);
+        t.annotate_server(op, 3);
+        t.annotate_shard(op, 1);
+        t.stamp(op, "service", 500);
+        t.finish(op).unwrap();
+        assert_eq!(t.series_stats("rkv.lat.get.server3.e2e"), Some((1, 500)));
+        assert_eq!(t.series_stats("rkv.lat.get.shard1.service"), Some((1, 500)));
+        assert_eq!(t.series_stats("rkv.lat.get.tenant7.e2e"), Some((1, 500)));
+    }
+
+    #[test]
+    fn decomposition_json_is_deterministic_and_publishable() {
+        let run = || {
+            let t = OpTracer::default();
+            t.enable();
+            for i in 0..10u64 {
+                let op = t.begin(i * 100, "bb", "read_group", 0);
+                t.stamp(op, "kv_fetch", i * 100 + 40);
+                t.stamp(op, "cpu", i * 100 + 90);
+                t.finish(op);
+            }
+            t.note_critical("bb.critpath.read_group.kv_fetch");
+            t
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.decomposition_json(), b.decomposition_json());
+        let r = Registry::default();
+        a.publish(&r);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("bb.critpath.read_group.kv_fetch"), 1);
+        match snap.get("bb.lat.read_group.e2e") {
+            Some(crate::telemetry::MetricValue::Histogram(h)) => assert_eq!(h.count(), 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_are_nearest_rank() {
+        let t = OpTracer::default();
+        t.enable();
+        for i in 1..=100u64 {
+            let op = t.begin(0, "rkv", "get", 0);
+            t.stamp(op, "service", i);
+            t.finish(op);
+        }
+        assert_eq!(t.series_percentile("rkv.lat.get.e2e", 50.0), 50);
+        assert_eq!(t.series_percentile("rkv.lat.get.e2e", 99.0), 99);
+        assert_eq!(t.series_percentile("rkv.lat.get.e2e", 99.9), 100);
+    }
+}

@@ -4,11 +4,51 @@
 use std::fmt;
 use std::time::Duration;
 
-/// Log₂-bucketed histogram over nanosecond samples. 64 buckets cover the
-/// full `u64` range; percentile queries interpolate within a bucket.
+/// Linear sub-buckets per power of two (HDR-histogram style log-linear
+/// bucketing): `2^SUB_BITS` sub-buckets per octave bound the relative
+/// bucket width — and therefore the percentile interpolation error — to
+/// `2^-SUB_BITS` (12.5 %) instead of the 2× a pure log₂ layout allows.
+/// Values below `2 * 2^SUB_BITS` map one-to-one to their own bucket, so
+/// tiny samples are exact.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Bucket count: indices `0..16` are exact one-value buckets; each of the
+/// 60 remaining octaves (msb 4..=63) contributes `SUBS` buckets, ending at
+/// index `((63 - SUB_BITS + 1) << SUB_BITS) + SUBS - 1 = 495`.
+const BUCKETS: usize = 496;
+
+/// Bucket index for a nanosecond sample (log-linear, monotone in `ns`).
+fn bucket_index(ns: u64) -> usize {
+    if ns < 2 * SUBS {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((ns >> shift) & (SUBS - 1)) as usize;
+    (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// Inclusive `[lo, hi]` value range of a bucket.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < (2 * SUBS) as usize {
+        return (idx as u64, idx as u64);
+    }
+    let group = (idx as u32) >> SUB_BITS;
+    let sub = (idx as u64) & (SUBS - 1);
+    let exp = group + SUB_BITS - 1; // the msb of every value in the bucket
+    let width = 1u64 << (exp - SUB_BITS);
+    let lo = (SUBS + sub) << (exp - SUB_BITS);
+    (lo, lo.saturating_add(width - 1))
+}
+
+/// Log-linear-bucketed histogram over nanosecond samples. 496 buckets
+/// (8 linear sub-buckets per power of two) cover the full `u64` range;
+/// percentile queries interpolate within a bucket, so the approximation
+/// error is bounded by one sub-bucket width (≤ 12.5 % of the value).
 #[derive(Clone, PartialEq)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: [u64; BUCKETS],
     count: u64,
     sum: u128,
     min: u64,
@@ -25,7 +65,7 @@ impl Histogram {
     /// Empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: [0; 64],
+            buckets: [0; BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -40,12 +80,7 @@ impl Histogram {
 
     /// Record one raw nanosecond sample.
     pub fn record_ns(&mut self, ns: u64) {
-        let idx = if ns == 0 {
-            0
-        } else {
-            63 - ns.leading_zeros() as usize
-        };
-        self.buckets[idx] += 1;
+        self.buckets[bucket_index(ns)] += 1;
         self.count += 1;
         self.sum += ns as u128;
         self.min = self.min.min(ns);
@@ -104,14 +139,15 @@ impl Histogram {
     }
 
     /// Approximate percentile (`q` in 0..=100) with linear interpolation
-    /// inside the matched log bucket.
+    /// inside the matched bucket.
     ///
     /// Accuracy note: the interpolated value is clamped to the observed
     /// `[min, max]` range, so when every sample landed in a single bucket
     /// any percentile falls within that range (and with one sample, equals
     /// it exactly) rather than drifting to the bucket's nominal edges. The
-    /// error bound is the matched bucket's width — at most 2× the true
-    /// value for log₂ buckets. Returns [`Duration::ZERO`] when empty.
+    /// error bound is the matched bucket's width — at most `2^-SUB_BITS`
+    /// (12.5 %) of the true value with log-linear sub-buckets, and exact
+    /// below 16 ns. Returns [`Duration::ZERO`] when empty.
     pub fn percentile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
@@ -123,12 +159,7 @@ impl Histogram {
                 continue;
             }
             if seen + c >= target {
-                let lo = if i == 0 { 0u64 } else { 1u64 << i };
-                let hi = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
+                let (lo, hi) = bucket_bounds(i);
                 let frac = (target - seen) as f64 / c as f64;
                 let ns = lo as f64 + frac * (hi - lo) as f64;
                 return Duration::from_nanos(ns.min(self.max as f64).max(self.min as f64) as u64);
@@ -218,9 +249,61 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99);
         assert!(p99 <= h.max());
         assert!(h.min() <= p50);
-        // log-bucket approximation: p50 of uniform 1..10000 is within its 2x bucket
+        // log-linear buckets: p50 of uniform 1..10000 stays within the
+        // sub-bucket containing 5000 ([4608, 5119])
         let v = p50.as_nanos() as f64;
-        assert!((4096.0..=8192.0).contains(&v), "p50 = {v}");
+        assert!((4608.0..=5120.0).contains(&v), "p50 = {v}");
+    }
+
+    #[test]
+    fn percentile_error_bounds_at_ns_scale() {
+        // regression: the pure-log₂ layout allowed up to 2x error; the
+        // sub-bucketed layout pins p50/p99 within one bucket width
+        // (≤ 12.5 % of the true value) on a uniform 1..=10000 ns stream
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record_ns(i);
+        }
+        let p50 = h.percentile(50.0).as_nanos() as f64;
+        let p99 = h.percentile(99.0).as_nanos() as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 <= 0.125, "p50 = {p50}");
+        assert!((p99 - 9900.0).abs() / 9900.0 <= 0.125, "p99 = {p99}");
+        // sub-microsecond service times no longer collapse into one
+        // bucket: 600 ns and 900 ns samples stay distinguishable
+        let mut m = Histogram::new();
+        for _ in 0..100 {
+            m.record_ns(600);
+            m.record_ns(900);
+        }
+        let p50m = m.percentile(50.0).as_nanos() as u64;
+        let p99m = m.percentile(99.0).as_nanos() as u64;
+        assert!(p50m < 700, "p50 {p50m} must sit in the 600 ns bucket");
+        assert!(p99m > 800, "p99 {p99m} must sit in the 900 ns bucket");
+        // values below 16 ns occupy exact one-value buckets
+        let mut s = Histogram::new();
+        for ns in [3u64, 9, 15] {
+            s.record_ns(ns);
+        }
+        assert_eq!(s.percentile(50.0), Duration::from_nanos(9));
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        // contiguous, ordered coverage of the u64 range
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let mut prev = 0usize;
+        for exp in 0..64u32 {
+            for ns in [1u64 << exp, (1u64 << exp) | ((1u64 << exp) - 1)] {
+                let idx = bucket_index(ns);
+                assert!(idx >= prev, "index must be monotone at {ns}");
+                let (lo, hi) = bucket_bounds(idx);
+                assert!(lo <= ns && ns <= hi, "ns {ns} outside [{lo}, {hi}]");
+                prev = idx;
+            }
+        }
     }
 
     #[test]

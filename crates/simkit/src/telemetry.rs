@@ -163,13 +163,14 @@ impl MetricValue {
             MetricValue::Gauge(v) => format!("{{\"type\": \"gauge\", \"value\": {v}}}"),
             MetricValue::Histogram(h) => format!(
                 "{{\"type\": \"histogram\", \"count\": {}, \"mean_ns\": {}, \"min_ns\": {}, \
-                 \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
                 h.count(),
                 h.mean().as_nanos(),
                 h.min().as_nanos(),
                 h.max().as_nanos(),
                 h.percentile(50.0).as_nanos(),
                 h.percentile(99.0).as_nanos(),
+                h.percentile(99.9).as_nanos(),
             ),
         }
     }
@@ -248,9 +249,11 @@ impl Snapshot {
     }
 
     /// Deterministic JSON: sorted keys, integer values, stable layout.
-    /// Two same-seed runs serialise byte-identically.
+    /// Two same-seed runs serialise byte-identically. Schema `v2` extends
+    /// `v1` with full percentile fields (`p50/p99/p999/max`) on every
+    /// histogram; consumers accept both.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"rdma-bb.metrics.v1\",\n  \"metrics\": {\n");
+        let mut out = String::from("{\n  \"schema\": \"rdma-bb.metrics.v2\",\n  \"metrics\": {\n");
         let n = self.metrics.len();
         for (i, (k, v)) in self.metrics.iter().enumerate() {
             out.push_str(&format!(
@@ -529,6 +532,10 @@ pub struct Telemetry {
     pub registry: Registry,
     /// The span tracer.
     pub tracer: Tracer,
+    /// The per-operation request tracer (latency decomposition).
+    pub optrace: crate::optrace::OpTracer,
+    /// The crash flight recorder.
+    pub flight: crate::flight::FlightRecorder,
 }
 
 #[cfg(test)]

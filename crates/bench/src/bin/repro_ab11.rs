@@ -1,0 +1,40 @@
+//! AB11: open-loop million-client traffic — Zipf skew sweep with hot-key
+//! replica fan-out on/off, plus tenant isolation under a bursting
+//! neighbour with per-tenant token-bucket admission. The representative
+//! cell (budgets on, fan-out armed) publishes the `rkv.hot.*` and
+//! `rkv.tenant.*` families CI gates on.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab11 [--quick] [--metrics-json PATH] \
+//!     [--timeline PATH]
+//! ```
+//!
+//! `--timeline PATH` writes the per-cell traffic timeline (the artifact
+//! CI uploads).
+
+use bench::experiments::traffic;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOpts::parse();
+    let (report, timeline) = traffic::ab11_with_artifacts(opts.quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &timeline).expect("write timeline");
+        println!("wrote traffic timeline: {path}");
+    }
+}

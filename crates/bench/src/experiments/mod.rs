@@ -13,13 +13,14 @@ pub mod kvserver;
 pub mod micro;
 pub mod rebalance;
 pub mod tracing;
+pub mod traffic;
 
 use crate::table::Table;
 
 /// An experiment's rendered output plus its paper-shape verdict and the
 /// telemetry of its representative cell.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB10`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB11`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
@@ -81,5 +82,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(kvserver::ab9_core_scaling(quick, false));
     println!(">>> AB10: tail-latency decomposition");
     out.push(tracing::ab10_latency_decomposition(quick));
+    println!(">>> AB11: open-loop traffic (hot-key fan-out, tenant isolation)");
+    out.push(traffic::ab11_traffic(quick));
     out
 }

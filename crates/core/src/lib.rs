@@ -102,6 +102,25 @@ pub struct BbConfig {
     /// page reclamation under pressure. `Duration::ZERO` (default)
     /// disables reclamation (classic memcached calcification).
     pub kv_reclaim_idle: std::time::Duration,
+    /// Hot-key replica fan-out on each KV server (engine model only):
+    /// reads of keys the per-shard frequency sketch flags hot spread
+    /// across this many extra cores beyond the home core, served from a
+    /// write-invalidated server-side copy. `0` (default) disables
+    /// detection and fan-out (seed behaviour).
+    pub kv_hot_replicas: usize,
+    /// Per-tenant resident-byte floor on each KV server, as a fraction
+    /// of each shard's memory budget: other tenants' eviction pressure
+    /// cannot push a tenant below its floor. `0.0` (default) disables
+    /// tenant budgeting.
+    pub kv_tenant_floor: f64,
+    /// Per-tenant token-bucket admission rate on each KV server
+    /// (ops/sec); requests over budget are rejected with `Throttled`
+    /// before touching a core. `0.0` (default) disables admission;
+    /// tenant 0 is always exempt.
+    pub kv_tenant_rate: f64,
+    /// Token-bucket depth (burst allowance, ops) when
+    /// [`BbConfig::kv_tenant_rate`] is active.
+    pub kv_tenant_burst: f64,
     /// Concurrent file flush streams in the persistence manager.
     pub flusher_threads: usize,
     /// Writers stall when unflushed buffered bytes exceed this fraction of
@@ -196,6 +215,10 @@ impl Default for BbConfig {
             kv_cores: 1,
             kv_cq_batch: 1,
             kv_reclaim_idle: std::time::Duration::ZERO,
+            kv_hot_replicas: 0,
+            kv_tenant_floor: 0.0,
+            kv_tenant_rate: 0.0,
+            kv_tenant_burst: 64.0,
             flusher_threads: 4,
             flush_watermark: 0.6,
             write_window: 4,
@@ -295,6 +318,10 @@ impl BbDeployment {
                         cores: config.kv_cores,
                         cq_batch: config.kv_cq_batch,
                         reclaim_idle: config.kv_reclaim_idle,
+                        hot_replicas: config.kv_hot_replicas,
+                        tenant_floor_frac: config.kv_tenant_floor,
+                        tenant_rate: config.kv_tenant_rate,
+                        tenant_burst: config.kv_tenant_burst,
                         // chunks arrive with their CRC32C in `flags`; the
                         // server rejects transfers whose payload no longer
                         // matches (BadDigest → client re-sends)
@@ -390,6 +417,10 @@ impl BbDeployment {
                 cores: self.config.kv_cores,
                 cq_batch: self.config.kv_cq_batch,
                 reclaim_idle: self.config.kv_reclaim_idle,
+                hot_replicas: self.config.kv_hot_replicas,
+                tenant_floor_frac: self.config.kv_tenant_floor,
+                tenant_rate: self.config.kv_tenant_rate,
+                tenant_burst: self.config.kv_tenant_burst,
                 verify_set_crc: true,
                 ..KvServerConfig::default()
             },

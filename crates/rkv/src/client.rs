@@ -71,6 +71,10 @@ pub enum ClientError {
     TransferFailed,
     /// The operation exceeded [`KvClientConfig::op_timeout`].
     Timeout,
+    /// The server rejected the op under per-tenant admission control.
+    /// Never retried at the transport layer — the offered load is the
+    /// problem, not the exchange.
+    Throttled,
 }
 
 impl fmt::Display for ClientError {
@@ -82,6 +86,7 @@ impl fmt::Display for ClientError {
             ClientError::NoServers => f.write_str("no kv servers configured"),
             ClientError::TransferFailed => f.write_str("server-side transfer failed"),
             ClientError::Timeout => f.write_str("kv operation timed out"),
+            ClientError::Throttled => f.write_str("rejected by tenant admission control"),
         }
     }
 }
@@ -426,6 +431,20 @@ impl KvClient {
         // (re)connect
         let server = self.view.server(server_idx);
         let qp = server.accept(self.node).await?;
+        // tenanted clients tag the fresh connection before any op rides
+        // it (one hello per connect; tenant 0 clients skip it entirely),
+        // so per-connection tenancy survives reconnects
+        if self.config.tenant != 0 {
+            let hello = Request::SetTenant {
+                tenant: self.config.tenant,
+            };
+            qp.send_tagged(hello.encode(), None).await?;
+            let frame = qp.recv().await?;
+            match Response::decode(frame)? {
+                Response::Ok => {}
+                other => return Err(Self::unexpected(other)),
+            }
+        }
         let conn = Rc::new(Conn {
             qp,
             lock: Semaphore::new(1),
@@ -1311,6 +1330,7 @@ impl KvClient {
             Response::OutOfMemory => KvError::OutOfMemory.into(),
             Response::TransferFailed => ClientError::TransferFailed,
             Response::BadDigest => ClientError::TransferFailed,
+            Response::Throttled => ClientError::Throttled,
             _ => ClientError::Proto(ProtoError("unexpected response variant")),
         }
     }

@@ -21,6 +21,7 @@
 pub mod checksum;
 pub mod client;
 pub mod hash;
+pub mod hotness;
 pub mod membership;
 pub mod proto;
 pub mod server;

@@ -200,6 +200,14 @@ pub enum Request {
         /// Item key.
         key: Bytes,
     },
+    /// Tag this connection with a tenant id: all subsequent ops on the
+    /// connection are accounted to (and admission-controlled as) this
+    /// tenant. Sent once after connect by tenanted clients; tenant 0
+    /// clients never send it.
+    SetTenant {
+        /// Tenant id (0 clears the tag).
+        tenant: u32,
+    },
 }
 
 /// Server → client results.
@@ -260,6 +268,10 @@ pub enum Response {
     /// checksum (`flags`). The value was NOT stored; the client should
     /// re-send from its good copy.
     BadDigest,
+    /// Op rejected by per-tenant token-bucket admission: the connection's
+    /// tenant is over its configured rate. Not retryable at the transport
+    /// layer — the caller decides whether to back off.
+    Throttled,
 }
 
 const TAG_GET: u8 = 1;
@@ -277,6 +289,7 @@ const TAG_PREPEND: u8 = 12;
 const TAG_MULTI_GET: u8 = 13;
 const TAG_PIN: u8 = 14;
 const TAG_UNPIN: u8 = 15;
+const TAG_SET_TENANT: u8 = 16;
 
 const RTAG_VALUE: u8 = 1;
 const RTAG_VALUE_WRITTEN: u8 = 2;
@@ -293,6 +306,7 @@ const RTAG_COUNTER: u8 = 12;
 const RTAG_NON_NUMERIC: u8 = 13;
 const RTAG_MULTI_VALUES: u8 = 14;
 const RTAG_BAD_DIGEST: u8 = 15;
+const RTAG_THROTTLED: u8 = 16;
 
 const CARRIER_INLINE: u8 = 0;
 const CARRIER_REMOTE: u8 = 1;
@@ -486,6 +500,10 @@ impl Request {
                 buf.put_u8(TAG_UNPIN);
                 put_bytes(&mut buf, key);
             }
+            Request::SetTenant { tenant } => {
+                buf.put_u8(TAG_SET_TENANT);
+                buf.put_u32_le(*tenant);
+            }
         }
         buf.freeze()
     }
@@ -608,6 +626,14 @@ impl Request {
             TAG_UNPIN => Request::Unpin {
                 key: get_bytes(&mut frame)?,
             },
+            TAG_SET_TENANT => {
+                if frame.remaining() < 4 {
+                    return Err(ProtoError("truncated tenant"));
+                }
+                Request::SetTenant {
+                    tenant: frame.get_u32_le(),
+                }
+            }
             _ => return Err(ProtoError("bad request tag")),
         })
     }
@@ -665,6 +691,7 @@ impl Response {
             }
             Response::NonNumeric => buf.put_u8(RTAG_NON_NUMERIC),
             Response::BadDigest => buf.put_u8(RTAG_BAD_DIGEST),
+            Response::Throttled => buf.put_u8(RTAG_THROTTLED),
             Response::MultiValues { values } => {
                 buf.put_u8(RTAG_MULTI_VALUES);
                 buf.put_u32_le(values.len() as u32);
@@ -784,6 +811,7 @@ impl Response {
                 Response::MultiValues { values }
             }
             RTAG_BAD_DIGEST => Response::BadDigest,
+            RTAG_THROTTLED => Response::Throttled,
             _ => return Err(ProtoError("bad response tag")),
         })
     }
@@ -894,6 +922,7 @@ mod tests {
         roundtrip_req(Request::Unpin {
             key: Bytes::from_static(b"f1:0"),
         });
+        roundtrip_req(Request::SetTenant { tenant: 42 });
     }
 
     #[test]
@@ -922,6 +951,7 @@ mod tests {
             values: vec![None, Some((Bytes::from_static(b"v"), 7, 9)), None],
         });
         roundtrip_resp(Response::BadDigest);
+        roundtrip_resp(Response::Throttled);
         roundtrip_resp(Response::Stats(KvStats {
             gets: 1,
             hits: 2,

@@ -22,19 +22,20 @@
 //!   are posted per connection in request order (memcached semantics).
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use simkit::dur;
 use simkit::sync::mpsc;
-use simkit::telemetry::{Gauge, HistogramMetric, MetricValue};
+use simkit::telemetry::{Counter, Gauge, HistogramMetric, MetricValue};
 use simkit::{OpId, Sim};
 
 use netsim::NodeId;
 use rdmasim::{Cq, Qp, QpConfig, RdmaError, RdmaStack};
 
+use crate::hotness::FreqSketch;
 use crate::proto::{Carrier, ProtoError, Request, Response};
 use crate::sharded::ShardedKv;
 use crate::slab::SlabConfig;
@@ -70,6 +71,32 @@ pub struct KvServerConfig {
     /// this so a transfer-corrupted chunk can never be stored as "good";
     /// off by default because generic KV users put arbitrary flags there.
     pub verify_set_crc: bool,
+    /// Hot-key replica fan-out (engine model only): keys the per-shard
+    /// frequency sketch flags hot get a server-side cached copy, and
+    /// their reads are spread round-robin across `hot_replicas` extra
+    /// cores beyond the home core. Any write to a hot key invalidates
+    /// the copy at dispatch (the serial poller is the linearization
+    /// point), so replica reads are never stale. 0 (default) disables
+    /// detection and fan-out entirely.
+    pub hot_replicas: usize,
+    /// Ops per hot-key sketch window; counters halve at every roll and
+    /// cooled-off hot entries are pruned.
+    pub hot_window: usize,
+    /// Windowed sketch estimate at which a key is promoted to hot.
+    pub hot_min_count: u32,
+    /// Per-tenant resident-byte floor as a fraction of each shard's
+    /// memory budget: eviction pressure from *other* tenants cannot push
+    /// a tenant's resident bytes below its floor. 0.0 (default) disables
+    /// tenant budgeting.
+    pub tenant_floor_frac: f64,
+    /// Token-bucket admission: token refill per tenant in ops/sec.
+    /// Requests arriving with an empty bucket are answered
+    /// [`Response::Throttled`] without touching a core. 0.0 (default)
+    /// disables admission control; tenant 0 (untenanted) is always
+    /// exempt.
+    pub tenant_rate: f64,
+    /// Token-bucket depth per tenant (burst allowance, ops).
+    pub tenant_burst: f64,
 }
 
 impl Default for KvServerConfig {
@@ -83,6 +110,12 @@ impl Default for KvServerConfig {
             proc_time: dur::ns(1_500),
             qp: QpConfig::default(),
             verify_set_crc: false,
+            hot_replicas: 0,
+            hot_window: 4096,
+            hot_min_count: 64,
+            tenant_floor_frac: 0.0,
+            tenant_rate: 0.0,
+            tenant_burst: 64.0,
         }
     }
 }
@@ -106,6 +139,9 @@ struct Submission {
     qp: Rc<Qp>,
     op: Option<OpId>,
     reply: mpsc::Sender<ReplyItem>,
+    /// The connection's declared tenant (0 = untenanted). Shared with the
+    /// pump so a `set_tenant` handshake applies to every later frame.
+    tenant: Rc<Cell<u32>>,
 }
 
 /// Join state for a `multi_get` split across shards.
@@ -125,6 +161,27 @@ struct MultiAgg {
 enum CoreOp {
     Single {
         req: Request,
+        qp: Rc<Qp>,
+        seq: u64,
+        op: Option<OpId>,
+        reply: mpsc::Sender<ReplyItem>,
+        /// Tenant the request runs as (0 = untenanted).
+        tenant: u32,
+        /// When the request is a get of a tracked hot key whose cached
+        /// copy is absent, `(key, seq ticket)`: after the store read the
+        /// core publishes the value into the hot entry iff the ticket
+        /// still matches (no write dispatched since).
+        publish: Option<(Bytes, u64)>,
+    },
+    /// A read of a hot key served from the server-side cached copy on a
+    /// fan-out core: full `proc_time` is charged, the value was captured
+    /// at dispatch (the linearization point — the serial poller
+    /// invalidates the copy before queueing any write).
+    HotGet {
+        /// The original request (always `Request::Get` — carried whole
+        /// for the one-sided `dst` landing buffer).
+        req: Request,
+        value: (Bytes, u32, u64),
         qp: Rc<Qp>,
         seq: u64,
         op: Option<OpId>,
@@ -150,6 +207,68 @@ struct Engine {
     cores: Vec<CoreHandle>,
 }
 
+/// One tracked hot key.
+struct HotEntry {
+    /// Core that owns the key's shard (authoritative copy).
+    home: usize,
+    /// Version ticket drawn from [`HotState::seqgen`]: bumped by every
+    /// write-family dispatch to the key. A publish carrying a stale
+    /// ticket is refused, so the cached copy can never go backwards.
+    seq: u64,
+    /// Round-robin cursor over the fan-out core set.
+    rr: u32,
+    /// Cached `(data, flags, cas)`, absent until published and after
+    /// every invalidation.
+    value: Option<(Bytes, u32, u64)>,
+}
+
+/// Hot-key detection and replica fan-out state (engine model only;
+/// present iff `hot_replicas > 0`). All mutation happens in the serial
+/// poller's dispatch, which makes dispatch order the linearization
+/// order: a write invalidates the cached copy *before* it is queued, so
+/// any read dispatched after the write either misses the cache (routed
+/// to the home core behind the write) or sees the post-write republish.
+struct HotState {
+    /// One sketch per shard, recording keyed reads.
+    sketches: RefCell<Vec<FreqSketch>>,
+    entries: RefCell<HashMap<Vec<u8>, HotEntry>>,
+    /// Monotone ticket source shared by all entries; never reused, so a
+    /// pruned-and-redetected key cannot accept a publish from before its
+    /// retirement (no ABA).
+    seqgen: Cell<u64>,
+    /// Cores a hot key's reads spread across (home + replicas, capped at
+    /// the core count).
+    fanout: usize,
+    min_count: u32,
+    detected: Counter,
+    replica_hits: Counter,
+    invalidations: Counter,
+    publishes: Counter,
+    tracked: Gauge,
+}
+
+impl HotState {
+    fn next_seq(&self) -> u64 {
+        let s = self.seqgen.get() + 1;
+        self.seqgen.set(s);
+        s
+    }
+}
+
+/// Per-tenant token-bucket admission state (present iff
+/// `tenant_rate > 0`). Buckets refill lazily at check time from the
+/// elapsed virtual time, so idle tenants cost nothing.
+struct TenantGov {
+    rate: f64,
+    burst: f64,
+    /// tenant → (tokens, last refill ns).
+    buckets: RefCell<HashMap<u32, (f64, u64)>>,
+    admitted: Counter,
+    throttled: Counter,
+    /// Lazily registered `rkv.tenant.server{N}.t{T}.throttled` counters.
+    per_tenant: RefCell<HashMap<u32, Counter>>,
+}
+
 /// Per-server service-time histograms (`rkv.server{node}.*_ns`), plus
 /// per-shard service time (`rkv.server{node}.shard{S}.svc_ns`) so
 /// core-scaling results can report tail behaviour per shard.
@@ -172,6 +291,8 @@ pub struct KvServer {
     proto_errors: Cell<u64>,
     hists: ServiceHists,
     engine: Option<Engine>,
+    hot: Option<HotState>,
+    gov: Option<TenantGov>,
 }
 
 impl KvServer {
@@ -296,6 +417,43 @@ impl KvServer {
         // engine plumbing: one completion ring for the whole server, one
         // work queue per core; receivers are handed to the core tasks
         // spawned below
+        // tenant budgeting and admission, both fully gated so default
+        // configurations register no rkv.tenant.* metrics and snapshots
+        // stay byte-identical to the seed
+        if config.tenant_floor_frac > 0.0 {
+            store.set_tenant_floor_frac(config.tenant_floor_frac);
+            let weak = Rc::downgrade(&store);
+            m.sampled(
+                format!("rkv.tenant.server{}.floor_denied", node.0),
+                move || MetricValue::Counter(weak.upgrade().map(|s| s.floor_denied()).unwrap_or(0)),
+            );
+        }
+        let gov = (config.tenant_rate > 0.0).then(|| TenantGov {
+            rate: config.tenant_rate,
+            burst: config.tenant_burst.max(1.0),
+            buckets: RefCell::new(HashMap::new()),
+            admitted: m.counter(format!("rkv.tenant.server{}.admitted", node.0)),
+            throttled: m.counter(format!("rkv.tenant.server{}.throttled", node.0)),
+            per_tenant: RefCell::new(HashMap::new()),
+        });
+        // hot-key fan-out needs per-core routing, so it only exists under
+        // the engine; gated the same way (no rkv.hot.* metrics by default)
+        let hot = (engine_on && config.hot_replicas > 0).then(|| HotState {
+            sketches: RefCell::new(
+                (0..store.shard_count())
+                    .map(|_| FreqSketch::new(config.hot_window))
+                    .collect(),
+            ),
+            entries: RefCell::new(HashMap::new()),
+            seqgen: Cell::new(0),
+            fanout: (config.hot_replicas + 1).min(store.shard_count()),
+            min_count: config.hot_min_count.max(1),
+            detected: m.counter(format!("rkv.hot.server{}.detected", node.0)),
+            replica_hits: m.counter(format!("rkv.hot.server{}.replica_hits", node.0)),
+            invalidations: m.counter(format!("rkv.hot.server{}.invalidations", node.0)),
+            publishes: m.counter(format!("rkv.hot.server{}.publishes", node.0)),
+            tracked: m.gauge(format!("rkv.hot.server{}.tracked", node.0)),
+        });
         let mut core_rxs = Vec::new();
         let engine = engine_on.then(|| {
             let cores = (0..store.shard_count())
@@ -323,6 +481,8 @@ impl KvServer {
             proto_errors: Cell::new(0),
             hists,
             engine,
+            hot,
+            gov,
         });
         if server.engine.is_some() {
             let sim = server.stack.sim().clone();
@@ -388,6 +548,7 @@ impl KvServer {
     }
 
     async fn serve_connection(self: Rc<Self>, qp: Qp) {
+        let tenant = Cell::new(0u32);
         loop {
             let (frame, op) = match qp.recv_tagged().await {
                 Ok(f) => f,
@@ -395,6 +556,19 @@ impl KvServer {
             };
             self.stack.sim().op_stamp(op, "net_in");
             let resp = match Request::decode(frame) {
+                // connection-scoped control verb: tag every later request
+                // with the declared tenant (no proc_time — pure handshake)
+                Ok(Request::SetTenant { tenant: t }) => {
+                    self.requests.set(self.requests.get() + 1);
+                    tenant.set(t);
+                    self.stack.sim().op_stamp(op, "service");
+                    Response::Ok
+                }
+                Ok(_) if !self.admit(tenant.get()) => {
+                    self.requests.set(self.requests.get() + 1);
+                    self.stack.sim().op_stamp(op, "service");
+                    Response::Throttled
+                }
                 Ok(req) => {
                     self.requests.set(self.requests.get() + 1);
                     let (span_name, hist) = match &req {
@@ -408,7 +582,7 @@ impl KvServer {
                     let _sp = sim.span(span_name, "rkv", self.node.0, 0);
                     let t0 = sim.now();
                     sim.sleep(self.config.proc_time).await;
-                    let resp = self.handle(&qp, req).await;
+                    let resp = self.handle(&qp, req, tenant.get()).await;
                     let svc = self
                         .stack
                         .sim()
@@ -448,6 +622,7 @@ impl KvServer {
             let sim = self.stack.sim().clone();
             async move { Self::run_replier(sim, qp, reply_rx).await }
         });
+        let tenant = Rc::new(Cell::new(0u32));
         let mut seq = 0u64;
         loop {
             let (frame, op) = match qp.recv_tagged().await {
@@ -461,6 +636,7 @@ impl KvServer {
                 qp: Rc::clone(&qp),
                 op,
                 reply: reply_tx.clone(),
+                tenant: Rc::clone(&tenant),
             });
             seq += 1;
         }
@@ -497,6 +673,20 @@ impl KvServer {
             for sub in batch {
                 self.stack.sim().op_stamp(sub.op, "cq_wait");
                 match Request::decode(sub.frame.clone()) {
+                    // tenant handshake and admission both resolve at the
+                    // ring, before any core is involved: a throttled
+                    // request costs routing bookkeeping only
+                    Ok(Request::SetTenant { tenant }) => {
+                        self.requests.set(self.requests.get() + 1);
+                        sub.tenant.set(tenant);
+                        let _ = sub.reply.try_send((sub.seq, Response::Ok.encode(), sub.op));
+                    }
+                    Ok(_) if !self.admit(sub.tenant.get()) => {
+                        self.requests.set(self.requests.get() + 1);
+                        let _ = sub
+                            .reply
+                            .try_send((sub.seq, Response::Throttled.encode(), sub.op));
+                    }
                     Ok(req) => {
                         self.requests.set(self.requests.get() + 1);
                         self.dispatch(req, sub);
@@ -555,6 +745,83 @@ impl KvServer {
             Some(key) => self.store.shard_index(key),
             None => 0,
         };
+        // hot-key tracking: reads feed the shard's sketch and may be
+        // served from (or scheduled to publish into) the cached copy;
+        // writes invalidate it and retire the current publish ticket.
+        // All of this happens here, in the serial poller, which makes
+        // dispatch order the linearization order for the cached copy.
+        let mut publish: Option<(Bytes, u64)> = None;
+        if let Some(hot) = &self.hot {
+            match &req {
+                Request::Get { key, .. } => {
+                    let (est, rolled) = hot.sketches.borrow_mut()[shard].record(key);
+                    let mut entries = hot.entries.borrow_mut();
+                    if rolled {
+                        // window roll: retire entries homed here that
+                        // have cooled below half the promotion threshold
+                        let sketches = hot.sketches.borrow();
+                        let before = entries.len();
+                        entries.retain(|k, e| {
+                            e.home != shard || sketches[shard].estimate(k) >= hot.min_count / 2
+                        });
+                        hot.tracked.add(entries.len() as i64 - before as i64);
+                    }
+                    if let Some(e) = entries.get_mut(key.as_ref() as &[u8]) {
+                        if let Some(v) = e.value.clone() {
+                            // replica hit: rotate over the fan-out set
+                            let t = (e.home + e.rr as usize % hot.fanout) % engine.cores.len();
+                            e.rr = e.rr.wrapping_add(1);
+                            hot.replica_hits.inc();
+                            engine.cores[t].qdepth.add(1);
+                            let _ = engine.cores[t].tx.try_send(CoreOp::HotGet {
+                                req,
+                                value: v,
+                                qp: sub.qp,
+                                seq: sub.seq,
+                                op: sub.op,
+                                reply: sub.reply,
+                            });
+                            return;
+                        }
+                        publish = Some((key.clone(), e.seq));
+                    } else if est >= hot.min_count {
+                        let seq = hot.next_seq();
+                        entries.insert(
+                            key.to_vec(),
+                            HotEntry {
+                                home: shard,
+                                seq,
+                                rr: 0,
+                                value: None,
+                            },
+                        );
+                        hot.detected.inc();
+                        hot.tracked.add(1);
+                        publish = Some((key.clone(), seq));
+                    }
+                }
+                _ => {
+                    // write-family (and any other keyed verb): clear the
+                    // cached copy and bump the ticket so in-flight
+                    // publishes of the pre-write value are refused. The
+                    // write itself carries the new ticket: when it
+                    // completes on the home core it republishes the fresh
+                    // value, so the cache is cold only while the write is
+                    // queued (a lazy get-driven republish would leave the
+                    // home core eating the full hot-key read rate for as
+                    // long as its own backlog delays the carrier get).
+                    if let Some(key) = request_key(&req) {
+                        if let Some(e) = hot.entries.borrow_mut().get_mut(key) {
+                            e.seq = hot.next_seq();
+                            if e.value.take().is_some() {
+                                hot.invalidations.inc();
+                            }
+                            publish = Some((Bytes::copy_from_slice(key), e.seq));
+                        }
+                    }
+                }
+            }
+        }
         engine.cores[shard].qdepth.add(1);
         let _ = engine.cores[shard].tx.try_send(CoreOp::Single {
             req,
@@ -562,6 +829,8 @@ impl KvServer {
             seq: sub.seq,
             op: sub.op,
             reply: sub.reply,
+            tenant: sub.tenant.get(),
+            publish,
         });
     }
 
@@ -580,6 +849,8 @@ impl KvServer {
                     seq,
                     op,
                     reply,
+                    tenant,
+                    publish,
                 } => {
                     sim.op_stamp(op, "shard_queue");
                     sim.optrace().annotate_shard(op, core as u32);
@@ -591,9 +862,45 @@ impl KvServer {
                     let _sp = sim.span(span_name, "rkv", self.node.0, core as u64 + 1);
                     let t0 = sim.now();
                     sim.sleep(self.config.proc_time).await;
-                    let resp = self.handle(&qp, req).await;
+                    let resp = self.handle(&qp, req, tenant).await;
+                    if let Some((key, ticket)) = publish {
+                        self.publish_hot(&key, ticket);
+                    }
                     let svc = sim.now().as_nanos().saturating_sub(t0.as_nanos());
                     hist.record_ns(svc);
+                    self.hists.shard_svc[core].record_ns(svc);
+                    sim.op_stamp(op, "service");
+                    let _ = reply.try_send((seq, resp.encode(), op));
+                }
+                CoreOp::HotGet {
+                    req,
+                    value,
+                    qp,
+                    seq,
+                    op,
+                    reply,
+                } => {
+                    sim.op_stamp(op, "shard_queue");
+                    sim.optrace().annotate_shard(op, core as u32);
+                    let _sp = sim.span("kv.get", "rkv", self.node.0, core as u64 + 1);
+                    let t0 = sim.now();
+                    sim.sleep(self.config.proc_time).await;
+                    let (data, flags, cas) = value;
+                    let resp = match req {
+                        Request::Get { dst: Some(dst), .. } if data.len() as u64 <= dst.len => {
+                            match qp.write(&dst.into(), 0, data.clone()).await {
+                                Ok(()) => Response::ValueWritten {
+                                    len: data.len() as u32,
+                                    flags,
+                                    cas,
+                                },
+                                Err(_) => Response::TransferFailed,
+                            }
+                        }
+                        _ => Response::Value { data, flags, cas },
+                    };
+                    let svc = sim.now().as_nanos().saturating_sub(t0.as_nanos());
+                    self.hists.get_ns.record_ns(svc);
                     self.hists.shard_svc[core].record_ns(svc);
                     sim.op_stamp(op, "service");
                     let _ = reply.try_send((seq, resp.encode(), op));
@@ -648,6 +955,61 @@ impl KvServer {
         self.stack.sim().now().as_nanos()
     }
 
+    /// Token-bucket admission for `tenant`. Always true when admission is
+    /// off or the connection is untenanted (tenant 0).
+    fn admit(&self, tenant: u32) -> bool {
+        let Some(gov) = &self.gov else { return true };
+        if tenant == 0 {
+            return true;
+        }
+        let now = self.now();
+        let mut buckets = gov.buckets.borrow_mut();
+        let b = buckets.entry(tenant).or_insert((gov.burst, now));
+        let dt = now.saturating_sub(b.1) as f64 / 1e9;
+        b.0 = (b.0 + dt * gov.rate).min(gov.burst);
+        b.1 = now;
+        if b.0 >= 1.0 {
+            b.0 -= 1.0;
+            gov.admitted.inc();
+            true
+        } else {
+            gov.throttled.inc();
+            gov.per_tenant
+                .borrow_mut()
+                .entry(tenant)
+                .or_insert_with(|| {
+                    self.stack.sim().metrics().counter(format!(
+                        "rkv.tenant.server{}.t{tenant}.throttled",
+                        self.node.0
+                    ))
+                })
+                .inc();
+            false
+        }
+    }
+
+    /// Install the store's current value for `key` into its hot entry,
+    /// iff `ticket` still matches the entry's version (no write was
+    /// dispatched since the read that carried the ticket) and nothing is
+    /// cached yet. Expiring items are never published — the cached copy
+    /// has no expiry check of its own.
+    fn publish_hot(&self, key: &[u8], ticket: u64) {
+        let Some(hot) = &self.hot else { return };
+        let mut entries = hot.entries.borrow_mut();
+        let Some(e) = entries.get_mut(key) else {
+            return;
+        };
+        if e.seq != ticket || e.value.is_some() {
+            return;
+        }
+        if let Some((v, expire_at)) = self.store.peek(key, self.now()) {
+            if expire_at == 0 {
+                e.value = Some((v.data, v.flags, v.cas));
+                hot.publishes.inc();
+            }
+        }
+    }
+
     /// Resolve a carrier to payload bytes, RDMA-READing remote payloads.
     async fn fetch_payload(&self, qp: &Qp, value: Carrier) -> Result<Bytes, RdmaError> {
         match value {
@@ -674,7 +1036,7 @@ impl KvServer {
         }
     }
 
-    async fn handle(&self, qp: &Qp, req: Request) -> Response {
+    async fn handle(&self, qp: &Qp, req: Request, tenant: u32) -> Response {
         let now = self.now();
         match req {
             Request::Get { key, dst } => match self.store.get(&key, now) {
@@ -708,9 +1070,9 @@ impl KvServer {
                 value,
             } => match self.fetch_payload(qp, value).await {
                 Ok(data) if !self.digest_ok(&key, flags, &data) => Response::BadDigest,
-                Ok(data) => {
-                    Self::map_store_result(self.store.set(&key, data, flags, expire_at, now))
-                }
+                Ok(data) => Self::map_store_result(
+                    self.store.set_as(tenant, &key, data, flags, expire_at, now),
+                ),
                 Err(_) => Response::TransferFailed,
             },
             Request::Add {
@@ -795,6 +1157,10 @@ impl KvServer {
                 Ok(()) => Response::Ok,
                 Err(_) => Response::NotFound,
             },
+            // normally intercepted at the connection pump / completion
+            // ring; answering Ok keeps the verb harmless if it ever
+            // reaches a core
+            Request::SetTenant { .. } => Response::Ok,
         }
     }
 }
@@ -822,6 +1188,6 @@ fn request_key(req: &Request) -> Option<&[u8]> {
         | Request::Prepend { key, .. }
         | Request::Pin { key }
         | Request::Unpin { key } => Some(key),
-        Request::Stats | Request::MultiGet { .. } => None,
+        Request::Stats | Request::MultiGet { .. } | Request::SetTenant { .. } => None,
     }
 }

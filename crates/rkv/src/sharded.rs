@@ -94,6 +94,46 @@ impl ShardedKv {
             .set(key, value, flags, expire_at, now)
     }
 
+    /// See [`KvStore::set_as`]: a set on behalf of `tenant`, counted in
+    /// the owning shard's per-tenant accounting.
+    pub fn set_as(
+        &self,
+        tenant: u32,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        self.shard(key)
+            .lock()
+            .set_as(tenant, key, value, flags, expire_at, now)
+    }
+
+    /// Apply a per-tenant eviction floor to every shard, as a fraction of
+    /// each shard's memory budget (see [`KvStore::set_tenant_floor`]).
+    /// 0.0 disables (seed behaviour).
+    pub fn set_tenant_floor_frac(&self, frac: f64) {
+        for s in &self.shards {
+            let mut store = s.lock();
+            let floor = (store.mem_limit() as f64 * frac) as u64;
+            store.set_tenant_floor(floor);
+        }
+    }
+
+    /// Resident payload bytes owned by `tenant`, summed over shards.
+    pub fn tenant_bytes(&self, tenant: u32) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().tenant_bytes(tenant))
+            .sum()
+    }
+
+    /// Cross-tenant evictions denied by the floor, summed over shards.
+    pub fn floor_denied(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().floor_denied()).sum()
+    }
+
     /// See [`KvStore::add`].
     pub fn add(
         &self,
@@ -175,6 +215,11 @@ impl ShardedKv {
     /// See [`KvStore::contains`].
     pub fn contains(&self, key: &[u8], now: u64) -> bool {
         self.shard(key).lock().contains(key, now)
+    }
+
+    /// See [`KvStore::peek`].
+    pub fn peek(&self, key: &[u8], now: u64) -> Option<(Value, u64)> {
+        self.shard(key).lock().peek(key, now)
     }
 
     /// See [`KvStore::pin`].

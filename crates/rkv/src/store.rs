@@ -114,6 +114,10 @@ struct Meta {
     /// pinned until their flush is acknowledged). Explicit `delete` and
     /// expiry still remove them.
     pinned: bool,
+    /// Owning tenant (0 = untenanted). Set by [`KvStore::set_as`];
+    /// ownership survives in-place rewrites (append/incr/touch) issued
+    /// without a tenant context.
+    tenant: u32,
 }
 
 const NONE: u32 = u32::MAX;
@@ -205,6 +209,17 @@ pub struct KvStore {
     reclaim_idle_ns: u64,
     /// Last successful allocation time per slab class.
     last_alloc: Vec<u64>,
+    /// Tenant issuing the current store op (0 = untenanted); set
+    /// transiently by [`KvStore::set_as`] so eviction knows the requester.
+    ctx_tenant: u32,
+    /// Per-tenant eviction floor in bytes: cross-tenant eviction may not
+    /// push a tenant's resident bytes below this. 0 = disabled (seed
+    /// behaviour, no cross-tenant protection).
+    tenant_floor: u64,
+    /// Resident payload bytes (key + value) per tenant (tenant 0 untracked).
+    tenant_bytes: HashMap<u32, u64>,
+    /// Cross-tenant eviction attempts denied by the floor.
+    floor_denied: u64,
 }
 
 impl KvStore {
@@ -226,6 +241,10 @@ impl KvStore {
             stats: KvStats::default(),
             reclaim_idle_ns: 0,
             last_alloc,
+            ctx_tenant: 0,
+            tenant_floor: 0,
+            tenant_bytes: HashMap::new(),
+            floor_denied: 0,
         }
     }
 
@@ -292,7 +311,34 @@ impl KvStore {
             self.stats.pinned_items -= 1;
             self.stats.pinned_bytes -= meta.key_len as u64 + meta.value.len() as u64;
         }
+        if meta.tenant != 0 {
+            let size = meta.key_len as u64 + meta.value.len() as u64;
+            let left = self
+                .tenant_bytes
+                .get_mut(&meta.tenant)
+                .expect("tenant item was accounted");
+            *left -= size;
+            if *left == 0 {
+                self.tenant_bytes.remove(&meta.tenant);
+            }
+        }
         Some(meta)
+    }
+
+    /// Whether evicting this item on behalf of `ctx_tenant` would push its
+    /// owner's resident bytes below the configured floor. Self-eviction
+    /// (owner == requester) and untenanted items are never floor-protected.
+    fn floor_protected(&self, meta: &Meta) -> bool {
+        self.tenant_floor > 0
+            && meta.tenant != 0
+            && meta.tenant != self.ctx_tenant
+            && self
+                .tenant_bytes
+                .get(&meta.tenant)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(meta.key_len as u64 + meta.value.len() as u64)
+                < self.tenant_floor
     }
 
     /// Evict the coldest *unpinned* item of `class`, walking from the LRU
@@ -304,12 +350,13 @@ impl KvStore {
         while idx != NONE {
             let chunk = ChunkRef { class, idx };
             let key = self.chunk_keys.get(&chunk).expect("LRU node has an owner");
-            if self
-                .map
-                .get(key.as_ref())
-                .expect("chunk owner is live")
-                .pinned
-            {
+            let meta = self.map.get(key.as_ref()).expect("chunk owner is live");
+            if meta.pinned {
+                idx = self.lru[class as usize].nodes[idx as usize].prev;
+                continue;
+            }
+            if self.floor_protected(meta) {
+                self.floor_denied += 1;
                 idx = self.lru[class as usize].nodes[idx as usize].prev;
                 continue;
             }
@@ -384,23 +431,38 @@ impl KvStore {
             let lo = (page * cpp) as u32;
             let hi = lo + cpp as u32;
             let mut victims: Vec<Vec<u8>> = Vec::new();
-            let mut pinned = false;
+            let mut protected = false;
+            // floor checks must account for earlier victims on the same
+            // page: evicting k same-tenant items one by one may pass each
+            // individual check yet collectively breach the floor
+            let mut pending: HashMap<u32, u64> = HashMap::new();
             for idx in lo..hi {
                 let chunk = ChunkRef { class, idx };
                 if let Some(key) = self.chunk_keys.get(&chunk) {
-                    if self
-                        .map
-                        .get(key.as_ref())
-                        .expect("chunk owner is live")
-                        .pinned
-                    {
-                        pinned = true;
+                    let meta = self.map.get(key.as_ref()).expect("chunk owner is live");
+                    if meta.pinned {
+                        protected = true;
                         break;
+                    }
+                    let size = meta.key_len as u64 + meta.value.len() as u64;
+                    if self.tenant_floor > 0 && meta.tenant != 0 && meta.tenant != self.ctx_tenant {
+                        let resident = self
+                            .tenant_bytes
+                            .get(&meta.tenant)
+                            .copied()
+                            .unwrap_or(0)
+                            .saturating_sub(pending.get(&meta.tenant).copied().unwrap_or(0));
+                        if resident.saturating_sub(size) < self.tenant_floor {
+                            self.floor_denied += 1;
+                            protected = true;
+                            break;
+                        }
+                        *pending.entry(meta.tenant).or_insert(0) += size;
                     }
                     victims.push(key.to_vec());
                 }
             }
-            if pinned {
+            if protected {
                 continue;
             }
             for key in victims {
@@ -440,8 +502,16 @@ impl KvStore {
         }
         // drop any previous version first so its chunk is reusable; an
         // overwrite inherits the old version's pin (a repair write to a
-        // still-unflushed chunk must not quietly unprotect it)
-        let pinned = self.remove_entry(key).is_some_and(|m| m.pinned);
+        // still-unflushed chunk must not quietly unprotect it) and — when
+        // issued without a tenant context — its owner (append/incr/touch
+        // rewrites must not silently strip a tenant's floor protection)
+        let prev = self.remove_entry(key);
+        let pinned = prev.as_ref().is_some_and(|m| m.pinned);
+        let tenant = if self.ctx_tenant != 0 {
+            self.ctx_tenant
+        } else {
+            prev.as_ref().map_or(0, |m| m.tenant)
+        };
         let chunk = self.alloc_with_eviction(total, now)?;
         self.chunk_keys
             .insert(chunk, key.to_vec().into_boxed_slice());
@@ -457,6 +527,7 @@ impl KvStore {
                 cas,
                 expire_at,
                 pinned,
+                tenant,
             },
         );
         self.lru[chunk.class as usize].push_front(chunk.idx);
@@ -466,6 +537,9 @@ impl KvStore {
         if pinned {
             self.stats.pinned_items += 1;
             self.stats.pinned_bytes += key.len() as u64 + value.len() as u64;
+        }
+        if tenant != 0 {
+            *self.tenant_bytes.entry(tenant).or_insert(0) += key.len() as u64 + value.len() as u64;
         }
         Ok(cas)
     }
@@ -480,6 +554,47 @@ impl KvStore {
         now: u64,
     ) -> Result<u64, KvError> {
         self.insert(key, &value, flags, expire_at, now)
+    }
+
+    /// [`KvStore::set`] on behalf of `tenant`: the item is tagged as the
+    /// tenant's (counted in [`KvStore::tenant_bytes`]) and any eviction
+    /// this store triggers respects *other* tenants' floors. `tenant` 0 is
+    /// identical to plain `set`.
+    pub fn set_as(
+        &mut self,
+        tenant: u32,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: u64,
+        now: u64,
+    ) -> Result<u64, KvError> {
+        self.ctx_tenant = tenant;
+        let r = self.insert(key, &value, flags, expire_at, now);
+        self.ctx_tenant = 0;
+        r
+    }
+
+    /// Set the per-tenant eviction floor in bytes (0 disables — seed
+    /// behaviour). Cross-tenant eviction may not push any tenant's
+    /// resident bytes below this.
+    pub fn set_tenant_floor(&mut self, bytes: u64) {
+        self.tenant_floor = bytes;
+    }
+
+    /// The configured per-tenant eviction floor (0 = disabled).
+    pub fn tenant_floor(&self) -> u64 {
+        self.tenant_floor
+    }
+
+    /// Resident payload bytes owned by `tenant` (0 for untracked tenant 0).
+    pub fn tenant_bytes(&self, tenant: u32) -> u64 {
+        self.tenant_bytes.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Cross-tenant evictions denied by the floor (cumulative).
+    pub fn floor_denied(&self) -> u64 {
+        self.floor_denied
     }
 
     /// Store only if absent (live).
@@ -555,6 +670,22 @@ impl KvStore {
     /// Whether a live item exists (no LRU promotion, no hit accounting).
     pub fn contains(&mut self, key: &[u8], now: u64) -> bool {
         self.peek_live(key, now).is_some()
+    }
+
+    /// Fetch a live value without LRU promotion or get/hit accounting,
+    /// also returning its absolute expiry (0 = never). Used by the
+    /// server's hot-replica publish path, which must not perturb the
+    /// store's LRU or hit-rate telemetry.
+    pub fn peek(&mut self, key: &[u8], now: u64) -> Option<(Value, u64)> {
+        let meta = self.peek_live(key, now)?;
+        Some((
+            Value {
+                data: meta.value.clone(),
+                flags: meta.flags,
+                cas: meta.cas,
+            },
+            meta.expire_at,
+        ))
     }
 
     /// Remove an item. Returns true if it existed.
@@ -1086,6 +1217,66 @@ mod tests {
         }
         assert_eq!(live as u64, s.stats().items);
         assert!(live > 0);
+    }
+
+    #[test]
+    fn tenant_bytes_tracks_ownership_across_overwrite_and_delete() {
+        let mut s = store_mb(4);
+        s.set_as(7, b"k1", Bytes::from_static(b"0123456789"), 0, 0, 0)
+            .unwrap();
+        assert_eq!(s.tenant_bytes(7), 12);
+        // untenanted rewrite preserves ownership (append/incr path)
+        s.append(b"k1", b"xy", 0).unwrap();
+        assert_eq!(s.tenant_bytes(7), 14);
+        // a different tenant's overwrite transfers ownership
+        s.set_as(8, b"k1", Bytes::from_static(b"ab"), 0, 0, 0)
+            .unwrap();
+        assert_eq!(s.tenant_bytes(7), 0);
+        assert_eq!(s.tenant_bytes(8), 4);
+        s.delete(b"k1");
+        assert_eq!(s.tenant_bytes(8), 0);
+        // untenanted items are untracked
+        s.set(b"k2", Bytes::from_static(b"v"), 0, 0, 0).unwrap();
+        assert_eq!(s.tenant_bytes(0), 0);
+    }
+
+    #[test]
+    fn floor_blocks_cross_tenant_eviction_but_not_self_eviction() {
+        let mut s = KvStore::new(SlabConfig {
+            mem_limit: 1 << 20,
+            page_size: 1 << 20,
+            chunk_min: 96,
+            growth: 1.25,
+            materialize: true,
+        });
+        let val = vec![0x5au8; 60 << 10];
+        let size = (6 + val.len()) as u64;
+        s.set_as(2, b"victim", Bytes::from(val.clone()), 0, 0, 0)
+            .unwrap();
+        s.set_tenant_floor(size); // tenant 2 may never drop below one item
+        for i in 0..40 {
+            let _ = s.set_as(
+                3,
+                format!("flood-{i:02}").as_bytes(),
+                Bytes::from(val.clone()),
+                0,
+                0,
+                0,
+            );
+        }
+        assert!(s.stats().evictions > 0, "flood never hit pressure");
+        assert!(
+            s.get(b"victim", 0).is_some(),
+            "floor-protected item was evicted by another tenant"
+        );
+        assert!(s.floor_denied() > 0);
+        // the same tenant may still evict its own coldest item
+        let denied = s.floor_denied();
+        s.set_as(2, b"victim2", Bytes::from(val.clone()), 0, 0, 0)
+            .unwrap();
+        s.set_as(2, b"victim3", Bytes::from(val.clone()), 0, 0, 0)
+            .unwrap();
+        assert_eq!(s.floor_denied(), denied, "self-eviction tripped the floor");
     }
 
     /// Fill a store's whole budget with near-page-sized items at t=0.

@@ -95,11 +95,24 @@ impl SimRng {
     }
 }
 
+/// Memoized CDF table store: `(n, s.to_bits())` → shared CDF.
+type ZipfCdfCache = std::collections::HashMap<(usize, u64), Rc<Vec<f64>>>;
+
+thread_local! {
+    /// Memoized Zipf CDF tables keyed by `(n, s.to_bits())`. The harmonic
+    /// prefix sum is O(n) with a `powf` per term — prohibitive when traffic
+    /// generators build 10^6-key distributions per cell — but it is a pure
+    /// function of `(n, s)`, so every construction after the first is a
+    /// cache hit that just bumps an `Rc`.
+    static ZIPF_CDF_CACHE: RefCell<ZipfCdfCache> = RefCell::new(ZipfCdfCache::new());
+}
+
 /// Zipf-distributed ranks in `[0, n)` with skew `s`, via a precomputed CDF
 /// and binary search. Matches the access skew of key-popularity workloads
-/// (e.g. the hot-block behaviour a burst buffer exploits).
+/// (e.g. the hot-block behaviour a burst buffer exploits). CDF tables are
+/// memoized per `(n, s)` so repeated construction is O(1) after the first.
 pub struct Zipf {
-    cdf: Vec<f64>,
+    cdf: Rc<Vec<f64>>,
 }
 
 impl Zipf {
@@ -107,17 +120,36 @@ impl Zipf {
     /// uniform; s ≈ 0.99 is the classic YCSB skew).
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf over empty set");
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for k in 1..=n {
-            acc += 1.0 / (k as f64).powf(s);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for v in &mut cdf {
-            *v /= total;
-        }
+        let cdf = ZIPF_CDF_CACHE.with(|cache| {
+            if let Some(cdf) = cache.borrow().get(&(n, s.to_bits())) {
+                return Rc::clone(cdf);
+            }
+            let mut cdf = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for k in 1..=n {
+                acc += 1.0 / (k as f64).powf(s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for v in &mut cdf {
+                *v /= total;
+            }
+            let cdf = Rc::new(cdf);
+            cache.borrow_mut().insert((n, s.to_bits()), Rc::clone(&cdf));
+            cdf
+        });
         Zipf { cdf }
+    }
+
+    /// Analytic probability mass of `rank` (rank 0 is the most popular):
+    /// `(1/(rank+1)^s) / H(n, s)`, read off the normalized CDF.
+    pub fn prob(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len(), "rank out of range");
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
     }
 
     /// Draw a rank in `[0, n)`; rank 0 is the most popular item.
@@ -224,6 +256,19 @@ mod tests {
             let p = c as f64 / 50_000.0;
             assert!((p - 0.1).abs() < 0.02, "p = {p}");
         }
+    }
+
+    #[test]
+    fn zipf_cdf_is_memoized_and_prob_sums_to_one() {
+        let a = Zipf::new(4096, 0.99);
+        let b = Zipf::new(4096, 0.99);
+        // same (n, s) shares one table
+        assert!(Rc::ptr_eq(&a.cdf, &b.cdf));
+        let c = Zipf::new(4096, 1.2);
+        assert!(!Rc::ptr_eq(&a.cdf, &c.cdf));
+        let total: f64 = (0..a.len()).map(|r| a.prob(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        assert!(a.prob(0) > a.prob(1));
     }
 
     #[test]

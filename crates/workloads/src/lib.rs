@@ -10,6 +10,9 @@
 //! * [`sortbench`] — TeraGen + Sort (E7, E8);
 //! * [`swim`] — a SWIM-style mixed job trace for the I/O-intensive
 //!   workload experiment (E10);
+//! * [`traffic`] — open-loop arrival-event engine (Poisson/MMPP, Zipf
+//!   key popularity, tenant mixes) modeling 10^5–10^6 logical clients
+//!   in virtual time (AB11);
 //! * [`testbed`] — one-call deployment of a complete system under test;
 //! * [`payload`] — zero-copy synthetic payload generation (slices of one
 //!   shared pattern buffer, so multi-GiB logical datasets cost megabytes
@@ -23,6 +26,7 @@ pub mod sortbench;
 pub mod swim;
 pub mod testbed;
 pub mod testdfsio;
+pub mod traffic;
 
 pub use payload::PayloadPool;
 pub use testbed::{SystemKind, Testbed, TestbedConfig};

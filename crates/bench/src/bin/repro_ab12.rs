@@ -1,0 +1,39 @@
+//! AB12: traffic-aware burst-buffer admission — mixed burst+stream
+//! workload over a small buffer, always-admit vs classifier-on. The
+//! representative cell (admission on, r=2, local_only acks) publishes
+//! the `bb.admit.*` and `bb.ack.*` families CI gates on.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab12 [--quick] [--metrics-json PATH] \
+//!     [--timeline PATH]
+//! ```
+//!
+//! `--timeline PATH` writes the per-cell admission timeline (the
+//! artifact CI uploads).
+
+use bench::experiments::admission;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOpts::parse();
+    let (report, timeline) = admission::ab12_with_artifacts(opts.quick);
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &timeline).expect("write timeline");
+        println!("wrote admission timeline: {path}");
+    }
+}

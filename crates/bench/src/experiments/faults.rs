@@ -11,7 +11,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use bb_core::manager::chunk_key;
-use bb_core::{FileState, Scheme};
+use bb_core::{AckMode, FileState, Scheme};
 use simkit::{dur, FaultEvent, FaultPlan};
 use workloads::{PayloadPool, SystemKind, Testbed, TestbedConfig};
 
@@ -102,11 +102,17 @@ pub enum FaultScenario {
     /// Corrupt 1 % of every transfer to or from any KV server in flight
     /// for the whole run (seeded draws).
     CorruptTransfers,
+    /// The loss-window probe for relaxed ack modes: from t=0 every
+    /// transfer *into* a non-victim KV server is delayed (holding async
+    /// replica tails in flight), then the most-loaded server crashes
+    /// mid-write. Chunks acked below full replication whose tails were
+    /// still delay-held are recoverable only per the ack mode's contract.
+    CrashAsyncReplica,
 }
 
 impl FaultScenario {
     /// All scenarios, matrix order.
-    pub fn all() -> [FaultScenario; 6] {
+    pub fn all() -> [FaultScenario; 7] {
         [
             FaultScenario::CrashOne,
             FaultScenario::CrashRestart,
@@ -114,6 +120,7 @@ impl FaultScenario {
             FaultScenario::RpcLoss,
             FaultScenario::CorruptValues,
             FaultScenario::CorruptTransfers,
+            FaultScenario::CrashAsyncReplica,
         ]
     }
 
@@ -126,6 +133,7 @@ impl FaultScenario {
             FaultScenario::RpcLoss => "1% rpc loss",
             FaultScenario::CorruptValues => "1% value corruption",
             FaultScenario::CorruptTransfers => "1% transfer corruption",
+            FaultScenario::CrashAsyncReplica => "crash during async replication",
         }
     }
 }
@@ -139,6 +147,12 @@ pub struct FaultCase {
     pub scenario: FaultScenario,
     /// KV replicas per chunk (`r`).
     pub replication: usize,
+    /// Write-ack durability mode ([`bb_core::BbConfig::bb_ack_mode`]).
+    /// The default, [`AckMode::FullR`], is the seed behaviour.
+    pub ack_mode: AckMode,
+    /// Ack-ahead window for relaxed modes
+    /// ([`bb_core::BbConfig::bb_ack_ahead`]).
+    pub ack_ahead: usize,
     /// Fault-plan RNG seed (drives probabilistic drops).
     pub seed: u64,
     /// Shrink the dataset for CI-speed runs.
@@ -157,6 +171,8 @@ impl FaultCase {
             scheme,
             scenario,
             replication,
+            ack_mode: AckMode::FullR,
+            ack_ahead: 8,
             seed: 0xE12,
             quick: true,
             deadline_secs: 120,
@@ -198,6 +214,12 @@ pub struct FaultOutcome {
     pub scrub_repaired: u64,
     /// Bad copies with no good source left (`bb.scrub.unrepairable`).
     pub scrub_unrepairable: u64,
+    /// Writes acked at a relaxed quorum (`bb.ack.quorum_acks`; 0 under
+    /// the default [`AckMode::FullR`], whose counters never register).
+    pub ack_quorum_acks: u64,
+    /// Acks that could not honor their mode — a replica target down or
+    /// an async tail exhausted its retries (`bb.ack.downgrade`).
+    pub ack_downgrades: u64,
     /// Server crash events delivered.
     pub crashes: u64,
     /// Virtual time from the last scripted fault until the workload
@@ -275,6 +297,8 @@ pub fn run_fault_scenario_telemetry(
         ..TestbedConfig::default()
     };
     cfg.bb.kv_replication = case.replication;
+    cfg.bb.bb_ack_mode = case.ack_mode;
+    cfg.bb.bb_ack_ahead = case.ack_ahead;
     // slow, narrow Lustre: the flush drains over seconds, keeping the
     // async fault window open across the injected faults
     cfg.lustre.oss_count = 1;
@@ -393,6 +417,35 @@ pub fn run_fault_scenario_telemetry(
                     );
             }
             last_fault = None;
+        }
+        FaultScenario::CrashAsyncReplica => {
+            // hold the writer's transfers into the non-victim servers so
+            // async replica tails are still in flight when the victim
+            // (holding the only durable copy of quorum-acked chunks)
+            // crashes. Only the writer's edges are delayed — the flusher
+            // reads from the manager node at full speed, so it probes the
+            // replicas inside the window where the tail has not landed
+            // yet. The delay stays well under `kv_op_timeout` so tails
+            // complete slowly rather than failing outright. The crash
+            // lands later than the other scenarios': the victim-primary
+            // chunks (the only ones acked fast, single-copy) must be
+            // mid-flight when it fires.
+            for s in &bb.kv_servers {
+                if s.node() == victim {
+                    continue;
+                }
+                plan = plan.at(
+                    Duration::ZERO,
+                    FaultEvent::Delay {
+                        src: Some(tb.nodes[0].0),
+                        dst: Some(s.node().0),
+                        extra: dur::ms(200),
+                    },
+                );
+            }
+            let crash_at = dur::secs(5);
+            plan = plan.at(crash_at, FaultEvent::Crash { node: victim.0 });
+            last_fault = Some(crash_at);
         }
     }
     tb.sim.install_faults(plan);
@@ -528,6 +581,8 @@ pub fn run_fault_scenario_telemetry(
         checksum_fails: cell.snapshot.counter("bb.integrity.checksum_fail"),
         scrub_repaired: cell.snapshot.counter("bb.scrub.repaired"),
         scrub_unrepairable: cell.snapshot.counter("bb.scrub.unrepairable"),
+        ack_quorum_acks: cell.snapshot.counter("bb.ack.quorum_acks"),
+        ack_downgrades: cell.snapshot.counter("bb.ack.downgrade"),
         crashes,
         recovery,
         end,

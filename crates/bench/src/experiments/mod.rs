@@ -5,6 +5,7 @@
 //! the full published sweep (minutes of host time).
 
 pub mod ablations;
+pub mod admission;
 pub mod dfsio;
 pub mod faults;
 pub mod integrity;
@@ -20,7 +21,7 @@ use crate::table::Table;
 /// An experiment's rendered output plus its paper-shape verdict and the
 /// telemetry of its representative cell.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB11`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB12`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
@@ -84,5 +85,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(tracing::ab10_latency_decomposition(quick));
     println!(">>> AB11: open-loop traffic (hot-key fan-out, tenant isolation)");
     out.push(traffic::ab11_traffic(quick));
+    println!(">>> AB12: traffic-aware burst-buffer admission");
+    out.push(admission::ab12_admission(quick));
     out
 }

@@ -14,7 +14,7 @@
 //! * **link faults lose nothing** — flaps and 1 % transfer loss are
 //!   absorbed by retry/backoff.
 
-use bb_core::Scheme;
+use bb_core::{AckMode, Scheme};
 use bench::experiments::faults::{run_fault_scenario, FaultCase, FaultOutcome, FaultScenario};
 use proptest::prelude::*;
 
@@ -275,6 +275,94 @@ fn replication_survives_crash_restart_without_loss() {
     assert!(o.data_intact());
 }
 
+// --- durability ack modes: the loss-window contracts ------------------
+//
+// `CrashAsyncReplica` stretches the async-replication window (the
+// writer's transfers to every non-victim server are delay-held) and then
+// crashes the server holding the only quorum copy. Each ack mode's
+// contract bounds what that crash may cost:
+// * `full_r` — every ack waited for all replicas: zero acked loss;
+// * `local_plus_one` — every ack has a second copy: one crash is free;
+// * `local_only` — acked chunks may live on the victim alone, but never
+//   more of them than the ack-ahead window admits.
+
+fn run_acked(
+    scenario: FaultScenario,
+    replication: usize,
+    ack_mode: AckMode,
+    ack_ahead: usize,
+) -> FaultOutcome {
+    run_fault_scenario(FaultCase {
+        ack_mode,
+        ack_ahead,
+        ..FaultCase::quick(Scheme::AsyncLustre, scenario, replication)
+    })
+}
+
+#[test]
+fn ack_full_r_has_zero_acked_loss_across_replica_crash() {
+    let o = run_acked(FaultScenario::CrashAsyncReplica, 2, AckMode::FullR, 8);
+    baseline(&o, "ack-full-r/crash-async-replica");
+    assert_eq!(o.chunks_lost, 0, "full_r acked chunks must all survive");
+    assert!(o.data_intact(), "every read must be served");
+    // the seed path never registers the relaxed-ack counters
+    assert_eq!(o.ack_quorum_acks, 0, "full_r must ride the seed ack path");
+}
+
+#[test]
+fn ack_local_plus_one_survives_one_crash() {
+    let o = run_acked(
+        FaultScenario::CrashAsyncReplica,
+        3,
+        AckMode::LocalPlusOne,
+        8,
+    );
+    baseline(&o, "ack-local-plus-one/crash-async-replica");
+    assert!(o.ack_quorum_acks > 0, "relaxed quorum path never exercised");
+    assert_eq!(
+        o.chunks_lost, 0,
+        "every ack carried a second copy — one crash must be free"
+    );
+    assert!(o.data_intact(), "every read must be served");
+}
+
+#[test]
+fn ack_local_only_loss_is_bounded_by_ack_ahead_window() {
+    let ahead = 4;
+    let o = run_acked(
+        FaultScenario::CrashAsyncReplica,
+        2,
+        AckMode::LocalOnly,
+        ahead,
+    );
+    baseline(&o, "ack-local-only/crash-async-replica");
+    assert!(o.ack_quorum_acks > 0, "relaxed quorum path never exercised");
+    assert!(
+        o.chunks_lost > 0,
+        "the single-copy ack window never opened — the cell proves nothing"
+    );
+    assert!(
+        o.chunks_lost <= ahead as u64,
+        "{} chunks lost but the ack-ahead window admits only {ahead} \
+         acked-under-replicated chunks at once",
+        o.chunks_lost
+    );
+}
+
+#[test]
+fn ack_downgrade_is_loud_when_a_replica_target_is_down() {
+    // plain crash-one under local_only: post-crash async tails aimed at
+    // the dead victim exhaust their retries — that must surface as the
+    // `bb.ack.downgrade` counter (and flight event), never silently
+    let o = run_acked(FaultScenario::CrashOne, 2, AckMode::LocalOnly, 8);
+    baseline(&o, "ack-local-only/crash-one");
+    assert!(o.ack_quorum_acks > 0, "relaxed quorum path never exercised");
+    assert!(
+        o.ack_downgrades > 0,
+        "tails to the crashed server must be accounted as downgrades"
+    );
+}
+
 // --- determinism: same seed + plan ⇒ byte-identical run --------------
 
 proptest! {
@@ -345,6 +433,29 @@ proptest! {
             "dump must carry the applied-fault ring"
         );
         prop_assert_eq!(&a.flight_dumps, &b.flight_dumps, "dumps diverged for seed {}", seed);
+    }
+
+    /// The relaxed-ack loss window replays identically: which chunks were
+    /// acked under-replicated, which tails were still delay-held at the
+    /// crash, and therefore exactly which chunks are lost are functions
+    /// of (seed, plan) only.
+    #[test]
+    fn relaxed_ack_loss_window_is_deterministic(seed in any::<u64>()) {
+        let case = FaultCase {
+            seed,
+            ack_mode: AckMode::LocalOnly,
+            ack_ahead: 4,
+            ..FaultCase::quick(Scheme::AsyncLustre, FaultScenario::CrashAsyncReplica, 2)
+        };
+        let a = run_fault_scenario(case);
+        let b = run_fault_scenario(case);
+        prop_assert!(a.converged && b.converged);
+        prop_assert_eq!(a.chunks_lost, b.chunks_lost);
+        prop_assert_eq!(a.ack_quorum_acks, b.ack_quorum_acks);
+        prop_assert_eq!(a.ack_downgrades, b.ack_downgrades);
+        prop_assert_eq!(&a.metrics_json, &b.metrics_json, "metrics diverged for seed {}", seed);
+        prop_assert_eq!(&a.timeline, &b.timeline);
+        prop_assert_eq!(a.end, b.end);
     }
 
     /// The full crash/restart lifecycle replays identically: recovery

@@ -19,7 +19,7 @@ use lustre::{LustreClient, LustreError, LustreFile};
 use crate::integrity;
 pub use crate::manager::BbError;
 use crate::manager::{chunk_key, lustre_path, BbFileMeta, FileState, MgrMsg, MGR_SERVICE};
-use crate::{BbConfig, BbDeployment, Scheme};
+use crate::{AckMode, BbConfig, BbDeployment, Scheme};
 
 /// KV client settings derived from the burst-buffer configuration.
 pub(crate) fn kv_client_config(cfg: &BbConfig) -> KvClientConfig {
@@ -140,6 +140,41 @@ impl ReadCounters {
     }
 }
 
+/// Durability-ack counters (`bb.ack.*`), registered lazily by
+/// [`BbDeployment::ack_counters`] on the first relaxed-mode write so the
+/// names stay out of default snapshots.
+pub(crate) struct AckCounters {
+    /// Chunks acked at a relaxed quorum (fewer than `r` replicas).
+    pub(crate) quorum_acks: simkit::telemetry::Counter,
+    /// Replica tails completed asynchronously after the ack.
+    pub(crate) async_replicas: simkit::telemetry::Counter,
+    /// Times an ack mode could not be honoured (replica down at quorum
+    /// time, or an async tail exhausted its retries).
+    pub(crate) downgrade: simkit::telemetry::Counter,
+    /// Times a writer had to wait for the ack-ahead window to drain
+    /// before its ack (backpressure).
+    pub(crate) ahead_waits: simkit::telemetry::Counter,
+}
+
+impl AckCounters {
+    pub(crate) fn register(m: &simkit::telemetry::Registry) -> AckCounters {
+        AckCounters {
+            quorum_acks: m.counter("bb.ack.quorum_acks"),
+            async_replicas: m.counter("bb.ack.async_replicas"),
+            downgrade: m.counter("bb.ack.downgrade"),
+            ahead_waits: m.counter("bb.ack.ahead_waits"),
+        }
+    }
+}
+
+/// Per-file write options ([`BbClient::create_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// Durability ack mode for this file; `None` (default) inherits
+    /// [`BbConfig::bb_ack_mode`].
+    pub ack_mode: Option<AckMode>,
+}
+
 /// A burst-buffer client bound to one compute node.
 pub struct BbClient {
     dep: Rc<BbDeployment>,
@@ -239,8 +274,19 @@ impl BbClient {
         }
     }
 
-    /// Create a file for writing through the buffer.
+    /// Create a file for writing through the buffer, with the
+    /// deployment-default write options.
     pub async fn create(self: &Rc<Self>, path: &str) -> Result<BbWriter, BbError> {
+        self.create_with(path, WriteOptions::default()).await
+    }
+
+    /// Create a file for writing through the buffer with per-file
+    /// options (durability ack mode).
+    pub async fn create_with(
+        self: &Rc<Self>,
+        path: &str,
+        opts: WriteOptions,
+    ) -> Result<BbWriter, BbError> {
         let p = path.to_owned();
         let file_id = self
             .mgr_call(128 + path.len() as u64, None, |reply| MgrMsg::Create {
@@ -256,6 +302,8 @@ impl BbClient {
             Some(h) => Some(h.create_with_replication(path, 1).await?),
             None => None,
         };
+        let mode = opts.ack_mode.unwrap_or(self.dep.config.bb_ack_mode);
+        let ack_quorum = mode.quorum(self.dep.config.kv_replication);
         Ok(BbWriter {
             client: Rc::clone(self),
             path: path.to_owned(),
@@ -270,6 +318,8 @@ impl BbClient {
             closed: Cell::new(false),
             crcs: RefCell::new(Vec::new()),
             degraded: Rc::new(Cell::new(false)),
+            ack_quorum,
+            ack_ahead: Rc::new(Semaphore::new(self.dep.config.bb_ack_ahead.max(1))),
         })
     }
 
@@ -396,6 +446,14 @@ pub struct BbWriter {
     /// ack clears it (hysteresis lives in the manager). Shared with the
     /// in-flight chunk tasks.
     degraded: Rc<Cell<bool>>,
+    /// Replicas that must be durable before a chunk acks (the effective
+    /// [`AckMode`]'s quorum against `kv_replication`). When this equals
+    /// `r` the write path is bit-for-bit the seed one.
+    ack_quorum: usize,
+    /// Ack-ahead window: each chunk acked with replica tails still
+    /// outstanding holds one permit until its tails finish, so the
+    /// acked-but-under-replicated window is bounded.
+    ack_ahead: Rc<Semaphore>,
 }
 
 impl BbWriter {
@@ -468,6 +526,8 @@ impl BbWriter {
         let lustre_file = self.lustre_file.clone();
         let chunk_size = self.client.dep.config.chunk_size;
         let degraded = Rc::clone(&self.degraded);
+        let ack_quorum = self.ack_quorum;
+        let ack_ahead = Rc::clone(&self.ack_ahead);
         let sim = self.client.dep.stack.sim().clone();
         let handle = sim.clone().spawn(async move {
             let _permit = permit;
@@ -491,10 +551,12 @@ impl BbWriter {
                     }
                     Scheme::AsyncLustre | Scheme::HybridLocality => {
                         let len = chunk.len() as u64;
+                        let r = client.dep.config.kv_replication.max(1);
                         let buffered = if degraded.get() {
                             // under pressure: skip the buffer entirely
                             false
-                        } else {
+                        } else if ack_quorum >= r {
+                            // full-replication ack (the seed path, bit-for-bit)
                             let set = client.kv.set(&key, chunk.clone(), crc, 0).await;
                             sim.op_stamp(op, "kv_put");
                             match set {
@@ -517,6 +579,9 @@ impl BbWriter {
                                 },
                                 Err(_) => false,
                             }
+                        } else {
+                            put_quorum(&client, &sim, op, &key, &chunk, crc, ack_quorum, &ack_ahead)
+                                .await
                         };
                         let ack = if buffered {
                             // notify the persistence manager; the ack is the
@@ -544,7 +609,10 @@ impl BbWriter {
                                 .await??
                         };
                         sim.op_stamp(op, "ack");
-                        degraded.set(ack.pressure);
+                        // stay (or go) write-through when the buffer is
+                        // under pressure or the manager classified this
+                        // file as a long-sequential stream
+                        degraded.set(ack.pressure || ack.write_through);
                         Ok(())
                     }
                 }
@@ -612,6 +680,113 @@ impl BbWriter {
             .await??;
         Ok(())
     }
+}
+
+/// Relaxed-quorum buffer PUT: write and pin the first `quorum` reachable
+/// replicas synchronously, then complete the remaining replica tails
+/// asynchronously under the bounded ack-ahead window. Returns whether the
+/// chunk is buffered (false falls back to the manager write-through
+/// path, which is strictly more durable than any ack mode asks for).
+///
+/// Tails are written unpinned, best-effort: pinning them would race the
+/// flusher's post-persist unpin and leak pinned memory, and the mode's
+/// durability contract only covers the quorum copies anyway.
+#[allow(clippy::too_many_arguments)]
+async fn put_quorum(
+    client: &Rc<BbClient>,
+    sim: &simkit::Sim,
+    op: Option<simkit::OpId>,
+    key: &[u8],
+    chunk: &Bytes,
+    crc: u32,
+    quorum: usize,
+    ack_ahead: &Rc<Semaphore>,
+) -> bool {
+    let ack = client.dep.ack_counters();
+    let Ok(targets) = client.kv.replicas(key) else {
+        return false;
+    };
+    let mut synced = 0usize;
+    let mut tail: Vec<usize> = Vec::new();
+    for idx in targets {
+        if synced >= quorum {
+            tail.push(idx);
+            continue;
+        }
+        let ok = client
+            .kv
+            .set_to(idx, key, chunk.clone(), crc, 0)
+            .await
+            .is_ok()
+            && matches!(client.kv.pin_to(idx, key).await, Ok(true));
+        if ok {
+            synced += 1;
+        } else {
+            tail.push(idx);
+        }
+    }
+    sim.op_stamp(op, "kv_put");
+    if synced == 0 {
+        return false;
+    }
+    if synced < quorum {
+        // the mode's quorum cannot be honoured (replica down): ack at
+        // the copies we have — loudly, never silently wait
+        ack.downgrade.inc();
+        sim.flight_record("bb.ack", "downgrade", || {
+            format!(
+                "key={} quorum={quorum} synced={synced}",
+                String::from_utf8_lossy(key)
+            )
+        });
+    }
+    if !tail.is_empty() {
+        let permit = match ack_ahead.try_acquire() {
+            Some(p) => p,
+            None => {
+                // window full: backpressure the writer until a tail drains
+                ack.ahead_waits.inc();
+                ack_ahead.acquire().await
+            }
+        };
+        let kv = Rc::clone(&client.kv);
+        let retries = client.dep.config.kv_retries;
+        let backoff = client.dep.config.kv_backoff;
+        let key = key.to_vec();
+        let data = chunk.clone();
+        let counters = Rc::clone(&ack);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let _permit = permit;
+            for idx in tail {
+                let mut done = false;
+                for attempt in 0..=retries {
+                    if kv.set_to(idx, &key, data.clone(), crc, 0).await.is_ok() {
+                        done = true;
+                        break;
+                    }
+                    let delay = backoff
+                        .saturating_mul(1 << attempt.min(20))
+                        .min(Duration::from_millis(5));
+                    sim2.sleep(delay).await;
+                }
+                if done {
+                    counters.async_replicas.inc();
+                } else {
+                    counters.downgrade.inc();
+                    sim2.flight_record("bb.ack", "downgrade", || {
+                        format!(
+                            "key={} async replica {idx} unreachable",
+                            String::from_utf8_lossy(&key)
+                        )
+                    });
+                }
+            }
+        });
+    }
+    ack.quorum_acks.inc();
+    sim.op_stamp(op, "pin");
+    true
 }
 
 /// Reader with buffer-first chunk fetches. With `read_window > 1` the

@@ -43,7 +43,7 @@ use lustre::LustreCluster;
 use hdfs::{HdfsCluster, HdfsConfig};
 use storesim::DiskKind;
 
-pub use client::{BbClient, BbError, BbReader, BbWriter, ReadStats};
+pub use client::{BbClient, BbError, BbReader, BbWriter, ReadStats, WriteOptions};
 pub use manager::{BbManager, FileState};
 
 /// Which of the paper's three HDFS⇄Lustre integration schemes is active.
@@ -76,6 +76,52 @@ impl Scheme {
             Scheme::SyncLustre,
             Scheme::HybridLocality,
         ]
+    }
+}
+
+/// When a buffered write is acknowledged to the client, relative to the
+/// configured replication factor `r` ([`BbConfig::kv_replication`]).
+///
+/// The remaining replicas complete asynchronously under a bounded
+/// ack-ahead window ([`BbConfig::bb_ack_ahead`]); the loss window each
+/// mode leaves open under a crash is an asserted contract in the fault
+/// matrix (`bench/tests/faults.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AckMode {
+    /// Ack after one replica (the primary) is durable in the buffer.
+    /// Loss window under a primary crash: up to the ack-ahead window.
+    LocalOnly,
+    /// Ack after two replicas are durable (one when `r = 1`). Survives
+    /// any single crash with zero acked loss when `r >= 2`.
+    LocalPlusOne,
+    /// Ack only after all `r` replicas are durable — the seed behaviour
+    /// and the default. Zero acked loss up to `r - 1` crashes.
+    FullR,
+}
+
+impl AckMode {
+    /// Replicas that must be durable before the ack, given `r` configured.
+    pub fn quorum(&self, r: usize) -> usize {
+        let r = r.max(1);
+        match self {
+            AckMode::LocalOnly => 1,
+            AckMode::LocalPlusOne => r.min(2),
+            AckMode::FullR => r,
+        }
+    }
+
+    /// Short label used in experiment tables and knob docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AckMode::LocalOnly => "local_only",
+            AckMode::LocalPlusOne => "local_plus_one",
+            AckMode::FullR => "full_r",
+        }
+    }
+
+    /// All three modes, for sweeps.
+    pub fn all() -> [AckMode; 3] {
+        [AckMode::LocalOnly, AckMode::LocalPlusOne, AckMode::FullR]
     }
 }
 
@@ -203,6 +249,28 @@ pub struct BbConfig {
     /// unrepairable scrub verdicts land in bounded rings that assertion
     /// failures dump deterministically to JSON.
     pub flight_recorder_len: usize,
+    /// Default durability ack mode for buffered writes ([`AckMode`]).
+    /// [`AckMode::FullR`] (default) reproduces the seed exactly: the ack
+    /// waits for all `r` replicas. Relaxed modes ack at the mode's quorum
+    /// and complete the remaining replicas asynchronously. Overridable
+    /// per file via [`client::WriteOptions`].
+    pub bb_ack_mode: AckMode,
+    /// Bound on chunks per writer whose async replica tails are still
+    /// outstanding under a relaxed ack mode. When the window is full the
+    /// next write waits for a tail to finish before acking
+    /// (backpressure), so the acked-but-not-fully-replicated loss window
+    /// is never wider than this many chunks. Must be > 0.
+    pub bb_ack_ahead: usize,
+    /// Traffic-aware admission: once a file writes this many bytes
+    /// inside one classifier window, the manager labels it
+    /// long-sequential and routes its remaining chunks write-through to
+    /// Lustre, keeping BB capacity for bursts. `0` (default) disables
+    /// classification entirely (always-admit, seed behaviour).
+    pub bb_admit_stream_bytes: u64,
+    /// Classifier window: an idle gap longer than this between writes of
+    /// the same file resets its accumulated byte count, so spaced bursts
+    /// never classify as streams no matter their total volume.
+    pub bb_admit_window: std::time::Duration,
 }
 
 impl Default for BbConfig {
@@ -242,6 +310,10 @@ impl Default for BbConfig {
             bb_low_watermark: 0.5,
             trace_ops: false,
             flight_recorder_len: 0,
+            bb_ack_mode: AckMode::FullR,
+            bb_ack_ahead: 8,
+            bb_admit_stream_bytes: 0,
+            bb_admit_window: std::time::Duration::from_millis(50),
         }
     }
 }
@@ -278,6 +350,10 @@ pub struct BbDeployment {
     /// Checksum-verification and repair counters (`bb.integrity.*`),
     /// shared by every reader, the flusher, and the scrubber.
     integrity: integrity::IntegrityCounters,
+    /// Durability-ack counters (`bb.ack.*`), registered lazily on the
+    /// first relaxed-mode write so the metric names stay out of default
+    /// snapshots (byte-identity at defaults).
+    ack: std::cell::RefCell<Option<Rc<client::AckCounters>>>,
 }
 
 impl BbDeployment {
@@ -297,6 +373,7 @@ impl BbDeployment {
             config.bb_low_watermark <= config.bb_high_watermark,
             "pressure hysteresis needs low <= high"
         );
+        assert!(config.bb_ack_ahead > 0, "ack-ahead window must be > 0");
         if config.trace_ops {
             fabric.sim().optrace().enable();
         }
@@ -373,6 +450,7 @@ impl BbDeployment {
             manager,
             read,
             integrity,
+            ack: std::cell::RefCell::new(None),
         });
         // scripted elasticity: AddServer promotes a pre-created standby
         // onto the ring, DrainServer takes a member off it; Weak capture
@@ -500,6 +578,18 @@ impl BbDeployment {
 
     pub(crate) fn integrity_counters(&self) -> &integrity::IntegrityCounters {
         &self.integrity
+    }
+
+    /// The `bb.ack.*` counters, registered on first use so the names are
+    /// absent from snapshots of runs that never take a relaxed ack path.
+    pub(crate) fn ack_counters(&self) -> Rc<client::AckCounters> {
+        let mut slot = self.ack.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(Rc::new(client::AckCounters::register(
+                self.stack.fabric().sim().metrics(),
+            )));
+        }
+        Rc::clone(slot.as_ref().unwrap())
     }
 
     /// Stop background loops (scheme-C overlay heartbeats, the integrity

@@ -139,6 +139,11 @@ pub struct WriteAck {
     /// degrade to write-through (`ChunkDirect`) until an ack clears the
     /// flag again (below the low watermark — hysteresis).
     pub pressure: bool,
+    /// The traffic classifier labelled this file a long-sequential
+    /// stream: the writer should route its remaining chunks write-through
+    /// to Lustre, keeping BB capacity for bursts. Always `false` when
+    /// admission control is off ([`BbConfig::bb_admit_stream_bytes`] = 0).
+    pub write_through: bool,
 }
 
 /// Manager RPCs.
@@ -221,9 +226,36 @@ pub enum MgrMsg {
 }
 
 enum FlushItem {
-    Chunk { seq: u64, len: u64, crc: u32 },
-    Direct { seq: u64, data: Bytes },
-    Close { size: u64 },
+    Chunk {
+        seq: u64,
+        len: u64,
+        crc: u32,
+    },
+    Direct {
+        seq: u64,
+        data: Bytes,
+        /// Classified long-sequential: contiguous runs may coalesce into
+        /// stripe-sized extents. Pressure-degraded chunks stay `false`
+        /// and flush one extent per chunk (the seed path, bit-for-bit).
+        streaming: bool,
+    },
+    Close {
+        size: u64,
+    },
+}
+
+/// Concatenate coalesced chunk payloads into one extent (zero-copy for a
+/// run of one).
+fn concat_extent(parts: &mut Vec<Bytes>) -> Bytes {
+    if parts.len() == 1 {
+        return parts.pop().expect("len checked");
+    }
+    let total = parts.iter().map(|b| b.len()).sum();
+    let mut buf = bytes::BytesMut::with_capacity(total);
+    for p in parts.drain(..) {
+        buf.extend_from_slice(&p);
+    }
+    buf.freeze()
 }
 
 struct FileEntry {
@@ -233,6 +265,14 @@ struct FileEntry {
     state: FileState,
     flush_tx: Option<mpsc::Sender<FlushItem>>,
     crcs: Vec<u32>,
+    /// Bytes written inside the current classifier window (admission
+    /// control; untouched when the classifier is off).
+    admit_bytes: u64,
+    /// Virtual-time nanos of the file's last write (window-gap detection).
+    admit_last: u64,
+    /// Classified long-sequential: acks steer the writer to Lustre
+    /// write-through. Sticky for the file's lifetime.
+    streaming: bool,
 }
 
 /// Mailbox service name for the manager.
@@ -326,6 +366,30 @@ impl RebalanceCounters {
     }
 }
 
+/// Traffic-aware admission counters (`bb.admit.*`) — registered only
+/// when the classifier is on ([`BbConfig::bb_admit_stream_bytes`] > 0),
+/// so the names stay out of default snapshots.
+struct AdmitCounters {
+    /// Files labelled long-sequential by the windowed classifier.
+    stream_detected: simkit::telemetry::Counter,
+    /// Chunks a classified stream sent write-through (admission routing,
+    /// distinct from pressure-induced write-through).
+    writethrough_chunks: simkit::telemetry::Counter,
+    /// Times an idle gap longer than the window reset a file's byte count
+    /// (a spaced burst staying a burst).
+    window_resets: simkit::telemetry::Counter,
+}
+
+impl AdmitCounters {
+    fn register(m: &simkit::telemetry::Registry) -> AdmitCounters {
+        AdmitCounters {
+            stream_detected: m.counter("bb.admit.stream_detected"),
+            writethrough_chunks: m.counter("bb.admit.writethrough_chunks"),
+            window_resets: m.counter("bb.admit.window_resets"),
+        }
+    }
+}
+
 /// Overload (write-pressure) counters (`bb.pressure.*`).
 struct PressureCounters {
     enter: simkit::telemetry::Counter,
@@ -365,7 +429,21 @@ pub struct BbManager {
     credit_waiters: RefCell<VecDeque<ReplyHandle<Result<WriteAck, BbError>>>>,
     flush_waiters: FlushWaiters,
     flush_gate: Semaphore,
+    /// Buffered-chunk flushes queued or in flight. Streaming write-through
+    /// flush tasks yield the gate while this is non-zero: draining the
+    /// buffer releases writer credits, so buffered chunks take priority
+    /// over the open-loop write-through stream.
+    chunk_pending: Cell<u64>,
+    /// Single-permit lane for classified streaming extents. Coalesced
+    /// extents are large; one in flight keeps the OST busy back-to-back
+    /// while leaving every [`BbManager::flush_gate`] slot free for
+    /// credit-releasing chunk flushes. Pressure-degraded direct chunks
+    /// (the seed path) do not use this lane.
+    stream_lane: Semaphore,
     stats: MgrCounters,
+    /// Traffic classifier counters; `None` when admission control is off
+    /// (the classifier is then a no-op and its metric names never exist).
+    admit: Option<AdmitCounters>,
     /// Chunk keys expected resident in the buffer, with their sealed CRCs:
     /// `(file_id, seq) → crc`. The scrubber's and rebalancer's work list.
     resident: RefCell<BTreeMap<(u64, u64), u32>>,
@@ -443,7 +521,11 @@ impl BbManager {
             credit_waiters: RefCell::new(VecDeque::new()),
             flush_waiters: RefCell::new(HashMap::new()),
             flush_gate: Semaphore::new(config.flusher_threads.max(1)),
+            chunk_pending: Cell::new(0),
+            stream_lane: Semaphore::new(1),
             stats: MgrCounters::register(fabric.sim().metrics()),
+            admit: (config.bb_admit_stream_bytes > 0)
+                .then(|| AdmitCounters::register(fabric.sim().metrics())),
             resident: RefCell::new(BTreeMap::new()),
             scrub_cursor: Cell::new((0, 0)),
             scrub_stop: Cell::new(false),
@@ -569,7 +651,9 @@ impl BbManager {
                 self.pinned.borrow_mut().insert((file_id, seq));
                 self.unflushed.set(self.unflushed.get() + len);
                 if let Some(tx) = &entry.borrow().flush_tx {
-                    let _ = tx.try_send(FlushItem::Chunk { seq, len, crc });
+                    if tx.try_send(FlushItem::Chunk { seq, len, crc }).is_ok() {
+                        self.chunk_pending.set(self.chunk_pending.get() + 1);
+                    }
                 }
                 if !self.pressure.get() && self.unflushed.get() > self.high {
                     self.pressure.set(true);
@@ -579,13 +663,38 @@ impl BbManager {
                             format!("unflushed={} high={}", self.unflushed.get(), self.high)
                         });
                 }
+                let streaming = self.classify_write(&entry, len);
                 if self.pressure.get() {
                     // overloaded: ack immediately with the pressure flag so
                     // the writer degrades to write-through instead of
                     // queueing more bytes behind the flusher
-                    reply.send(Ok(WriteAck { pressure: true }), 16);
+                    reply.send(
+                        Ok(WriteAck {
+                            pressure: true,
+                            write_through: streaming,
+                        }),
+                        16,
+                    );
+                } else if streaming {
+                    // classified long-sequential: ack immediately and steer
+                    // the writer to Lustre write-through. This chunk is
+                    // already buffered and flushes normally; only the
+                    // file's remaining chunks bypass the buffer.
+                    reply.send(
+                        Ok(WriteAck {
+                            pressure: false,
+                            write_through: true,
+                        }),
+                        16,
+                    );
                 } else if self.unflushed.get() <= self.watermark {
-                    reply.send(Ok(WriteAck { pressure: false }), 16);
+                    reply.send(
+                        Ok(WriteAck {
+                            pressure: false,
+                            write_through: false,
+                        }),
+                        16,
+                    );
                 } else {
                     self.stats.watermark_stalls.inc();
                     self.credit_waiters.borrow_mut().push_back(reply);
@@ -613,13 +722,24 @@ impl BbManager {
                 if self.pressure.get() {
                     self.pressure_stats.writethrough.inc();
                 }
+                let streaming = self.classify_write(&entry, data.len() as u64);
+                if streaming {
+                    if let Some(admit) = &self.admit {
+                        admit.writethrough_chunks.inc();
+                    }
+                }
                 let tx = entry.borrow().flush_tx.clone();
                 match tx {
                     Some(tx) => {
-                        let _ = tx.try_send(FlushItem::Direct { seq, data });
+                        let _ = tx.try_send(FlushItem::Direct {
+                            seq,
+                            data,
+                            streaming,
+                        });
                         reply.send(
                             Ok(WriteAck {
                                 pressure: self.pressure.get(),
+                                write_through: streaming,
                             }),
                             16,
                         );
@@ -790,12 +910,50 @@ impl BbManager {
             state: FileState::Writing,
             flush_tx,
             crcs: Vec::new(),
+            admit_bytes: 0,
+            admit_last: 0,
+            streaming: false,
         }));
         self.files
             .borrow_mut()
             .insert(path.to_owned(), Rc::clone(&entry));
         self.by_id.borrow_mut().insert(file_id, entry);
         Ok(file_id)
+    }
+
+    /// Windowed traffic classifier: accumulate a file's bytes written
+    /// within one admission window; crossing
+    /// [`BbConfig::bb_admit_stream_bytes`] inside a window labels it
+    /// long-sequential (sticky). An idle gap longer than
+    /// [`BbConfig::bb_admit_window`] resets the count, so spaced bursts
+    /// never classify no matter their total volume. Returns the file's
+    /// streaming label; a no-op (always `false`) when admission is off.
+    fn classify_write(&self, entry: &Rc<RefCell<FileEntry>>, len: u64) -> bool {
+        let Some(admit) = &self.admit else {
+            return false;
+        };
+        let threshold = self.config.bb_admit_stream_bytes;
+        let window = self.config.bb_admit_window.as_nanos() as u64;
+        let now = self.sim().now().as_nanos();
+        let mut e = entry.borrow_mut();
+        if e.streaming {
+            return true;
+        }
+        if e.admit_last != 0 && now.saturating_sub(e.admit_last) > window {
+            e.admit_bytes = 0;
+            admit.window_resets.inc();
+        }
+        e.admit_last = now;
+        e.admit_bytes += len;
+        if e.admit_bytes >= threshold {
+            e.streaming = true;
+            admit.stream_detected.inc();
+            let (fid, bytes) = (e.file_id, e.admit_bytes);
+            self.sim().flight_record("bb.admit", "stream_detected", || {
+                format!("file_id={fid} window_bytes={bytes}")
+            });
+        }
+        e.streaming
     }
 
     fn release_credit(&self, len: u64) {
@@ -810,9 +968,12 @@ impl BbManager {
         let mut waiters = self.credit_waiters.borrow_mut();
         while self.unflushed.get() <= self.watermark {
             match waiters.pop_front() {
+                // streaming files never park here (their acks are sent
+                // immediately), so the drained credit carries no routing
                 Some(reply) => reply.send(
                     Ok(WriteAck {
                         pressure: self.pressure.get(),
+                        write_through: false,
                     }),
                     16,
                 ),
@@ -851,7 +1012,38 @@ impl BbManager {
         let mut lost = false;
         let mut inflight: Vec<simkit::JoinHandle<bool>> = Vec::new();
         let mut final_size = None;
+        // write-behind aggregation for classified streams: contiguous
+        // write-through chunks coalesce into stripe-sized extents, so a
+        // long-sequential stream pays one OST positioning charge per
+        // stripe instead of per chunk. Unclassified (pressure-degraded)
+        // chunks never enter the aggregate.
+        let coalesce = self
+            .lustre_client
+            .cluster()
+            .config
+            .stripe_size
+            .max(chunk_size);
+        let mut agg: Vec<Bytes> = Vec::new();
+        let mut agg_first = 0u64;
+        let mut agg_next = 0u64;
+        let mut agg_bytes = 0u64;
         while let Ok(item) = rx.recv().await {
+            // anything that breaks the contiguous streaming run flushes
+            // the aggregate first, preserving per-file write order
+            let extends_run = matches!(
+                &item,
+                FlushItem::Direct {
+                    seq,
+                    streaming: true,
+                    ..
+                } if agg.is_empty() || *seq == agg_next
+            );
+            if !extends_run && !agg.is_empty() {
+                let n = agg.len() as u64;
+                let data = concat_extent(&mut agg);
+                inflight.push(self.spawn_direct_flush(&lfile, file_id, agg_first, n, data, true));
+                agg_bytes = 0;
+            }
             match item {
                 FlushItem::Chunk { seq, len, crc } => {
                     let this = Rc::clone(&self);
@@ -889,10 +1081,28 @@ impl BbManager {
                             // `flags` must also match the manifest CRC the
                             // writer declared for this seq
                             Ok(Some(v)) if v.flags == crc => {
-                                let r = lfile.write_at(seq * chunk_size, v.data).await.is_ok();
+                                // verify-then-count: the write ack carries
+                                // the OSS's commit checksum, so a corrupted
+                                // commit comes back as CommitMismatch and
+                                // the chunk never counts as flushed
+                                let r = match lfile.write_at(seq * chunk_size, v.data).await {
+                                    Ok(()) => true,
+                                    Err(LustreError::CommitMismatch { .. }) => {
+                                        this.integrity.checksum_fail.inc();
+                                        this.sim().flight_record(
+                                            "bb.manager",
+                                            "flush_writeback_corrupt",
+                                            || format!("file_id={file_id} seq={seq}"),
+                                        );
+                                        false
+                                    }
+                                    Err(_) => false,
+                                };
                                 if r {
                                     this.stats.chunks_flushed.inc();
                                     this.stats.bytes_flushed.add(len);
+                                } else {
+                                    this.stats.chunks_lost.inc();
                                 }
                                 r
                             }
@@ -905,26 +1115,47 @@ impl BbManager {
                         this.kv.unpin(&key).await;
                         this.pinned.borrow_mut().remove(&(file_id, seq));
                         this.release_credit(len);
+                        this.chunk_pending.set(this.chunk_pending.get() - 1);
                         ok
                     }));
                 }
-                FlushItem::Direct { seq, data } => {
-                    let this = Rc::clone(&self);
-                    let lfile = Rc::clone(&lfile);
-                    inflight.push(sim.spawn(async move {
-                        let _gate = this.flush_gate.acquire().await;
-                        let ok = lfile.write_at(seq * chunk_size, data).await.is_ok();
-                        if ok {
-                            this.stats.chunks_direct.inc();
+                FlushItem::Direct {
+                    seq,
+                    data,
+                    streaming,
+                } => {
+                    if streaming {
+                        if agg.is_empty() {
+                            agg_first = seq;
                         }
-                        ok
-                    }));
+                        agg_next = seq + 1;
+                        agg_bytes += data.len() as u64;
+                        agg.push(data);
+                        if agg_bytes >= coalesce {
+                            let n = agg.len() as u64;
+                            let data = concat_extent(&mut agg);
+                            inflight.push(
+                                self.spawn_direct_flush(&lfile, file_id, agg_first, n, data, true),
+                            );
+                            agg_bytes = 0;
+                        }
+                    } else {
+                        inflight
+                            .push(self.spawn_direct_flush(&lfile, file_id, seq, 1, data, false));
+                    }
                 }
                 FlushItem::Close { size } => {
                     final_size = Some(size);
                     break;
                 }
             }
+        }
+        // the channel can close without a `Close` (file torn down while
+        // writing): never strand a partial aggregate
+        if !agg.is_empty() {
+            let n = agg.len() as u64;
+            let data = concat_extent(&mut agg);
+            inflight.push(self.spawn_direct_flush(&lfile, file_id, agg_first, n, data, true));
         }
         for h in inflight {
             if !h.await {
@@ -952,6 +1183,66 @@ impl BbManager {
         }
         self.notify_flushed(file_id, state);
         let _ = path;
+    }
+
+    /// Persist one write-through extent (`chunks` coalesced direct chunks
+    /// starting at `first_seq`). Verify-then-count: the extent only counts
+    /// as persisted once the write ack's commit checksum matches the bytes
+    /// sent — a torn or corrupted commit must surface as loss, never as
+    /// success. Streaming extents ride the single-permit
+    /// [`BbManager::stream_lane`] and yield while buffered-chunk flushes
+    /// are queued — those release writer credits, so the open-loop
+    /// write-through stream must never crowd them out of the gate or the
+    /// device queue. A non-streaming (pressure-degraded) chunk takes the
+    /// gate directly, exactly like the seed path.
+    fn spawn_direct_flush(
+        self: &Rc<Self>,
+        lfile: &Rc<lustre::LustreFile>,
+        file_id: u64,
+        first_seq: u64,
+        chunks: u64,
+        data: Bytes,
+        streaming: bool,
+    ) -> simkit::JoinHandle<bool> {
+        let this = Rc::clone(self);
+        let lfile = Rc::clone(lfile);
+        let chunk_size = self.config.chunk_size;
+        let sim = self.net.fabric().sim().clone();
+        sim.clone().spawn(async move {
+            let _lane = if streaming {
+                let lane = this.stream_lane.acquire().await;
+                while this.chunk_pending.get() > 0 {
+                    sim.sleep(dur::ms(1)).await;
+                }
+                Some(lane)
+            } else {
+                None
+            };
+            let _gate = this.flush_gate.acquire().await;
+            let mut ok = false;
+            for _ in 0..2 {
+                match lfile.write_at(first_seq * chunk_size, data.clone()).await {
+                    Ok(()) => {
+                        ok = true;
+                        break;
+                    }
+                    Err(LustreError::CommitMismatch { .. }) => {
+                        this.integrity.checksum_fail.inc();
+                    }
+                    Err(_) => {}
+                }
+            }
+            if ok {
+                this.stats.chunks_direct.add(chunks);
+            } else {
+                this.stats.chunks_lost.add(chunks);
+                this.sim()
+                    .flight_record("bb.manager", "direct_writeback_corrupt", || {
+                        format!("file_id={file_id} first_seq={first_seq} chunks={chunks}")
+                    });
+            }
+            ok
+        })
     }
 
     fn mark_lost(&self, file_id: u64) {

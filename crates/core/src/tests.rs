@@ -691,3 +691,224 @@ fn drained_server_hands_off_pinned_chunks_before_leaving() {
         dep.shutdown();
     });
 }
+
+// --- durability ack modes + traffic-aware admission -------------------
+
+#[test]
+fn ack_mode_quorum_contract() {
+    use crate::AckMode;
+    // full_r always waits for every configured replica
+    for r in 1..=4 {
+        assert_eq!(AckMode::FullR.quorum(r), r);
+    }
+    // local_only acks on the primary alone, regardless of r
+    for r in 1..=4 {
+        assert_eq!(AckMode::LocalOnly.quorum(r), 1);
+    }
+    // local_plus_one wants a second copy when one exists
+    assert_eq!(AckMode::LocalPlusOne.quorum(1), 1);
+    assert_eq!(AckMode::LocalPlusOne.quorum(2), 2);
+    assert_eq!(AckMode::LocalPlusOne.quorum(4), 2);
+    // r = 0 is clamped, never a zero quorum
+    for mode in AckMode::all() {
+        assert!(mode.quorum(0) >= 1);
+    }
+    // full_r is the default: the seed ack path, byte-identical behaviour
+    assert_eq!(BbConfig::default().bb_ack_mode, AckMode::FullR);
+    assert_eq!(BbConfig::default().bb_admit_stream_bytes, 0);
+}
+
+#[test]
+fn per_file_ack_mode_overrides_config_default() {
+    use crate::client::WriteOptions;
+    use crate::AckMode;
+    // config default is full_r (seed path); one file opts into local_only
+    let bcfg = BbConfig {
+        kv_replication: 2,
+        kv_servers: 3,
+        ..BbConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, LustreConfig::default(), bcfg);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    let data = pattern(2 << 20);
+    let expect = data.clone();
+    r.sim.block_on(async move {
+        let w = client
+            .create_with(
+                "/relaxed",
+                WriteOptions {
+                    ack_mode: Some(AckMode::LocalOnly),
+                },
+            )
+            .await
+            .unwrap();
+        w.append(data.clone()).await.unwrap();
+        w.close().await.unwrap();
+        // the relaxed quorum path acked before all replicas were durable
+        let m = sim.metrics().snapshot();
+        assert!(
+            m.counter("bb.ack.quorum_acks") > 0,
+            "relaxed path not taken"
+        );
+        assert_eq!(m.counter("bb.ack.downgrade"), 0);
+        // a default-mode file on the same deployment rides the seed path
+        let acks_before = m.counter("bb.ack.quorum_acks");
+        let w2 = client.create("/strict").await.unwrap();
+        w2.append(data).await.unwrap();
+        w2.close().await.unwrap();
+        let m = sim.metrics().snapshot();
+        assert_eq!(
+            m.counter("bb.ack.quorum_acks"),
+            acks_before,
+            "full_r files must not take the relaxed ack path"
+        );
+        // relaxed acks cost no durability once replication catches up
+        let st = client.wait_flushed("/relaxed").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        let rd = client.open("/relaxed").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
+    });
+}
+
+#[test]
+fn buffered_writeback_corruption_counts_lost_not_flushed() {
+    // Regression: the flusher must verify the Lustre commit checksum
+    // BEFORE counting a chunk flushed. With every commit corrupted, no
+    // chunk may count as flushed and the file must surface as Lost.
+    use simkit::{FaultEvent, FaultPlan};
+    let r = rig(2, Scheme::AsyncLustre);
+    let mut plan = FaultPlan::new(7);
+    for oss in &r.dep.lustre.osses {
+        plan = plan.at(
+            std::time::Duration::ZERO,
+            FaultEvent::CorruptCommit {
+                node: oss.node().0,
+                p: 1.0,
+            },
+        );
+    }
+    r.sim.install_faults(plan);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/torn").await.unwrap();
+        w.append(pattern(2 << 20)).await.unwrap();
+        w.close().await.unwrap();
+        let st = client.wait_flushed("/torn").await.unwrap();
+        assert_eq!(st, FileState::Lost, "corrupt write-back must not flush");
+        let stats = dep.manager.stats();
+        assert_eq!(
+            stats.chunks_flushed, 0,
+            "no chunk may count flushed before its commit CRC verifies"
+        );
+        assert_eq!(stats.bytes_flushed, 0);
+        assert!(stats.chunks_lost > 0);
+        let m = sim.metrics().snapshot();
+        assert!(m.counter("bb.integrity.checksum_fail") > 0);
+        dep.shutdown();
+    });
+}
+
+#[test]
+fn direct_writeback_corruption_counts_lost_not_direct() {
+    // Same contract on the degraded write-through path: a corrupt commit
+    // retries, then counts lost — never `chunks_direct`.
+    use simkit::{FaultEvent, FaultPlan};
+    let r = rig(2, Scheme::AsyncLustre);
+    let mut plan = FaultPlan::new(11);
+    for oss in &r.dep.lustre.osses {
+        plan = plan.at(
+            std::time::Duration::ZERO,
+            FaultEvent::CorruptCommit {
+                node: oss.node().0,
+                p: 1.0,
+            },
+        );
+    }
+    r.sim.install_faults(plan);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let fabric = Rc::clone(&r.fabric);
+    let sim = r.sim.clone();
+    r.sim.block_on(async move {
+        for s in &dep.kv_servers {
+            fabric.set_up(s.node(), false);
+        }
+        let w = client.create("/torn-direct").await.unwrap();
+        w.append(pattern(1 << 20)).await.unwrap();
+        w.close().await.unwrap();
+        let st = client.wait_flushed("/torn-direct").await.unwrap();
+        assert_eq!(st, FileState::Lost);
+        let stats = dep.manager.stats();
+        assert_eq!(stats.chunks_direct, 0, "corrupt commits must not count");
+        assert!(stats.chunks_lost > 0);
+        let m = sim.metrics().snapshot();
+        assert!(m.counter("bb.integrity.checksum_fail") > 0);
+        dep.shutdown();
+    });
+}
+
+#[test]
+fn classifier_routes_long_stream_to_writethrough() {
+    // A long sequential writer crosses `bb_admit_stream_bytes` within
+    // one window and is routed to Lustre write-through; the data stays
+    // byte-identical and the file still reaches Flushed.
+    let bcfg = BbConfig {
+        bb_admit_stream_bytes: 2 << 20,
+        bb_admit_window: std::time::Duration::from_secs(5),
+        ..BbConfig::default()
+    };
+    let r = rig_with(2, Scheme::AsyncLustre, LustreConfig::default(), bcfg);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    let data = pattern(8 << 20);
+    let expect = data.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/stream").await.unwrap();
+        w.append(data).await.unwrap();
+        w.close().await.unwrap();
+        let st = client.wait_flushed("/stream").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        let m = sim.metrics().snapshot();
+        assert_eq!(m.counter("bb.admit.stream_detected"), 1);
+        assert!(m.counter("bb.admit.writethrough_chunks") > 0);
+        // chunks past the detection point bypassed the buffer entirely
+        let stats = dep.manager.stats();
+        assert!(stats.chunks_direct > 0);
+        let rd = client.open("/stream").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        dep.shutdown();
+    });
+}
+
+#[test]
+fn classifier_off_registers_no_admission_metrics() {
+    // Defaults-off contract: with `bb_admit_stream_bytes = 0` (default)
+    // and the default full_r ack mode, no `bb.admit.*` or `bb.ack.*`
+    // metric may even be registered — the telemetry stream is
+    // byte-identical to the seed.
+    let r = rig(2, Scheme::AsyncLustre);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/seed").await.unwrap();
+        w.append(pattern(8 << 20)).await.unwrap();
+        w.close().await.unwrap();
+        let st = client.wait_flushed("/seed").await.unwrap();
+        assert_eq!(st, FileState::Flushed);
+        let m = sim.metrics().snapshot();
+        for name in m.names() {
+            assert!(
+                !name.starts_with("bb.admit.") && !name.starts_with("bb.ack."),
+                "defaults-off run registered {name}"
+            );
+        }
+        dep.shutdown();
+    });
+}

@@ -24,6 +24,12 @@ pub enum LustreError {
     Store(StoreError),
     /// Network/RPC failure.
     Rpc(RpcError),
+    /// The OSS write ack's commit checksum did not match the bytes the
+    /// client sent: the committed extent is corrupt on media.
+    CommitMismatch {
+        /// File offset of the mismatching stripe extent.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for LustreError {
@@ -32,6 +38,9 @@ impl fmt::Display for LustreError {
             LustreError::Mds(e) => write!(f, "lustre mds: {e}"),
             LustreError::Store(e) => write!(f, "lustre ost: {e}"),
             LustreError::Rpc(e) => write!(f, "lustre rpc: {e}"),
+            LustreError::CommitMismatch { offset } => {
+                write!(f, "lustre commit checksum mismatch at offset {offset}")
+            }
         }
     }
 }
@@ -216,7 +225,11 @@ impl LustreFile {
     }
 
     /// Write `data` at an explicit offset, striping across OSTs in
-    /// parallel (bounded by `max_rpcs_in_flight × stripe_count`).
+    /// parallel (bounded by `max_rpcs_in_flight × stripe_count`). Each
+    /// stripe ack carries the OSS's commit checksum; the client compares
+    /// it against the checksum of the slice it sent, so a corrupted
+    /// commit surfaces as [`LustreError::CommitMismatch`] rather than a
+    /// silent success — without paying for a read-back.
     pub async fn write_at(&self, offset: u64, data: Bytes) -> Result<(), LustreError> {
         let sim = self.client.cluster.oss_net.fabric().sim().clone();
         // kernel-client copy cost (serial per writer)
@@ -240,7 +253,8 @@ impl LustreFile {
             futs.push(async move {
                 let _permit = inflight.acquire().await;
                 let wire = chunk.len() as u64 + 64;
-                let r: Result<(), StoreError> = net
+                let sent = crate::oss::commit_crc(&chunk);
+                let r: Result<u32, StoreError> = net
                     .call(src, oss_node, OSS_SERVICE, wire, |reply| OssMsg::Write {
                         ost_slot,
                         obj,
@@ -250,7 +264,11 @@ impl LustreFile {
                     })
                     .await
                     .map_err(LustreError::from)?;
-                r.map_err(LustreError::from)
+                let committed = r.map_err(LustreError::from)?;
+                if committed != sent {
+                    return Err(LustreError::CommitMismatch { offset: off });
+                }
+                Ok(())
             });
         }
         let results = join_all(&sim, futs).await;

@@ -11,10 +11,25 @@ use storesim::{Disk, DiskParams, ObjectStore, StoreError};
 
 use crate::LustreConfig;
 
+/// Checksum an OSS computes over the bytes it actually commits and returns
+/// in the write ack (FNV-1a 32). Clients compare it against the checksum of
+/// the bytes they sent: a mismatch means the committed extent differs from
+/// the submitted one (corruption between wire and media), detected at 1×
+/// device cost — no read-back required.
+pub fn commit_crc(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
 /// OSS data-path RPCs. `ost_slot` addresses an OST local to the receiving
 /// OSS.
 pub enum OssMsg {
-    /// Write `data` into object `obj` at `offset`.
+    /// Write `data` into object `obj` at `offset`. The ack carries the
+    /// [`commit_crc`] of the committed bytes.
     Write {
         /// OST slot on this OSS.
         ost_slot: usize,
@@ -25,7 +40,7 @@ pub enum OssMsg {
         /// Payload.
         data: Bytes,
         /// Reply channel.
-        reply: ReplyHandle<Result<(), StoreError>>,
+        reply: ReplyHandle<Result<u32, StoreError>>,
     },
     /// Read `len` bytes from object `obj` at `offset`.
     Read {
@@ -68,6 +83,9 @@ pub struct Oss {
     index: usize,
     osts: Vec<Rc<ObjectStore>>,
     metrics: OssMetrics,
+    /// Simulation handle, for polling scripted at-commit corruption
+    /// ([`simkit::FaultEvent::CorruptCommit`]) on the write path.
+    sim: simkit::Sim,
 }
 
 impl Oss {
@@ -108,6 +126,7 @@ impl Oss {
             index,
             osts,
             metrics,
+            sim: sim.clone(),
         });
         let mut rx = net.register(node, OSS_SERVICE);
         let this = Rc::clone(&oss);
@@ -160,8 +179,25 @@ impl Oss {
             } => {
                 self.metrics.write_ops.inc();
                 self.metrics.write_bytes.add(data.len() as u64);
+                // poll scripted at-commit corruption; flip the byte before
+                // persisting so readers observe the damaged on-disk state
+                let data = match self
+                    .sim
+                    .faults()
+                    .corrupt_commit(self.node.0, data.len() as u64)
+                {
+                    Some((off, mask)) => {
+                        let mut v = data.to_vec();
+                        v[off as usize] ^= mask;
+                        Bytes::from(v)
+                    }
+                    None => data,
+                };
+                // the ack checksum covers the post-corruption bytes — what
+                // the media actually holds, not what the client sent
+                let crc = commit_crc(&data);
                 let r = self.osts[ost_slot].write_at(obj, offset, data).await;
-                reply.send(r, 64);
+                reply.send(r.map(|()| crc), 64);
             }
             OssMsg::Read {
                 ost_slot,

@@ -858,7 +858,10 @@ impl KvClient {
 
     /// Store `value` on one specific server, bypassing ring routing — the
     /// scrub/repair path uses this to overwrite a single divergent replica
-    /// in place. Returns the server's CAS token.
+    /// in place, and relaxed-ack quorum writes use it to address replicas
+    /// individually. Observed as a logical set (per-server outcome) so
+    /// history checkers can explain later reads of the value. Returns the
+    /// server's CAS token.
     pub async fn set_to(
         &self,
         server_idx: usize,
@@ -867,6 +870,12 @@ impl KvClient {
         flags: u32,
         expire_at: u64,
     ) -> Result<u64, ClientError> {
+        let t0 = self.stack.sim().now();
+        let obs_hash = self
+            .observer
+            .borrow()
+            .is_some()
+            .then(|| crate::hash::fnv1a(&value));
         let buf = if self.use_one_sided(value.len()) {
             let buf = self.pool.acquire().await;
             buf.write_local(0, &value)?;
@@ -888,10 +897,15 @@ impl KvClient {
         };
         let resp = self.store_exchange(server_idx, &req).await;
         drop(buf);
-        match resp? {
-            Response::Stored { cas } => Ok(cas),
-            other => Err(Self::unexpected(other)),
+        let out = match resp {
+            Ok(Response::Stored { cas }) => Ok(cas),
+            Ok(other) => Err(Self::unexpected(other)),
+            Err(e) => Err(e),
+        };
+        if let Some(h) = obs_hash {
+            self.observe(key, OpKind::Set { hash: h }, t0, out.is_ok());
         }
+        out
     }
 
     /// Remove `key` from one specific server, bypassing ring routing —

@@ -139,8 +139,20 @@ pub enum FaultEvent {
         /// Per-transfer corruption probability in `[0, 1]`.
         p: f64,
     },
-    /// Remove all edge rules (loss + delay + transfer corruption) and
-    /// slowdown factors.
+    /// From now on, flip one byte of each object commit on storage node
+    /// `node` with probability `p` — at-commit damage (a torn or stray
+    /// DMA write as the server persists), polled by the storage layer via
+    /// [`FaultInjector::corrupt_commit`]. Distinct from
+    /// [`FaultEvent::CorruptTransfer`] (in-transit, RDMA layer) and
+    /// [`FaultEvent::CorruptValue`] (at-rest, after a clean commit).
+    CorruptCommit {
+        /// Target fabric node index (the storage server).
+        node: u32,
+        /// Per-commit corruption probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Remove all edge rules (loss + delay + transfer corruption), commit
+    /// corruption rules, and slowdown factors.
     ClearEdges,
     /// Admit a standby KV server on `node` to the membership ring
     /// (delivered to [`FaultInjector::on_membership`] hooks; the burst
@@ -336,6 +348,8 @@ pub struct FaultInjector {
     membership_hooks: RefCell<Vec<MembershipHook>>,
     rules: RefCell<Vec<EdgeRule>>,
     corrupt_rules: RefCell<Vec<CorruptRule>>,
+    /// Active [`FaultEvent::CorruptCommit`] rules: `(node, p)`.
+    commit_rules: RefCell<Vec<(u32, f64)>>,
     slow: RefCell<Vec<(u32, f64)>>,
     timeline: RefCell<Vec<AppliedEvent>>,
 }
@@ -371,6 +385,7 @@ impl FaultInjector {
         *self.rng.borrow_mut() = Some(SimRng::seed_from(seed));
         self.rules.borrow_mut().clear();
         self.corrupt_rules.borrow_mut().clear();
+        self.commit_rules.borrow_mut().clear();
         self.slow.borrow_mut().clear();
         self.timeline.borrow_mut().clear();
     }
@@ -419,9 +434,15 @@ impl FaultInjector {
                     }
                 }
             }
+            FaultEvent::CorruptCommit { node, p } => {
+                self.commit_rules
+                    .borrow_mut()
+                    .push((node, p.clamp(0.0, 1.0)));
+            }
             FaultEvent::ClearEdges => {
                 self.rules.borrow_mut().clear();
                 self.corrupt_rules.borrow_mut().clear();
+                self.commit_rules.borrow_mut().clear();
                 self.slow.borrow_mut().clear();
             }
             FaultEvent::AddServer { .. } | FaultEvent::DrainServer { .. } => {
@@ -496,6 +517,38 @@ impl FaultInjector {
         let mut hit = false;
         for r in rules.iter() {
             if r.matches(src, dst) && r.p > 0.0 && rng.chance(r.p) {
+                hit = true;
+            }
+        }
+        if !hit {
+            return None;
+        }
+        let offset = rng.index(len as usize) as u64;
+        let mask = 1u8 << rng.index(8);
+        Some((offset, mask))
+    }
+
+    /// At-commit corruption decision for one object commit of `len` bytes
+    /// on storage node `node`: `Some((offset, xor_mask))` when an active
+    /// [`FaultEvent::CorruptCommit`] rule fires, telling the storage layer
+    /// which byte to damage before persisting (the mask is a single set
+    /// bit, so the committed bytes always really change). Without commit
+    /// rules this is a cheap no-fault constant that draws nothing from the
+    /// RNG, preserving the byte-identical determinism of plans that never
+    /// corrupt.
+    pub fn corrupt_commit(&self, node: u32, len: u64) -> Option<(u64, u8)> {
+        if len == 0 {
+            return None;
+        }
+        let rules = self.commit_rules.borrow();
+        if rules.is_empty() {
+            return None;
+        }
+        let rng = self.rng.borrow();
+        let rng = rng.as_ref()?;
+        let mut hit = false;
+        for &(n, p) in rules.iter() {
+            if n == node && p > 0.0 && rng.chance(p) {
                 hit = true;
             }
         }

@@ -1,0 +1,37 @@
+//! AB13: topology-aware placement — telemetry-driven live migration on a
+//! geo-stretched cluster.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ab13 [--quick] [--metrics-json PATH] \
+//!     [--trace PATH] [--timeline PATH]
+//! ```
+//!
+//! `--timeline PATH` writes the round-by-round convergence timeline (the
+//! placement artifact CI uploads).
+
+use bench::experiments::placement;
+use bench::telemetry::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOpts::parse();
+    let (report, timeline) = placement::ab13_with_artifacts(opts.quick, opts.trace_enabled());
+    print!("{}", report.table.to_text());
+    println!(
+        "paper shape: {}",
+        if report.shape_holds {
+            "HOLDS"
+        } else {
+            "DIVERGES"
+        }
+    );
+    opts.write(&report);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &timeline).expect("write timeline");
+        println!("wrote placement timeline: {path}");
+    }
+}

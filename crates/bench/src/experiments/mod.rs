@@ -12,6 +12,7 @@ pub mod integrity;
 pub mod jobs;
 pub mod kvserver;
 pub mod micro;
+pub mod placement;
 pub mod rebalance;
 pub mod tracing;
 pub mod traffic;
@@ -21,7 +22,7 @@ use crate::table::Table;
 /// An experiment's rendered output plus its paper-shape verdict and the
 /// telemetry of its representative cell.
 pub struct ExpReport {
-    /// Experiment id (`E1`..`E12`, `AB1`..`AB12`).
+    /// Experiment id (`E1`..`E12`, `AB1`..`AB13`).
     pub id: &'static str,
     /// The result table.
     pub table: Table,
@@ -87,5 +88,7 @@ pub fn run_all(quick: bool) -> Vec<ExpReport> {
     out.push(traffic::ab11_traffic(quick));
     println!(">>> AB12: traffic-aware burst-buffer admission");
     out.push(admission::ab12_admission(quick));
+    println!(">>> AB13: topology-aware placement with live migration");
+    out.push(placement::ab13_placement(quick, false));
     out
 }

@@ -1,0 +1,235 @@
+//! Migration-consistency suite for the topology-aware placement engine
+//! (DESIGN.md §11): random topologies and access patterns must never
+//! lose an acknowledged byte, must keep the KV history sequentially
+//! explainable, must drive the layout cost monotonically down round over
+//! round, and must replay byte-identically from the same seed — while
+//! crash/flap/drain faults during active placement moves leave the
+//! migrating-set guard intact.
+//!
+//! Invariants per cell:
+//! * **no loss** — every acknowledged file reads back byte-identical at
+//!   end of run; zero chunks lost, zero checksum failures, zero failed
+//!   migration read-backs;
+//! * **cost monotone** — the layout cost under the cell's fixed access
+//!   weights never increases across settled optimizer rounds;
+//! * **determinism** — the same case reproduces the exact metrics
+//!   snapshot and virtual end instant;
+//! * **defaults off** — with the hash policy and a zero optimizer
+//!   interval, no `bb.place.*` metric name is even registered and no
+//!   routing override is installed.
+
+use bench::experiments::placement::{
+    run_placement_property, run_placement_scenario, PlaceFault, PlacementCase, PlacementPropCase,
+    PlacementPropOutcome,
+};
+use proptest::prelude::*;
+
+/// Invariant floor shared by every cell: converged, nothing lost,
+/// nothing corrupted, the placement queue drained, and the KV history
+/// sequentially explainable.
+fn no_loss(o: &PlacementPropOutcome, label: &str) {
+    assert!(
+        o.converged,
+        "{label}: run hung past the deadline ({} flight dumps frozen)",
+        o.flight_dumps.len()
+    );
+    assert!(o.files_total > 0, "{label}: no files acknowledged");
+    assert_eq!(
+        o.files_ok, o.files_total,
+        "{label}: acknowledged files failed final read-back"
+    );
+    assert_eq!(o.chunks_lost, 0, "{label}: acknowledged chunks lost");
+    assert_eq!(o.checksum_fails, 0, "{label}: checksum failures");
+    assert_eq!(
+        o.verify_fails, 0,
+        "{label}: migrated copies failed CRC read-back"
+    );
+    assert_eq!(
+        o.unrepairable, 0,
+        "{label}: scrubber found unrepairable chunks"
+    );
+    assert_eq!(o.place_backlog, 0, "{label}: placement queue never drained");
+    assert!(
+        o.consistency_ok,
+        "{label}: KV history not sequentially explainable: {:?}",
+        o.consistency_violations
+    );
+}
+
+/// Random topology tier sizes and boundary latencies: flat single-rack
+/// fabrics through two-geo WAN stretches.
+fn topologies() -> impl Strategy<Value = ((usize, usize, usize), (u64, u64, u64))> {
+    (
+        (1usize..=3, 1usize..=3, 1usize..=2),
+        (0u64..10, 10u64..50, 500u64..3000),
+    )
+}
+
+/// Random fixed access pattern: 1-4 `(reader, file, reads)` triples.
+fn patterns() -> impl Strategy<Value = Vec<(usize, usize, u32)>> {
+    proptest::collection::vec((0usize..3, 0usize..2, 1u32..3), 1..4)
+}
+
+fn prop_case(
+    seed: u64,
+    topo: (usize, usize, usize),
+    tier_us: (u64, u64, u64),
+    files: Vec<u64>,
+    reads: Vec<(usize, usize, u32)>,
+    fault: PlaceFault,
+) -> PlacementPropCase {
+    PlacementPropCase {
+        seed,
+        topo,
+        tier_us,
+        files,
+        reads,
+        readers: 2,
+        rounds: 3,
+        policy_on: true,
+        fault,
+        deadline_secs: 120,
+    }
+}
+
+/// The pinned fault-matrix topology: two geos 2 ms apart, so a
+/// mid-migration fault hits moves that genuinely cross the WAN.
+fn fault_case(seed: u64, fault: PlaceFault) -> PlacementPropCase {
+    prop_case(
+        seed,
+        (2, 2, 2),
+        (5, 20, 2000),
+        vec![1 << 20, 512 << 10],
+        vec![(0, 0, 2), (1, 1, 1), (0, 1, 1)],
+        fault,
+    )
+}
+
+// --- pinned cells ----------------------------------------------------
+
+/// The AB13 geo-convergence cell holds end to end at test scale.
+#[test]
+fn ab13_cell_converges_to_local_floor() {
+    let o = run_placement_scenario(&PlacementCase::ab13(true));
+    assert!(o.converged, "AB13 cell hung");
+    assert!(
+        o.converged_within(1.3),
+        "settled remote p99 {} ns not within 1.3x of floor {} ns",
+        o.final_p99_ns,
+        o.floor_p99_ns
+    );
+    assert!(o.migrations > 0 && o.decisions > 0);
+    assert!(o.cost_after < o.cost_before);
+    assert_eq!(o.place_backlog, 0);
+    assert_eq!(o.checksum_fails, 0);
+    assert_eq!(o.verify_fails, 0);
+    assert_eq!(o.chunks_lost, 0);
+    assert!(o.files_ok, "acknowledged files failed read-back");
+    assert!(
+        o.consistency_ok,
+        "KV history not explainable: {:?}",
+        o.consistency_violations
+    );
+}
+
+/// Crash of the migration destination mid-move: the migrating-set guard
+/// and verified-copy protocol must keep every acknowledged byte.
+#[test]
+fn migration_survives_destination_crash() {
+    let o = run_placement_property(&fault_case(0xC0, PlaceFault::Crash));
+    no_loss(&o, "crash");
+}
+
+/// Link flaps on the migration destination: failed moves re-queue and
+/// eventually complete; nothing is lost meanwhile.
+#[test]
+fn migration_survives_destination_flap() {
+    let o = run_placement_property(&fault_case(0xF1, PlaceFault::Flap));
+    no_loss(&o, "flap");
+}
+
+/// Draining the migration destination mid-move: stale overrides pointing
+/// at the drained server are cleaned up and chunks return to their hash
+/// owners without loss.
+#[test]
+fn migration_survives_destination_drain() {
+    let o = run_placement_property(&fault_case(0xD0, PlaceFault::Drain));
+    no_loss(&o, "drain");
+    assert_eq!(
+        o.overrides, 0,
+        "drain left routing overrides behind: {}",
+        o.overrides
+    );
+}
+
+/// Defaults-off contract: the hash policy with a zero optimizer interval
+/// registers no `bb.place.*` metric, installs no override, and replays
+/// byte-identically — the seed behaviour is untouched.
+#[test]
+fn defaults_off_is_seed_identical_and_unregistered() {
+    let mut case = fault_case(0x0FF, PlaceFault::None);
+    case.policy_on = false;
+    let a = run_placement_property(&case);
+    let b = run_placement_property(&case);
+    no_loss(&a, "defaults-off");
+    assert!(
+        !a.place_names_registered,
+        "defaults-off run registered a bb.place.* metric"
+    );
+    assert_eq!(a.overrides, 0, "defaults-off run installed overrides");
+    assert_eq!(a.migrations, 0);
+    assert_eq!(
+        a.metrics_json, b.metrics_json,
+        "defaults-off replay diverged"
+    );
+    assert_eq!(a.end, b.end);
+}
+
+// --- random topologies and patterns ----------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Any random topology and access pattern: migration loses nothing,
+    /// the history stays explainable, and the layout cost under the
+    /// cell's fixed weights never increases across settled rounds.
+    #[test]
+    fn random_cells_never_lose_data_and_cost_is_monotone(
+        seed in any::<u64>(),
+        (topo, tier_us) in topologies(),
+        f0 in (512u64 << 10)..(2 << 20),
+        f1 in (512u64 << 10)..(1 << 20),
+        reads in patterns(),
+    ) {
+        let case = prop_case(seed, topo, tier_us, vec![f0, f1], reads, PlaceFault::None);
+        let o = run_placement_property(&case);
+        no_loss(&o, "random-cell");
+        prop_assert_eq!(o.read_errs, 0, "fault-free reads errored");
+        prop_assert_eq!(o.round_costs.len(), case.rounds);
+        prop_assert!(
+            o.cost_monotone(),
+            "layout cost increased across rounds: {:?} (topo {:?}, tiers {:?})",
+            o.round_costs,
+            topo,
+            tier_us
+        );
+    }
+
+    /// The same case replays byte-identically: metrics snapshot, cost
+    /// trajectory, and virtual end instant all match.
+    #[test]
+    fn same_seed_placement_runs_are_byte_identical(
+        seed in any::<u64>(),
+        (topo, tier_us) in topologies(),
+        reads in patterns(),
+    ) {
+        let case = prop_case(seed, topo, tier_us, vec![1 << 20], reads, PlaceFault::None);
+        let a = run_placement_property(&case);
+        let b = run_placement_property(&case);
+        prop_assert!(a.converged && b.converged);
+        prop_assert_eq!(&a.metrics_json, &b.metrics_json, "metrics diverged for seed {}", seed);
+        prop_assert_eq!(&a.round_costs, &b.round_costs);
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.migrations, b.migrations);
+    }
+}

@@ -513,6 +513,11 @@ impl BbWriter {
         let key = chunk_key(self.file_id, seq);
         let crc = integrity::chunk_crc(&key, &chunk);
         self.crcs.borrow_mut().push(crc);
+        // locality placement: pick this brand-new key's replica targets
+        // before any write routes it (no-op under the hash policy)
+        self.client
+            .dep
+            .install_locality_override(self.client.node, &key);
         // client-side serialization cost (serial per writer)
         let sim = self.client.dep.stack.sim().clone();
         sim.sleep(simkit::dur::transfer(
@@ -947,6 +952,9 @@ impl ReadCore {
         let chunk_len = chunk_size.min(size - seq * chunk_size);
         let sim = self.client.dep.stack.sim().clone();
         let _sp = sim.span("bb.fetch_chunk", "bb", self.client.node.0, seq);
+        if let Some(t) = self.client.dep.manager.access_tracker() {
+            t.record(file_id, seq, self.client.node.0);
+        }
         let read_cpu = simkit::dur::transfer(chunk_len, self.config().client_read_rate);
         // tier 0 (scheme C): node-local replica
         if self.has_local_replica(seq * chunk_size) {
@@ -1147,6 +1155,11 @@ impl ReadCore {
         };
         let rate = self.config().client_read_rate;
         let sim = self.client.dep.stack.sim().clone();
+        if let Some(t) = self.client.dep.manager.access_tracker() {
+            for &s in seqs {
+                t.record(file_id, s, self.client.node.0);
+            }
+        }
         let clen = |seq: u64| chunk_size.min(size - seq * chunk_size);
         let mut out: BTreeMap<u64, Result<Bytes, BbError>> = BTreeMap::new();
         let mut cpu = Duration::ZERO;

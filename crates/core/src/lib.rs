@@ -29,6 +29,7 @@ pub mod client;
 pub mod fs;
 pub mod integrity;
 pub mod manager;
+pub mod placement;
 
 use std::rc::Rc;
 
@@ -45,6 +46,7 @@ use storesim::DiskKind;
 
 pub use client::{BbClient, BbError, BbReader, BbWriter, ReadStats, WriteOptions};
 pub use manager::{BbManager, FileState};
+pub use placement::PlacementPolicy;
 
 /// Which of the paper's three HDFS⇄Lustre integration schemes is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -271,6 +273,33 @@ pub struct BbConfig {
     /// the same file resets its accumulated byte count, so spaced bursts
     /// never classify as streams no matter their total volume.
     pub bb_admit_window: std::time::Duration,
+    /// Replica-target policy for buffered chunks ([`PlacementPolicy`]).
+    /// [`PlacementPolicy::Hash`] (default) is the seed consistent-hash
+    /// ring bit-for-bit; [`PlacementPolicy::Locality`] places new chunks
+    /// on the topologically nearest ring servers to the writer.
+    pub bb_place_policy: PlacementPolicy,
+    /// Background placement-optimizer tick period (virtual time). Each
+    /// tick re-costs resident chunks against their observed readers
+    /// (topology cost model, [`netsim::Fabric::topo_latency`]) and
+    /// migrates improvements toward the readers — copy, CRC read-back,
+    /// override install, then delete-from-old, reusing the rebalancer's
+    /// verified-move machinery. `Duration::ZERO` (default) disables the
+    /// optimizer.
+    pub bb_place_interval: std::time::Duration,
+    /// Payload bytes the placement optimizer may copy per tick (its
+    /// migration-bandwidth budget; at least one queued move always
+    /// proceeds). `0` removes the bound.
+    pub bb_migrate_budget: u64,
+}
+
+impl BbConfig {
+    /// Whether any part of the placement engine is on: a non-hash policy
+    /// or a running optimizer. Gates the access tracker and the lazy
+    /// `bb.place.*` counters so defaults stay byte-identical.
+    pub fn placement_enabled(&self) -> bool {
+        self.bb_place_policy != PlacementPolicy::Hash
+            || self.bb_place_interval > std::time::Duration::ZERO
+    }
 }
 
 impl Default for BbConfig {
@@ -314,6 +343,9 @@ impl Default for BbConfig {
             bb_ack_ahead: 8,
             bb_admit_stream_bytes: 0,
             bb_admit_window: std::time::Duration::from_millis(50),
+            bb_place_policy: PlacementPolicy::Hash,
+            bb_place_interval: std::time::Duration::ZERO,
+            bb_migrate_budget: 8 << 20,
         }
     }
 }
@@ -580,6 +612,23 @@ impl BbDeployment {
         &self.integrity
     }
 
+    /// Locality write-time placement: choose and install a routing
+    /// override for a brand-new chunk key so its replicas land on the
+    /// ring servers topologically nearest the writer. A no-op unless
+    /// [`BbConfig::bb_place_policy`] is [`PlacementPolicy::Locality`], or
+    /// when the nearest servers are the hash owners anyway.
+    pub(crate) fn install_locality_override(&self, from: NodeId, key: &[u8]) {
+        if self.config.bb_place_policy != PlacementPolicy::Locality {
+            return;
+        }
+        let r = self.config.kv_replication.max(1);
+        if let Some(targets) =
+            placement::locality_targets(self.stack.fabric(), &self.membership, from, key, r)
+        {
+            self.membership.set_override(key, targets);
+        }
+    }
+
     /// The `bb.ack.*` counters, registered on first use so the names are
     /// absent from snapshots of runs that never take a relaxed ack path.
     pub(crate) fn ack_counters(&self) -> Rc<client::AckCounters> {
@@ -593,13 +642,15 @@ impl BbDeployment {
     }
 
     /// Stop background loops (scheme-C overlay heartbeats, the integrity
-    /// scrubber, the rebalancer) so simulations can quiesce.
+    /// scrubber, the rebalancer, the placement optimizer) so simulations
+    /// can quiesce.
     pub fn shutdown(&self) {
         if let Some(h) = &self.hdfs_local {
             h.shutdown();
         }
         self.manager.stop_scrub();
         self.manager.stop_rebalance();
+        self.manager.stop_place();
     }
 }
 

@@ -22,6 +22,7 @@ use simkit::sync::semaphore::Semaphore;
 use lustre::{LustreCluster, LustreError};
 
 use crate::integrity::{self, IntegrityCounters};
+use crate::placement::{self, AccessTracker, PlaceState};
 use crate::{BbConfig, Scheme};
 
 /// KV key for chunk `seq` of file `file_id`.
@@ -409,6 +410,24 @@ impl PressureCounters {
 
 type FlushWaiters = RefCell<HashMap<u64, Vec<ReplyHandle<Result<FileState, BbError>>>>>;
 
+/// How one verified chunk move ([`BbManager::migrate_to`]) ended.
+enum MigrateOutcome {
+    /// The chunk vanished (deleted/forgotten) since being queued.
+    Gone,
+    /// No authoritative copy reachable right now; old layout untouched.
+    NoSource,
+    /// A copy or its CRC read-back failed; old copies kept.
+    Failed,
+    /// The desired set holds verified copies and stale copies are gone.
+    /// `wrote` is false when every target already had the data.
+    Done {
+        /// Whether any fresh copy was written.
+        wrote: bool,
+        /// Chunk payload size.
+        bytes: u64,
+    },
+}
+
 /// The manager process.
 pub struct BbManager {
     node: NodeId,
@@ -470,6 +489,10 @@ pub struct BbManager {
     pinned: RefCell<BTreeSet<(u64, u64)>>,
     rebalance_stop: Cell<bool>,
     rebal: RebalanceCounters,
+    /// Placement engine (reader telemetry, optimizer queue, `bb.place.*`
+    /// counters); `None` when placement is off, so no tracker exists and
+    /// no metric name is ever registered (defaults byte-identity).
+    place: Option<PlaceState>,
 }
 
 impl BbManager {
@@ -540,6 +563,9 @@ impl BbManager {
             pinned: RefCell::new(BTreeSet::new()),
             rebalance_stop: Cell::new(false),
             rebal: RebalanceCounters::register(fabric.sim().metrics()),
+            place: config
+                .placement_enabled()
+                .then(|| PlaceState::new(fabric.sim().metrics())),
         });
         let mut rx = net.register(node, MGR_SERVICE);
         let sim = net.fabric().sim().clone();
@@ -576,6 +602,20 @@ impl BbManager {
                 }
             });
         }
+        if mgr.place.is_some() && config.bb_place_interval > std::time::Duration::ZERO {
+            let sim = net.fabric().sim().clone();
+            let this = Rc::clone(&mgr);
+            sim.clone().spawn(async move {
+                loop {
+                    sim.sleep(this.config.bb_place_interval).await;
+                    let place = this.place.as_ref().expect("loop gated on Some");
+                    if place.stop.get() {
+                        break;
+                    }
+                    this.place_tick().await;
+                }
+            });
+        }
         mgr
     }
 
@@ -589,6 +629,29 @@ impl BbManager {
     /// simulations quiesce; called from [`crate::BbDeployment::shutdown`]).
     pub fn stop_rebalance(&self) {
         self.rebalance_stop.set(true);
+    }
+
+    /// Stop the background placement optimizer after its current tick
+    /// (lets simulations quiesce; called from
+    /// [`crate::BbDeployment::shutdown`]). A no-op when placement is off.
+    pub fn stop_place(&self) {
+        if let Some(place) = &self.place {
+            place.stop.set(true);
+        }
+    }
+
+    /// Placement moves still queued behind the migration budget. Zero
+    /// means the optimizer has converged on the telemetry it has seen.
+    pub fn place_backlog(&self) -> usize {
+        self.place
+            .as_ref()
+            .map(|p| p.pending.borrow().len())
+            .unwrap_or(0)
+    }
+
+    /// The shared reader-telemetry tracker; `None` when placement is off.
+    pub(crate) fn access_tracker(&self) -> Option<&Rc<AccessTracker>> {
+        self.place.as_ref().map(|p| &p.tracker)
     }
 
     /// Chunks still queued (or being scanned in) for migration. Zero —
@@ -846,6 +909,26 @@ impl BbManager {
                         let e = e.borrow();
                         self.by_id.borrow_mut().remove(&e.file_id);
                         let fid = e.file_id;
+                        if self.view.overrides_len() > 0 {
+                            let keys: Vec<Vec<u8>> = self
+                                .resident
+                                .borrow()
+                                .keys()
+                                .filter(|(f, _)| *f == fid)
+                                .map(|&(f, s)| chunk_key(f, s))
+                                .collect();
+                            for k in keys {
+                                self.view.clear_override(&k);
+                            }
+                        }
+                        if let Some(place) = &self.place {
+                            place.tracker.forget_file(fid);
+                            place
+                                .pending
+                                .borrow_mut()
+                                .retain(|((f, _), _, _)| *f != fid);
+                            place.queued.borrow_mut().retain(|(f, _)| *f != fid);
+                        }
                         self.resident.borrow_mut().retain(|(f, _), _| *f != fid);
                         self.pinned.borrow_mut().retain(|(f, _)| *f != fid);
                         self.rebalance_pending
@@ -1446,26 +1529,56 @@ impl BbManager {
         }
     }
 
-    /// Migrate one chunk onto its live-ring owners: copy to each missing
-    /// desired replica, verify every fresh copy by CRC read-back, carry
-    /// the pin for unflushed chunks, and only then delete copies from
-    /// servers that no longer own the key. Old copies outlive new ones
-    /// until verification succeeds, so a verify failure at any point
-    /// leaves at least one good copy reachable (the read path widens to
-    /// the full roster once epoch > 0).
+    /// Migrate one chunk onto its live-ring owners (which follow any
+    /// placement override). A failed move re-queues on the rebalance
+    /// queue; a completed copy counts `bb.rebalance.{moved,bytes}`.
     async fn migrate_one(self: &Rc<Self>, file_id: u64, seq: u64) {
-        let Some(&crc) = self.resident.borrow().get(&(file_id, seq)) else {
-            return; // deleted or forgotten since being queued
-        };
         let key = chunk_key(file_id, seq);
         let Ok(desired) = self.kv.replicas(&key) else {
             return;
         };
+        match self.migrate_to(file_id, seq, &desired).await {
+            MigrateOutcome::Failed => {
+                // keep the old copies; retry from a clean slate next tick
+                self.rebalance_pending
+                    .borrow_mut()
+                    .push_back((file_id, seq));
+            }
+            MigrateOutcome::Done { wrote: true, bytes } => {
+                self.rebal.moved.inc();
+                self.rebal.bytes.add(bytes);
+            }
+            _ => {}
+        }
+    }
+
+    /// Establish `desired` as a chunk's replica set: copy to each missing
+    /// target, verify every fresh copy by CRC read-back, carry the pin
+    /// for unflushed chunks, and only then delete copies from roster
+    /// members outside the set. Old copies outlive new ones until
+    /// verification succeeds, so a verify failure at any point leaves at
+    /// least one good copy reachable (the read path widens to the full
+    /// roster once epoch > 0). The chunk sits in the `migrating` guard
+    /// for the whole move, keeping the scrubber off the half-established
+    /// set. Shared by the epoch rebalancer and the placement optimizer.
+    async fn migrate_to(
+        self: &Rc<Self>,
+        file_id: u64,
+        seq: u64,
+        desired: &[usize],
+    ) -> MigrateOutcome {
+        let Some(&crc) = self.resident.borrow().get(&(file_id, seq)) else {
+            return MigrateOutcome::Gone; // deleted or forgotten since being queued
+        };
+        if desired.is_empty() {
+            return MigrateOutcome::Gone;
+        }
+        let key = chunk_key(file_id, seq);
         self.migrating.borrow_mut().insert((file_id, seq));
         // Which desired owners already hold a good copy?
         let mut have: Vec<usize> = Vec::new();
         let mut source: Option<Bytes> = None;
-        for &idx in &desired {
+        for &idx in desired {
             if let Ok(Some(v)) = self.kv.get_from(idx, &key).await {
                 if integrity::chunk_crc(&key, &v.data) == crc {
                     have.push(idx);
@@ -1498,11 +1611,11 @@ impl BbManager {
             // No authoritative copy reachable right now: leave the old
             // layout alone and let the scrubber/flusher sort it out.
             self.migrating.borrow_mut().remove(&(file_id, seq));
-            return;
+            return MigrateOutcome::NoSource;
         };
         let mut wrote = false;
         let mut verified = true;
-        for &idx in &desired {
+        for &idx in desired {
             if have.contains(&idx) {
                 continue;
             }
@@ -1526,17 +1639,13 @@ impl BbManager {
             }
         }
         if !verified {
-            // keep the old copies; retry from a clean slate next tick
-            self.rebalance_pending
-                .borrow_mut()
-                .push_back((file_id, seq));
             self.migrating.borrow_mut().remove(&(file_id, seq));
-            return;
+            return MigrateOutcome::Failed;
         }
         if self.pinned.borrow().contains(&(file_id, seq)) {
             // unflushed chunk: the new owners must hold it pinned before
             // the old pinned copies are released
-            for &idx in &desired {
+            for &idx in desired {
                 let _ = self.kv.pin_to(idx, &key).await;
             }
         }
@@ -1546,11 +1655,145 @@ impl BbManager {
             }
             let _ = self.kv.delete_from(idx, &key).await;
         }
-        if wrote {
-            self.rebal.moved.inc();
-            self.rebal.bytes.add(data.len() as u64);
-        }
+        let bytes = data.len() as u64;
         self.migrating.borrow_mut().remove(&(file_id, seq));
+        MigrateOutcome::Done { wrote, bytes }
+    }
+
+    /// One placement-optimizer round, in three phases. First, routing
+    /// hygiene: overrides pointing at a server that left the active set
+    /// go back to hash placement (the override is already dormant, so
+    /// this changes bookkeeping, not routing) and the chunk is queued to
+    /// re-converge on its hash owners. Second, decisions: every resident
+    /// chunk with reader telemetry is re-costed against the topology
+    /// model, and a strictly cheaper replica set is queued as a move.
+    /// Third, execution: queued moves run through the rebalancer's
+    /// verified-copy machinery under the per-tick migration byte budget,
+    /// and only a completed move installs its routing override — readers
+    /// never route at data that has not arrived yet. Epoch coordination:
+    /// while the rebalancer still owes the view a catch-up
+    /// (`epoch != last_epoch`), decisions pause; moves keep draining.
+    async fn place_tick(self: &Rc<Self>) {
+        let Some(place) = &self.place else { return };
+        let r = self.config.kv_replication.max(1);
+        let fabric = Rc::clone(self.net.fabric());
+
+        // phase 1: drop overrides whose targets left the active set
+        let stale: Vec<(u64, u64)> = {
+            let resident = self.resident.borrow();
+            resident
+                .keys()
+                .filter(|&&(fid, seq)| {
+                    self.view
+                        .override_of(&chunk_key(fid, seq))
+                        .is_some_and(|t| t.iter().any(|&idx| !self.view.is_active(idx)))
+                })
+                .copied()
+                .collect()
+        };
+        for (fid, seq) in stale {
+            let key = chunk_key(fid, seq);
+            self.view.clear_override(&key);
+            if place.queued.borrow_mut().insert((fid, seq)) {
+                // converge back onto the hash owners; no new override
+                let Ok(owners) = self.kv.replicas(&key) else {
+                    place.queued.borrow_mut().remove(&(fid, seq));
+                    continue;
+                };
+                place
+                    .pending
+                    .borrow_mut()
+                    .push_back(((fid, seq), owners, false));
+            }
+        }
+
+        // phase 2: telemetry-driven decisions (paused mid-epoch-change)
+        if self.view.epoch() == self.last_epoch.get() {
+            for (fid, seq) in place.tracker.tracked() {
+                if !self.resident.borrow().contains_key(&(fid, seq))
+                    || place.queued.borrow().contains(&(fid, seq))
+                    || self.migrating.borrow().contains(&(fid, seq))
+                {
+                    continue;
+                }
+                let key = chunk_key(fid, seq);
+                let readers = place.tracker.readers_of(fid, seq);
+                if readers.is_empty() {
+                    continue;
+                }
+                let Ok(current) = self.kv.replicas(&key) else {
+                    continue;
+                };
+                let order = placement::ring_order(&self.view, &key);
+                if order.is_empty() {
+                    continue;
+                }
+                let candidate = placement::rank_by_cost(&order, r, |idx| {
+                    placement::read_cost(&fabric, &readers, &[self.view.server(idx).node()])
+                });
+                let nodes_of = |set: &[usize]| -> Vec<NodeId> {
+                    set.iter()
+                        .map(|&idx| self.view.server(idx).node())
+                        .collect()
+                };
+                let cost_before = placement::read_cost(&fabric, &readers, &nodes_of(&current));
+                let cost_after = placement::read_cost(&fabric, &readers, &nodes_of(&candidate));
+                if cost_after < cost_before {
+                    place.counters.decisions.inc();
+                    place.counters.cost_before.add(cost_before);
+                    place.counters.cost_after.add(cost_after);
+                    self.sim().flight_record("bb.place", "decision", || {
+                        format!(
+                            "file_id={fid} seq={seq} cost {cost_before}->{cost_after} \
+                             targets={candidate:?}"
+                        )
+                    });
+                    place.queued.borrow_mut().insert((fid, seq));
+                    place
+                        .pending
+                        .borrow_mut()
+                        .push_back(((fid, seq), candidate, true));
+                }
+            }
+        }
+
+        // phase 3: execute queued moves under the migration byte budget
+        let budget = if self.config.bb_migrate_budget == 0 {
+            u64::MAX
+        } else {
+            self.config.bb_migrate_budget
+        };
+        let mut spent = 0u64;
+        while spent < budget {
+            let next = place.pending.borrow_mut().pop_front();
+            let Some(((fid, seq), targets, install)) = next else {
+                break;
+            };
+            match self.migrate_to(fid, seq, &targets).await {
+                MigrateOutcome::Failed => {
+                    // keep old copies (and the queued mark); retry next tick
+                    place
+                        .pending
+                        .borrow_mut()
+                        .push_back(((fid, seq), targets, install));
+                    break;
+                }
+                MigrateOutcome::Done { wrote, bytes } => {
+                    if install {
+                        self.view.set_override(&chunk_key(fid, seq), targets);
+                    }
+                    if wrote {
+                        place.counters.migrations.inc();
+                        place.counters.bytes.add(bytes);
+                        spent += bytes;
+                    }
+                    place.queued.borrow_mut().remove(&(fid, seq));
+                }
+                MigrateOutcome::Gone | MigrateOutcome::NoSource => {
+                    place.queued.borrow_mut().remove(&(fid, seq));
+                }
+            }
+        }
     }
 
     /// Fetch a chunk's bytes from the Lustre backing file for repair,

@@ -1,0 +1,216 @@
+//! Topology-aware chunk placement: policy knob, per-chunk reader
+//! telemetry, and the latency cost model the background optimizer in
+//! [`crate::BbManager`] minimizes.
+//!
+//! Everything here is defaults-off: with [`crate::BbConfig::bb_place_policy`]
+//! at [`PlacementPolicy::Hash`] and [`crate::BbConfig::bb_place_interval`]
+//! at zero, no tracker exists, no `bb.place.*` metric is registered, and
+//! chunk routing is the seed consistent-hash ring bit-for-bit.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
+
+use netsim::{Fabric, NodeId};
+use rkv::Membership;
+
+/// How replica targets are chosen for buffered chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Pure consistent-hash ring placement — the seed behaviour and the
+    /// default. No override is ever installed.
+    Hash,
+    /// Locality-preferring placement: a new chunk's replicas are the
+    /// topologically nearest ring servers to the writer (ring order
+    /// breaks ties), installed as a routing override in the shared
+    /// membership view. The background optimizer (when
+    /// [`crate::BbConfig::bb_place_interval`] > 0) then migrates chunks
+    /// toward their observed readers.
+    Locality,
+}
+
+impl PlacementPolicy {
+    /// Short label used in experiment tables and knob docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Hash => "hash",
+            PlacementPolicy::Locality => "locality",
+        }
+    }
+}
+
+/// Per-chunk reader telemetry: how many chunk fetches each compute node
+/// issued against each `(file_id, seq)`. Recorded by the tiered read
+/// path, consumed by the placement optimizer's cost model. BTreeMaps
+/// keep iteration deterministic.
+pub(crate) struct AccessTracker {
+    counts: RefCell<BTreeMap<(u64, u64), BTreeMap<u32, u64>>>,
+}
+
+impl AccessTracker {
+    pub(crate) fn new() -> Rc<AccessTracker> {
+        Rc::new(AccessTracker {
+            counts: RefCell::new(BTreeMap::new()),
+        })
+    }
+
+    /// One chunk fetch of `(file_id, seq)` issued from `node`.
+    pub(crate) fn record(&self, file_id: u64, seq: u64, node: u32) {
+        *self
+            .counts
+            .borrow_mut()
+            .entry((file_id, seq))
+            .or_default()
+            .entry(node)
+            .or_insert(0) += 1;
+    }
+
+    /// The chunk's per-reader counts, `(node, fetches)`.
+    pub(crate) fn readers_of(&self, file_id: u64, seq: u64) -> Vec<(u32, u64)> {
+        self.counts
+            .borrow()
+            .get(&(file_id, seq))
+            .map(|m| m.iter().map(|(&n, &c)| (n, c)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Chunks with at least one recorded fetch.
+    pub(crate) fn tracked(&self) -> Vec<(u64, u64)> {
+        self.counts.borrow().keys().copied().collect()
+    }
+
+    /// Drop a deleted file's telemetry.
+    pub(crate) fn forget_file(&self, file_id: u64) {
+        self.counts.borrow_mut().retain(|(f, _), _| *f != file_id);
+    }
+}
+
+/// Placement-engine counters (`bb.place.*`) — registered only when
+/// placement is enabled, so the names stay out of default snapshots.
+pub(crate) struct PlaceCounters {
+    /// Chunks the optimizer decided to move (cost strictly improves).
+    pub(crate) decisions: simkit::telemetry::Counter,
+    /// Placement migrations completed (copy verified, override installed).
+    pub(crate) migrations: simkit::telemetry::Counter,
+    /// Payload bytes copied by placement migrations.
+    pub(crate) bytes: simkit::telemetry::Counter,
+    /// Estimated read cost (reader-weighted topology nanoseconds) of the
+    /// layouts being replaced, summed over decisions.
+    pub(crate) cost_before: simkit::telemetry::Counter,
+    /// Estimated read cost of the chosen layouts, summed over decisions.
+    pub(crate) cost_after: simkit::telemetry::Counter,
+}
+
+impl PlaceCounters {
+    fn register(m: &simkit::telemetry::Registry) -> PlaceCounters {
+        PlaceCounters {
+            decisions: m.counter("bb.place.decisions"),
+            migrations: m.counter("bb.place.migrations"),
+            bytes: m.counter("bb.place.bytes"),
+            cost_before: m.counter("bb.place.cost_before"),
+            cost_after: m.counter("bb.place.cost_after"),
+        }
+    }
+}
+
+/// One queued placement move: a chunk, the replica set to establish, and
+/// whether a routing override should be installed once the data is in
+/// place (`false` for moves back to the chunk's plain hash owners).
+pub(crate) type PlaceMove = ((u64, u64), Vec<usize>, bool);
+
+/// Live state of the placement engine, owned by the manager. Exists only
+/// when placement is enabled ([`crate::BbConfig::placement_enabled`]).
+pub(crate) struct PlaceState {
+    pub(crate) tracker: Rc<AccessTracker>,
+    pub(crate) counters: PlaceCounters,
+    /// Moves awaiting migration bandwidth, drained per tick under
+    /// [`crate::BbConfig::bb_migrate_budget`].
+    pub(crate) pending: RefCell<VecDeque<PlaceMove>>,
+    /// Chunks currently queued (or being moved), to keep one decision per
+    /// chunk in flight.
+    pub(crate) queued: RefCell<BTreeSet<(u64, u64)>>,
+    pub(crate) stop: Cell<bool>,
+}
+
+impl PlaceState {
+    pub(crate) fn new(m: &simkit::telemetry::Registry) -> PlaceState {
+        PlaceState {
+            tracker: AccessTracker::new(),
+            counters: PlaceCounters::register(m),
+            pending: RefCell::new(VecDeque::new()),
+            queued: RefCell::new(BTreeSet::new()),
+            stop: Cell::new(false),
+        }
+    }
+}
+
+/// Nanoseconds of extra topology latency a reader on `from` pays to the
+/// nearest node of `replicas`. The transfer model charges
+/// [`Fabric::topo_latency`] each way, but the relative ordering is all
+/// the optimizer needs, so one-way cost is used throughout.
+fn nearest_ns(fabric: &Fabric, from: NodeId, replicas: &[NodeId]) -> u64 {
+    replicas
+        .iter()
+        .map(|&n| fabric.topo_latency(from, n).as_nanos() as u64)
+        .min()
+        .unwrap_or(0)
+}
+
+/// The optimizer's objective for one chunk: each reader's fetch count
+/// weighted by the topology distance to its nearest replica, summed.
+pub(crate) fn read_cost(fabric: &Fabric, readers: &[(u32, u64)], replicas: &[NodeId]) -> u64 {
+    readers
+        .iter()
+        .map(|&(node, count)| count.saturating_mul(nearest_ns(fabric, NodeId(node), replicas)))
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Active ring servers in the key's ring preference order — the
+/// deterministic candidate list every placement choice ranks over.
+pub(crate) fn ring_order(view: &Membership, key: &[u8]) -> Vec<usize> {
+    let ring = view.ring_snapshot();
+    if ring.is_empty() {
+        return Vec::new();
+    }
+    ring.route_n(key, view.active_len())
+        .into_iter()
+        .copied()
+        .collect()
+}
+
+/// Rank `candidates` (roster indices) by a per-server cost, stable so the
+/// incoming ring order breaks ties, and keep the first `r`.
+pub(crate) fn rank_by_cost(
+    candidates: &[usize],
+    r: usize,
+    mut cost: impl FnMut(usize) -> u64,
+) -> Vec<usize> {
+    let mut ranked: Vec<usize> = candidates.to_vec();
+    ranked.sort_by_key(|&idx| cost(idx));
+    ranked.truncate(r.max(1).min(candidates.len().max(1)));
+    ranked
+}
+
+/// Write-time locality selection: the `r` active servers topologically
+/// nearest to the writer, ring order breaking ties. `None` when the
+/// choice coincides with the plain hash owners (no override needed) or
+/// the ring is empty.
+pub(crate) fn locality_targets(
+    fabric: &Fabric,
+    view: &Membership,
+    from: NodeId,
+    key: &[u8],
+    r: usize,
+) -> Option<Vec<usize>> {
+    let order = ring_order(view, key);
+    if order.is_empty() {
+        return None;
+    }
+    let ranked = rank_by_cost(&order, r, |idx| {
+        fabric
+            .topo_latency(from, view.server(idx).node())
+            .as_nanos() as u64
+    });
+    let hash: Vec<usize> = order.iter().take(ranked.len()).copied().collect();
+    (ranked != hash).then_some(ranked)
+}

@@ -912,3 +912,125 @@ fn classifier_off_registers_no_admission_metrics() {
         dep.shutdown();
     });
 }
+
+#[test]
+fn placement_engine_moves_hot_chunks_toward_remote_readers() {
+    // Geo-stretched topology, geo size 8 (nodes_per_rack 2 × racks_per_zone
+    // 2 × zones_per_geo 2). Everything deployed up front — writer, Lustre,
+    // the seed KV server, the manager — sits in geo 0; a standby server and
+    // the reader land in geo 1. Locality write placement keeps new chunks
+    // next to the writer; the optimizer must then migrate them to the
+    // geo-1 server once the remote reader's telemetry accumulates.
+    let sim = Sim::new();
+    let net = NetConfig {
+        nodes_per_rack: 2,
+        racks_per_zone: 2,
+        zones_per_geo: 2,
+        rack_latency: std::time::Duration::from_micros(5),
+        zone_latency: std::time::Duration::from_micros(20),
+        geo_latency: std::time::Duration::from_millis(2),
+        ..NetConfig::default()
+    };
+    let fabric = Fabric::new(sim.clone(), 2, net);
+    let lustre = LustreCluster::deploy(
+        &fabric,
+        LustreConfig {
+            oss_count: 1,
+            osts_per_oss: 1,
+            ..LustreConfig::default()
+        },
+    );
+    let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+    let dep = BbDeployment::deploy(
+        &fabric,
+        lustre,
+        &nodes,
+        BbConfig {
+            kv_servers: 1,
+            bb_place_policy: crate::PlacementPolicy::Locality,
+            bb_place_interval: std::time::Duration::from_millis(50),
+            ..BbConfig::default()
+        },
+    );
+    assert!(dep.manager.node().0 < 8, "infra must fit in geo 0");
+    while fabric.len() < 8 {
+        fabric.add_node();
+    }
+    let standby = dep.standby_kv_server();
+    assert_eq!(standby.node().0, 8, "standby must open geo 1");
+    let reader_node = fabric.add_node(); // node 9, geo 1
+    let data = pattern(2 << 20); // 4 chunks
+    let expect = data.clone();
+    let dep2 = Rc::clone(&dep);
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        assert!(dep2.admit_kv_server(standby.node()));
+        let wclient = dep2.client(NodeId(0));
+        let w = wclient.create("/hot").await.unwrap();
+        w.append(data).await.unwrap();
+        w.close().await.unwrap();
+        // locality placement: every chunk routes to the geo-0 server
+        for seq in 0..4u64 {
+            assert_eq!(
+                dep2.membership().route(&crate::manager::chunk_key(1, seq)),
+                Some(0),
+                "chunk {seq} should start on the writer-side server"
+            );
+        }
+        wclient.wait_flushed("/hot").await.unwrap();
+        // a hot remote reader in geo 1
+        let rclient = dep2.client(reader_node);
+        for _ in 0..4 {
+            let rd = rclient.open("/hot").await.unwrap();
+            assert_eq!(rd.read_all().await.unwrap(), expect);
+            sim2.sleep(std::time::Duration::from_millis(100)).await;
+        }
+        sim2.sleep(std::time::Duration::from_secs(2)).await;
+        // the optimizer moved every chunk to the reader-side server
+        for seq in 0..4u64 {
+            assert_eq!(
+                dep2.membership().route(&crate::manager::chunk_key(1, seq)),
+                Some(1),
+                "chunk {seq} should have migrated toward the reader"
+            );
+        }
+        assert_eq!(dep2.manager.place_backlog(), 0);
+        let rd = rclient.open("/hot").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap(), expect);
+        let m = sim2.metrics().snapshot();
+        assert!(m.counter("bb.place.decisions") >= 4);
+        assert!(m.counter("bb.place.migrations") >= 4);
+        assert!(m.counter("bb.place.bytes") >= 2 << 20);
+        assert!(m.counter("bb.place.cost_after") < m.counter("bb.place.cost_before"));
+        assert_eq!(m.counter("bb.integrity.checksum_fail"), 0);
+        assert_eq!(m.counter("bb.scrub.unrepairable"), 0);
+        dep2.shutdown();
+    });
+}
+
+#[test]
+fn placement_off_registers_no_metrics_and_installs_no_overrides() {
+    // Defaults-off contract: with the hash policy and a zero optimizer
+    // interval, no `bb.place.*` name may even be registered and the
+    // membership view carries no overrides.
+    let r = rig(2, Scheme::AsyncLustre);
+    let client = r.dep.client(NodeId(0));
+    let dep = Rc::clone(&r.dep);
+    let sim = r.sim.clone();
+    r.sim.block_on(async move {
+        let w = client.create("/seed").await.unwrap();
+        w.append(pattern(4 << 20)).await.unwrap();
+        w.close().await.unwrap();
+        let rd = client.open("/seed").await.unwrap();
+        assert_eq!(rd.read_all().await.unwrap().len(), 4 << 20);
+        let m = sim.metrics().snapshot();
+        for name in m.names() {
+            assert!(
+                !name.starts_with("bb.place."),
+                "defaults-off run registered {name}"
+            );
+        }
+        assert_eq!(dep.membership().overrides_len(), 0);
+        dep.shutdown();
+    });
+}

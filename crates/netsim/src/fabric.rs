@@ -31,6 +31,31 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RackId(pub u32);
 
+/// Zone identifier (a pod of `racks_per_zone` racks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZoneId(pub u32);
+
+/// Geo-site identifier (`zones_per_geo` zones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GeoId(pub u32);
+
+/// The smallest topology domain enclosing a pair of nodes. Ordered
+/// `Local < Rack < Zone < Geo < Remote`, so placement policies can rank
+/// candidates with plain comparisons — a smaller tier is a nearer peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TopoTier {
+    /// Same node (loopback).
+    Local,
+    /// Same rack, different node.
+    Rack,
+    /// Same zone, different rack.
+    Zone,
+    /// Same geo site, different zone.
+    Geo,
+    /// Different geo sites (WAN).
+    Remote,
+}
+
 /// Errors surfaced by the network layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetError {
@@ -199,6 +224,51 @@ impl Fabric {
         RackId(node.0 / self.config.nodes_per_rack as u32)
     }
 
+    /// Zone containing `node` (`racks_per_zone` consecutive racks).
+    pub fn zone_of(&self, node: NodeId) -> ZoneId {
+        ZoneId(self.rack_of(node).0 / self.config.racks_per_zone as u32)
+    }
+
+    /// Geo site containing `node` (`zones_per_geo` consecutive zones).
+    pub fn geo_of(&self, node: NodeId) -> GeoId {
+        GeoId(self.zone_of(node).0 / self.config.zones_per_geo as u32)
+    }
+
+    /// The smallest topology domain enclosing both nodes.
+    pub fn tier_between(&self, a: NodeId, b: NodeId) -> TopoTier {
+        if a == b {
+            TopoTier::Local
+        } else if self.rack_of(a) == self.rack_of(b) {
+            TopoTier::Rack
+        } else if self.zone_of(a) == self.zone_of(b) {
+            TopoTier::Zone
+        } else if self.geo_of(a) == self.geo_of(b) {
+            TopoTier::Geo
+        } else {
+            TopoTier::Remote
+        }
+    }
+
+    /// Extra one-way latency the topology charges between two nodes: each
+    /// boundary crossed adds its tier's hop cost (cross-rack adds
+    /// `rack_latency`, cross-zone additionally `zone_latency`, cross-geo
+    /// additionally `geo_latency`). Zero on the default flat fabric. This
+    /// is the queryable cost model placement policies rank candidates by.
+    pub fn topo_latency(&self, a: NodeId, b: NodeId) -> std::time::Duration {
+        let mut extra = std::time::Duration::ZERO;
+        if a == b || self.rack_of(a) == self.rack_of(b) {
+            return extra;
+        }
+        extra += self.config.rack_latency;
+        if self.zone_of(a) != self.zone_of(b) {
+            extra += self.config.zone_latency;
+            if self.geo_of(a) != self.geo_of(b) {
+                extra += self.config.geo_latency;
+            }
+        }
+        extra
+    }
+
     /// Mark a node up/down. Transfers touching a down node fail.
     pub fn set_up(&self, node: NodeId, up: bool) {
         let mut nodes = self.nodes.borrow_mut();
@@ -270,7 +340,7 @@ impl Fabric {
         let rate = profile.bandwidth.min(self.config.nic_bandwidth) * fault.bandwidth_factor;
         let ser = dur::transfer(bytes, rate);
         let overhead = profile.per_msg_overhead;
-        let latency = profile.latency + fault.extra_delay;
+        let latency = profile.latency + fault.extra_delay + self.topo_latency(src, dst);
         if fault.drop {
             // lossy edge: the attempt still takes wire time before the
             // sender learns nothing arrived (NACK-style, never a silent
@@ -428,6 +498,131 @@ mod tests {
         assert_eq!(fabric.rack_of(NodeId(15)), RackId(0));
         assert_eq!(fabric.rack_of(NodeId(16)), RackId(1));
         assert_eq!(fabric.rack_of(NodeId(39)), RackId(2));
+    }
+
+    #[test]
+    fn zone_and_geo_assignment() {
+        let sim = Sim::new();
+        // 2 nodes/rack, 2 racks/zone, 2 zones/geo → 4 nodes/zone, 8/geo
+        let fabric = Fabric::new(
+            sim,
+            17,
+            NetConfig {
+                nodes_per_rack: 2,
+                racks_per_zone: 2,
+                zones_per_geo: 2,
+                ..NetConfig::default()
+            },
+        );
+        assert_eq!(fabric.zone_of(NodeId(0)), ZoneId(0));
+        assert_eq!(fabric.zone_of(NodeId(3)), ZoneId(0));
+        assert_eq!(fabric.zone_of(NodeId(4)), ZoneId(1));
+        assert_eq!(fabric.geo_of(NodeId(7)), GeoId(0));
+        assert_eq!(fabric.geo_of(NodeId(8)), GeoId(1));
+        assert_eq!(fabric.geo_of(NodeId(16)), GeoId(2));
+        // boundary tiers: neighbours across each domain edge
+        assert_eq!(fabric.tier_between(NodeId(0), NodeId(0)), TopoTier::Local);
+        assert_eq!(fabric.tier_between(NodeId(0), NodeId(1)), TopoTier::Rack);
+        assert_eq!(fabric.tier_between(NodeId(1), NodeId(2)), TopoTier::Zone);
+        assert_eq!(fabric.tier_between(NodeId(3), NodeId(4)), TopoTier::Geo);
+        assert_eq!(fabric.tier_between(NodeId(7), NodeId(8)), TopoTier::Remote);
+        // tiers rank: nearer peers compare smaller
+        assert!(TopoTier::Local < TopoTier::Rack);
+        assert!(TopoTier::Rack < TopoTier::Zone);
+        assert!(TopoTier::Zone < TopoTier::Geo);
+        assert!(TopoTier::Geo < TopoTier::Remote);
+    }
+
+    #[test]
+    fn topo_latency_accumulates_per_boundary() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(
+            sim,
+            16,
+            NetConfig {
+                nodes_per_rack: 2,
+                racks_per_zone: 2,
+                zones_per_geo: 2,
+                rack_latency: dur::us(5),
+                zone_latency: dur::us(50),
+                geo_latency: dur::ms(10),
+                ..NetConfig::default()
+            },
+        );
+        let us = |n: u64| std::time::Duration::from_micros(n);
+        assert_eq!(fabric.topo_latency(NodeId(0), NodeId(0)), us(0));
+        assert_eq!(fabric.topo_latency(NodeId(0), NodeId(1)), us(0));
+        assert_eq!(fabric.topo_latency(NodeId(0), NodeId(2)), us(5));
+        assert_eq!(fabric.topo_latency(NodeId(0), NodeId(4)), us(55));
+        assert_eq!(fabric.topo_latency(NodeId(0), NodeId(8)), us(10_055));
+        // symmetric
+        assert_eq!(
+            fabric.topo_latency(NodeId(8), NodeId(0)),
+            fabric.topo_latency(NodeId(0), NodeId(8))
+        );
+    }
+
+    #[test]
+    fn geo_stretch_charges_transfer_latency() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(
+            sim.clone(),
+            4,
+            NetConfig {
+                nodes_per_rack: 1,
+                racks_per_zone: 1,
+                zones_per_geo: 2,
+                geo_latency: dur::ms(2),
+                ..NetConfig::default()
+            },
+        );
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        let s = sim.clone();
+        let (near, far) = sim.block_on(async move {
+            let t0 = s.now();
+            f.transfer(NodeId(0), NodeId(1), 1 << 20, &p).await.unwrap();
+            let near = s.now() - t0;
+            let t1 = s.now();
+            f.transfer(NodeId(0), NodeId(2), 1 << 20, &p).await.unwrap();
+            (near, s.now() - t1)
+        });
+        let stretch = far.as_secs_f64() - near.as_secs_f64();
+        // cross-geo pays exactly the configured extra one-way latency
+        assert!((stretch - 0.002).abs() < 1e-6, "near {near:?}, far {far:?}");
+    }
+
+    #[test]
+    fn flat_default_topology_charges_nothing() {
+        // regression: the default NetConfig must keep the fabric flat —
+        // cross-rack transfers pay exactly the transport model, as every
+        // seeded experiment snapshot assumes
+        let sim = Sim::new();
+        let fabric = Fabric::new(
+            sim.clone(),
+            40,
+            NetConfig {
+                nodes_per_rack: 16,
+                ..NetConfig::default()
+            },
+        );
+        assert_ne!(fabric.rack_of(NodeId(0)), fabric.rack_of(NodeId(39)));
+        assert_eq!(
+            fabric.topo_latency(NodeId(0), NodeId(39)),
+            std::time::Duration::ZERO
+        );
+        let p = TransportProfile::verbs_qdr();
+        let f = Rc::clone(&fabric);
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            f.transfer(NodeId(0), NodeId(39), 1 << 20, &p)
+                .await
+                .unwrap();
+            s.now()
+        });
+        let expect = p.uncontended_time(1 << 20);
+        let got = t - Time::ZERO;
+        assert!((got.as_secs_f64() - expect.as_secs_f64()).abs() < 1e-6);
     }
 
     #[test]

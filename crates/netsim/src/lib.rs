@@ -17,6 +17,6 @@ pub mod fabric;
 pub mod params;
 pub mod rpc;
 
-pub use fabric::{Fabric, FabricStats, NetError, NodeId, RackId};
+pub use fabric::{Fabric, FabricStats, GeoId, NetError, NodeId, RackId, TopoTier, ZoneId};
 pub use params::{NetConfig, TransportProfile};
 pub use rpc::{Envelope, ReplyHandle, RpcError, Switchboard};

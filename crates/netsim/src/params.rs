@@ -97,14 +97,35 @@ pub struct NetConfig {
     /// are close to non-blocking, so racks matter for placement, not for
     /// bandwidth, in this model.
     pub nodes_per_rack: usize,
+    /// Racks per zone (a pod / leaf-spine domain). Zones are derived the
+    /// same way racks are: contiguous node-id ranges.
+    pub racks_per_zone: usize,
+    /// Zones per geo site. Everything beyond one geo is "remote".
+    pub zones_per_geo: usize,
+    /// Extra one-way latency charged on a transfer that crosses racks
+    /// within one zone. Zero (the default) keeps the fabric flat: the
+    /// seed-identical behaviour every existing experiment replays.
+    pub rack_latency: Duration,
+    /// Extra one-way latency for crossing zones within one geo.
+    pub zone_latency: Duration,
+    /// Extra one-way latency for crossing geo sites (WAN stretch).
+    pub geo_latency: Duration,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         // QDR 4×: 32 Gb/s signalling ≈ 3.6 GB/s payload ceiling per NIC.
+        // The topology tiers default to zero extra latency, so the default
+        // fabric stays flat (rack/zone/geo are pure labels) and every
+        // seeded run replays byte-identically.
         NetConfig {
             nic_bandwidth: 3.6e9,
             nodes_per_rack: 16,
+            racks_per_zone: 4,
+            zones_per_geo: 4,
+            rack_latency: Duration::ZERO,
+            zone_latency: Duration::ZERO,
+            geo_latency: Duration::ZERO,
         }
     }
 }
@@ -140,5 +161,11 @@ mod tests {
         let c = NetConfig::default();
         assert!(c.nic_bandwidth > 1e9);
         assert!(c.nodes_per_rack > 0);
+        assert!(c.racks_per_zone > 0 && c.zones_per_geo > 0);
+        // flat by default: the topology tiers must charge nothing, or
+        // every seeded experiment snapshot would shift
+        assert_eq!(c.rack_latency, Duration::ZERO);
+        assert_eq!(c.zone_latency, Duration::ZERO);
+        assert_eq!(c.geo_latency, Duration::ZERO);
     }
 }

@@ -24,6 +24,7 @@
 //! drained server restores its old ring points exactly.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use netsim::NodeId;
@@ -38,6 +39,9 @@ pub struct Membership {
     roster: RefCell<Vec<Rc<KvServer>>>,
     active: RefCell<Vec<usize>>,
     ring: RefCell<HashRing<usize>>,
+    // Per-key placement overrides (primary first), installed by a
+    // placement policy. BTreeMap: deterministic iteration for replay.
+    overrides: RefCell<BTreeMap<Vec<u8>, Vec<usize>>>,
 }
 
 impl Membership {
@@ -53,6 +57,7 @@ impl Membership {
             roster: RefCell::new(servers),
             active: RefCell::new(active),
             ring: RefCell::new(ring),
+            overrides: RefCell::new(BTreeMap::new()),
         })
     }
 
@@ -161,8 +166,11 @@ impl Membership {
     }
 
     /// Roster index of the active server owning `key`, or `None` on an
-    /// empty ring.
+    /// empty ring. A live placement override wins over the hash ring.
     pub fn route(&self, key: &[u8]) -> Option<usize> {
+        if let Some(primary) = self.override_live(key).and_then(|v| v.first().copied()) {
+            return Some(primary);
+        }
         let ring = self.ring.borrow();
         if ring.is_empty() {
             return None;
@@ -171,13 +179,61 @@ impl Membership {
     }
 
     /// The first `n` distinct active servers clockwise from `key`'s ring
-    /// position (capped at the active count).
+    /// position (capped at the active count). A live placement override
+    /// wins over the hash ring (capped at `n`).
     pub fn route_n(&self, key: &[u8], n: usize) -> Vec<usize> {
+        if let Some(mut ovr) = self.override_live(key) {
+            ovr.truncate(n);
+            if !ovr.is_empty() {
+                return ovr;
+            }
+        }
         let ring = self.ring.borrow();
         if ring.is_empty() {
             return Vec::new();
         }
         ring.route_n(key, n).into_iter().copied().collect()
+    }
+
+    /// Install a placement override: `key` routes to `targets` (primary
+    /// first) instead of its hash owners until cleared. Targets must be
+    /// roster indices; an override only takes routing effect while every
+    /// target is active, so a drain can never strand traffic on a dead
+    /// ring position.
+    pub fn set_override(&self, key: &[u8], targets: Vec<usize>) {
+        assert!(!targets.is_empty(), "placement override needs a target");
+        let roster_len = self.roster.borrow().len();
+        assert!(
+            targets.iter().all(|&i| i < roster_len),
+            "override target outside roster"
+        );
+        self.overrides.borrow_mut().insert(key.to_vec(), targets);
+    }
+
+    /// Remove `key`'s placement override (no-op when absent).
+    pub fn clear_override(&self, key: &[u8]) {
+        self.overrides.borrow_mut().remove(key);
+    }
+
+    /// The installed override for `key`, live or not.
+    pub fn override_of(&self, key: &[u8]) -> Option<Vec<usize>> {
+        self.overrides.borrow().get(key).cloned()
+    }
+
+    /// Installed overrides (live or not).
+    pub fn overrides_len(&self) -> usize {
+        self.overrides.borrow().len()
+    }
+
+    /// The override for `key` if every target is currently active.
+    fn override_live(&self, key: &[u8]) -> Option<Vec<usize>> {
+        let overrides = self.overrides.borrow();
+        let targets = overrides.get(key)?;
+        let active = self.active.borrow();
+        targets
+            .iter()
+            .all(|i| active.contains(i))
+            .then(|| targets.clone())
     }
 
     /// Clone of the current ring (roster indices as members) — the
@@ -283,6 +339,33 @@ mod tests {
         assert!(!view.drain_server(NodeId(1)), "last active server");
         assert_eq!(view.active_len(), 1);
         assert!(!view.drain_server(NodeId(0)), "already drained");
+    }
+
+    #[test]
+    fn overrides_win_over_the_ring_only_while_live() {
+        let srv = servers(4);
+        let view = Membership::new(srv, 64);
+        let hash_owners = view.route_n(b"k", 2);
+        let desired: Vec<usize> = (0..4).filter(|i| !hash_owners.contains(i)).collect();
+        view.set_override(b"k", desired.clone());
+        assert_eq!(view.route_n(b"k", 2), desired);
+        assert_eq!(view.route(b"k"), Some(desired[0]));
+        assert_eq!(view.route_n(b"k", 1), vec![desired[0]], "capped at n");
+        // other keys are untouched
+        assert_eq!(view.route_n(b"other", 2).len(), 2);
+        assert_eq!(view.overrides_len(), 1);
+        // drain a target: the override goes dormant, hash placement rules
+        let node = view.server(desired[0]).node();
+        assert!(view.drain_server(node));
+        assert_ne!(view.route(b"k"), Some(desired[0]));
+        assert_eq!(view.override_of(b"k"), Some(desired), "still installed");
+        // re-admit: the override resumes
+        let s = view.server(view.index_of(node).unwrap());
+        view.add_server(s);
+        assert_eq!(view.route(b"k"), view.override_of(b"k").map(|v| v[0]));
+        view.clear_override(b"k");
+        assert_eq!(view.route_n(b"k", 2), hash_owners);
+        assert_eq!(view.overrides_len(), 0);
     }
 
     #[test]

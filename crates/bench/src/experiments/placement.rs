@@ -420,6 +420,27 @@ pub struct PlacementPropCase {
     pub fault: PlaceFault,
     /// Virtual-time budget; overruns freeze the flight recorder.
     pub deadline_secs: u64,
+    /// Wait for every file to reach `Flushed` before the read rounds
+    /// (the durable regime: a mid-migration miss can fall back to
+    /// Lustre). `false` starts reading while chunks are still pinned
+    /// and buffer-only — reads then have no fallback, so a placement
+    /// move that breaks routing for even a moment is a read error.
+    pub flush_before_reads: bool,
+    /// Override the backing OST streaming rate (bytes/s); `None` keeps
+    /// the testbed default. A crawling rate keeps files unflushed (and
+    /// their chunks pinned) deep into the read rounds.
+    pub lustre_ost_rate: Option<f64>,
+    /// Start with two KV servers and never admit the standby, keeping
+    /// the membership epoch at 0 for the whole run. At epoch 0 a miss
+    /// cannot widen to the full roster, so the read path sees exactly
+    /// what the routing tables say — the regime where a placement move
+    /// that breaks routing mid-flight is immediately visible.
+    pub static_membership: bool,
+    /// Override [`bb_core::BbConfig::read_window`]; `None` keeps the
+    /// testbed default. `Some(1)` forces the serial chunk-at-a-time
+    /// read path, which surfaces a routing miss directly instead of
+    /// absorbing it in the pipelined path's one-shot group retry.
+    pub read_window: Option<usize>,
 }
 
 /// What one property cell observed.
@@ -492,7 +513,13 @@ pub fn run_placement_property(case: &PlacementPropCase) -> PlacementPropOutcome 
     };
     cfg.lustre.oss_count = 1;
     cfg.lustre.osts_per_oss = 1;
-    cfg.bb.kv_servers = 1;
+    if let Some(rate) = case.lustre_ost_rate {
+        cfg.lustre.ost_rate = rate;
+    }
+    cfg.bb.kv_servers = if case.static_membership { 2 } else { 1 };
+    if let Some(w) = case.read_window {
+        cfg.bb.read_window = w;
+    }
     cfg.bb.kv_replication = 1;
     cfg.bb.kv_mem_per_server = 1 << 30;
     if case.policy_on {
@@ -596,10 +623,16 @@ pub fn run_placement_property(case: &PlacementPropCase) -> PlacementPropOutcome 
         let readers = readers.clone();
         let layout_cost = layout_cost.clone();
         spawner.spawn(async move {
-            assert!(bb.admit_kv_server(standby.node()));
-            // write + flush every file before the read rounds: acked data
-            // is then Lustre-backed, so a mid-migration crash can delay
-            // reads but must never lose bytes
+            if !case.static_membership {
+                assert!(bb.admit_kv_server(standby.node()));
+            }
+            // write every file before the read rounds. In the durable
+            // regime we also wait for the flush: acked data is then
+            // Lustre-backed, so a mid-migration crash can delay reads
+            // but must never lose bytes. With `flush_before_reads`
+            // off the rounds start while chunks are still pinned and
+            // buffer-only — the only copies are the ones migration is
+            // shuffling around.
             for (fi, &bytes) in case.files.iter().enumerate() {
                 let path = format!("/prop/f{fi}");
                 let w = wclient.create(&path).await.ok()?;
@@ -607,7 +640,9 @@ pub fn run_placement_property(case: &PlacementPropCase) -> PlacementPropOutcome 
                     w.append(piece).await.ok()?;
                 }
                 w.close().await.ok()?;
-                if wclient.wait_flushed(&path).await != Ok(FileState::Flushed) {
+                if case.flush_before_reads
+                    && wclient.wait_flushed(&path).await != Ok(FileState::Flushed)
+                {
                     return None;
                 }
             }
@@ -618,6 +653,30 @@ pub fn run_placement_property(case: &PlacementPropCase) -> PlacementPropOutcome 
             // 400 ms fault window, so the scheduled fault hits moves
             // that are genuinely in flight
             sim.sleep(dur::ms(300)).await;
+            // undurable cells also hammer file 0 with back-to-back
+            // whole-file reads for the entire rounds-plus-settling
+            // span, so reads overlap every phase of in-flight moves
+            // (copy, verify, override install, old-copy delete) — the
+            // round reads alone leave the settle windows unobserved
+            let hammer_stop = Rc::new(std::cell::Cell::new(false));
+            let hammer = (!case.flush_before_reads).then(|| {
+                let stop = Rc::clone(&hammer_stop);
+                let rc = Rc::clone(&rclients[0]);
+                sim.spawn(async move {
+                    let mut errs = 0u64;
+                    while !stop.get() {
+                        match rc.open("/prop/f0").await {
+                            Ok(rd) => {
+                                if rd.read_all().await.is_err() {
+                                    errs += 1;
+                                }
+                            }
+                            Err(_) => errs += 1,
+                        }
+                    }
+                    errs
+                })
+            });
             let mut read_errs = 0u64;
             let mut costs: Vec<u64> = Vec::new();
             for _ in 0..case.rounds {
@@ -643,6 +702,10 @@ pub fn run_placement_property(case: &PlacementPropCase) -> PlacementPropOutcome 
                 }
                 sim.sleep(dur::ms(200)).await;
                 costs.push(layout_cost());
+            }
+            hammer_stop.set(true);
+            if let Some(h) = hammer {
+                read_errs += h.await;
             }
             // final verification: every acknowledged file byte-identical
             // (retried: a crash cell may still be re-replicating)

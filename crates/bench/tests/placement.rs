@@ -89,6 +89,10 @@ fn prop_case(
         policy_on: true,
         fault,
         deadline_secs: 120,
+        flush_before_reads: true,
+        lustre_ost_rate: None,
+        static_membership: false,
+        read_window: None,
     }
 }
 
@@ -160,6 +164,46 @@ fn migration_survives_destination_drain() {
         "drain left routing overrides behind: {}",
         o.overrides
     );
+}
+
+/// Placement moves over pinned, buffer-only chunks at epoch 0: a
+/// crawling Lustre tier keeps the files unflushed through every read
+/// round (no backing-store fallback), and static membership keeps the
+/// epoch at 0 so a miss cannot widen to the full roster — the only
+/// reachable copies are exactly where routing points. The routing
+/// override must switch onto the verified new copies *before* the old
+/// ones are deleted, or a concurrent read routes at hash owners
+/// holding nothing and acked data goes unreadable mid-move
+/// (regression: the override used to install only after `migrate_to`
+/// had already deleted the old copies).
+#[test]
+fn migration_of_unflushed_chunks_keeps_reads_available() {
+    let mut case = fault_case(0xB1F, PlaceFault::None);
+    case.flush_before_reads = false;
+    // ~47 virtual seconds to drain 4.5 MiB: unflushed well past the rounds
+    case.lustre_ost_rate = Some(100e3);
+    case.static_membership = true;
+    // one node per rack/zone, five zones per geo: with sequential node
+    // ids (compute 0-1, lustre 2-3, servers 4-5, manager 6, standby 7,
+    // readers 8-9) server 4 shares the writer's geo while server 5,
+    // the manager, and every reader share the other — the write-local
+    // layout is strictly worse for every reader, so the optimizer must
+    // move all chunks cross-geo onto server 5
+    case.topo = (1, 1, 5);
+    // many chunks: every 512 KiB chunk is its own budget-throttled
+    // move, so the hammer reads overlap many copy/delete windows
+    case.files = vec![4 << 20, 512 << 10];
+    // the seed-exact serial read path surfaces a routing miss directly
+    // (the pipelined path's group retry would paper over a one-shot
+    // miss after the override lands)
+    case.read_window = Some(1);
+    let o = run_placement_property(&case);
+    no_loss(&o, "unflushed");
+    assert_eq!(
+        o.read_errs, 0,
+        "read of a pinned buffer-only chunk failed during a placement move"
+    );
+    assert!(o.migrations > 0, "cell never exercised a placement move");
 }
 
 /// Defaults-off contract: the hash policy with a zero optimizer interval

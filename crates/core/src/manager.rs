@@ -416,6 +416,9 @@ enum MigrateOutcome {
     Gone,
     /// No authoritative copy reachable right now; old layout untouched.
     NoSource,
+    /// Another migration already holds the chunk's `migrating` guard
+    /// (rebalancer vs placement optimizer); nothing was touched.
+    Busy,
     /// A copy or its CRC read-back failed; old copies kept.
     Failed,
     /// The desired set holds verified copies and stale copies are gone.
@@ -910,15 +913,14 @@ impl BbManager {
                         self.by_id.borrow_mut().remove(&e.file_id);
                         let fid = e.file_id;
                         if self.view.overrides_len() > 0 {
-                            let keys: Vec<Vec<u8>> = self
-                                .resident
-                                .borrow()
-                                .keys()
-                                .filter(|(f, _)| *f == fid)
-                                .map(|&(f, s)| chunk_key(f, s))
-                                .collect();
-                            for k in keys {
-                                self.view.clear_override(&k);
+                            // sweep the file's full chunk range, not just
+                            // the resident map: a chunk evicted from the
+                            // buffer must not leave its override behind
+                            // to accumulate across file churn
+                            let n = (e.crcs.len() as u64)
+                                .max(e.size.div_ceil(self.config.chunk_size.max(1)));
+                            for s in 0..n {
+                                self.view.clear_override(&chunk_key(fid, s));
                             }
                         }
                         if let Some(place) = &self.place {
@@ -1537,8 +1539,8 @@ impl BbManager {
         let Ok(desired) = self.kv.replicas(&key) else {
             return;
         };
-        match self.migrate_to(file_id, seq, &desired).await {
-            MigrateOutcome::Failed => {
+        match self.migrate_to(file_id, seq, &desired, false).await {
+            MigrateOutcome::Failed | MigrateOutcome::Busy => {
                 // keep the old copies; retry from a clean slate next tick
                 self.rebalance_pending
                     .borrow_mut()
@@ -1558,14 +1560,22 @@ impl BbManager {
     /// members outside the set. Old copies outlive new ones until
     /// verification succeeds, so a verify failure at any point leaves at
     /// least one good copy reachable (the read path widens to the full
-    /// roster once epoch > 0). The chunk sits in the `migrating` guard
-    /// for the whole move, keeping the scrubber off the half-established
-    /// set. Shared by the epoch rebalancer and the placement optimizer.
+    /// roster once epoch > 0). With `install_override`, the routing
+    /// override onto `desired` is installed after verification but
+    /// before the old copies are deleted, so a concurrent reader never
+    /// routes at hash owners whose copies are already gone. The chunk
+    /// sits in the `migrating` guard for the whole move, keeping the
+    /// scrubber off the half-established set; a move that finds the
+    /// guard already held (the rebalancer and placement optimizer run
+    /// as separate tasks) backs off with `Busy` rather than racing the
+    /// holder's copy/delete phases. Shared by the epoch rebalancer and
+    /// the placement optimizer.
     async fn migrate_to(
         self: &Rc<Self>,
         file_id: u64,
         seq: u64,
         desired: &[usize],
+        install_override: bool,
     ) -> MigrateOutcome {
         let Some(&crc) = self.resident.borrow().get(&(file_id, seq)) else {
             return MigrateOutcome::Gone; // deleted or forgotten since being queued
@@ -1574,7 +1584,9 @@ impl BbManager {
             return MigrateOutcome::Gone;
         }
         let key = chunk_key(file_id, seq);
-        self.migrating.borrow_mut().insert((file_id, seq));
+        if !self.migrating.borrow_mut().insert((file_id, seq)) {
+            return MigrateOutcome::Busy;
+        }
         // Which desired owners already hold a good copy?
         let mut have: Vec<usize> = Vec::new();
         let mut source: Option<Bytes> = None;
@@ -1649,6 +1661,12 @@ impl BbManager {
                 let _ = self.kv.pin_to(idx, &key).await;
             }
         }
+        if install_override {
+            // switch routing onto the verified copies before the old
+            // ones disappear — same order the rebalancer gets from the
+            // ring having already moved
+            self.view.set_override(&key, desired.to_vec());
+        }
         for idx in 0..self.view.roster_len() {
             if desired.contains(&idx) {
                 continue;
@@ -1668,9 +1686,11 @@ impl BbManager {
     /// chunk with reader telemetry is re-costed against the topology
     /// model, and a strictly cheaper replica set is queued as a move.
     /// Third, execution: queued moves run through the rebalancer's
-    /// verified-copy machinery under the per-tick migration byte budget,
-    /// and only a completed move installs its routing override — readers
-    /// never route at data that has not arrived yet. Epoch coordination:
+    /// verified-copy machinery under the per-tick migration byte budget.
+    /// The routing override is installed inside the move, after the new
+    /// copies are CRC-verified but before the old ones are deleted, so
+    /// readers never route at data that has not arrived yet — nor at
+    /// old owners whose copies are already gone. Epoch coordination:
     /// while the rebalancer still owes the view a catch-up
     /// (`epoch != last_epoch`), decisions pause; moves keep draining.
     async fn place_tick(self: &Rc<Self>) {
@@ -1757,31 +1777,39 @@ impl BbManager {
             }
         }
 
-        // phase 3: execute queued moves under the migration byte budget
+        // phase 3: execute queued moves under the migration byte budget.
+        // Each queued move is popped at most once per tick (re-queues go
+        // to the back and wait for the next tick), so one failing chunk
+        // can neither spin the drain nor truncate the rest of the budget.
         let budget = if self.config.bb_migrate_budget == 0 {
             u64::MAX
         } else {
             self.config.bb_migrate_budget
         };
         let mut spent = 0u64;
-        while spent < budget {
+        let mut pops = place.pending.borrow().len();
+        while spent < budget && pops > 0 {
+            pops -= 1;
             let next = place.pending.borrow_mut().pop_front();
             let Some(((fid, seq), targets, install)) = next else {
                 break;
             };
-            match self.migrate_to(fid, seq, &targets).await {
-                MigrateOutcome::Failed => {
+            if !targets.iter().all(|&idx| self.view.is_active(idx)) {
+                // a target left the cluster while the move sat queued:
+                // the decision is stale. Drop it and clear the queued
+                // mark so phase 2 can re-decide from live telemetry.
+                place.queued.borrow_mut().remove(&(fid, seq));
+                continue;
+            }
+            match self.migrate_to(fid, seq, &targets, install).await {
+                MigrateOutcome::Failed | MigrateOutcome::Busy => {
                     // keep old copies (and the queued mark); retry next tick
                     place
                         .pending
                         .borrow_mut()
                         .push_back(((fid, seq), targets, install));
-                    break;
                 }
                 MigrateOutcome::Done { wrote, bytes } => {
-                    if install {
-                        self.view.set_override(&chunk_key(fid, seq), targets);
-                    }
                     if wrote {
                         place.counters.migrations.inc();
                         place.counters.bytes.add(bytes);
